@@ -1,0 +1,110 @@
+// Command grafbench regenerates the paper's tables and figures (DESIGN.md's
+// experiment index) and prints them as text tables.
+//
+// Usage:
+//
+//	grafbench                 # run every experiment at the standard scale
+//	grafbench -exp fig14      # run one experiment
+//	grafbench -scale quick    # quick | standard | full
+//	grafbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"graf/internal/bench"
+)
+
+var runners = map[string]func(bench.Scale) bench.Result{
+	"fig01":         bench.Fig01InstanceCreation,
+	"fig02":         bench.Fig02SurgeInstances,
+	"fig03":         bench.Fig03SurgeLatency,
+	"fig06":         bench.Fig06LatencyCurves,
+	"fig07":         bench.Fig07CascadingEffect,
+	"tab01":         bench.Tab01Hyperparameters,
+	"tab02":         bench.Tab02PredictionError,
+	"fig11":         bench.Fig11MPNNAblation,
+	"fig12":         bench.Fig12LossHeatmap,
+	"fig13":         bench.Fig13SearchSpace,
+	"fig14":         bench.Fig14TotalCPU,
+	"fig15":         bench.Fig15PerMSBoutique,
+	"fig16":         bench.Fig16PerMSSocial,
+	"fig17":         bench.Fig17SLOTargeting,
+	"fig18":         bench.Fig18UserScaling,
+	"fig19":         bench.Fig19CostBenefit,
+	"tab03":         bench.Tab03Budget,
+	"fig20":         bench.Fig20AzureReplay,
+	"fig21":         bench.Fig21SurgeComparison,
+	"fig22":         bench.Fig22Convergence,
+	"abl-loss":      bench.AblationLoss,
+	"abl-steps":     bench.AblationSteps,
+	"abl-solver":    bench.AblationSolver,
+	"abl-sampler":   bench.AblationSampler,
+	"abl-integer":   bench.AblationInteger,
+	"abl-anomaly":   bench.AblationAnomaly,
+	"scalability":   bench.Scalability,
+	"abl-partition": bench.AblationPartition,
+}
+
+// order runs cheap observation experiments first and groups the ones that
+// share a trained pipeline.
+var order = []string{
+	"fig01", "fig06", "fig02", "fig03", "fig07",
+	"tab01", "tab02", "fig11", "fig12", "fig13",
+	"fig14", "fig15", "fig16", "fig17", "fig18",
+	"tab03", "fig19", "fig20", "fig21", "fig22",
+	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
+	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (default: all)")
+	scaleName := flag.String("scale", "standard", "quick | standard | full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(runners))
+		for id := range runners {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "quick":
+		scale = bench.Quick()
+	case "standard":
+		scale = bench.Standard()
+	case "full":
+		scale = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	ids := order
+	if *exp != "" {
+		r, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+		_ = r
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res := runners[id](scale)
+		fmt.Println(res.Format())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

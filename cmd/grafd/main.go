@@ -1,0 +1,88 @@
+// Command grafd runs the GRAF controller live against a simulated cluster
+// and streams its decisions: the closest thing to deploying GRAF on a real
+// Kubernetes cluster that an offline reproduction can offer. Load follows a
+// configurable shape (constant, surge, or the Azure-style trace of Fig 20),
+// and each line shows the front-end workload, the controller's solve, and
+// the measured tail latency.
+//
+// Usage:
+//
+//	grafd -model boutique.graf                 # constant 150 rps
+//	grafd -model boutique.graf -shape surge    # 50→300 rps at t=120s
+//	grafd -model boutique.graf -shape azure    # trace replay
+//	grafd -train                               # train a quick model first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graf"
+	"graf/internal/azure"
+	"graf/internal/workload"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "trained model from graftrain (omit with -train)")
+	train := flag.Bool("train", false, "train a quick model in-process instead of loading one")
+	shape := flag.String("shape", "const", "const | surge | azure")
+	rate := flag.Float64("rate", 150, "constant-shape rate (req/s)")
+	sloMS := flag.Int("slo", 250, "latency SLO (ms)")
+	durS := flag.Int("dur", 600, "simulated duration (s)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	a := graf.OnlineBoutique()
+	var tr *graf.TrainedModel
+	switch {
+	case *train:
+		fmt.Println("training a quick in-process model (use graftrain for a better one)...")
+		tr = graf.Train(a, graf.TrainOptions{
+			SLO:     time.Duration(*sloMS) * time.Millisecond,
+			MinRate: 40, MaxRate: 320,
+			Samples: 1500, Iterations: 600, Batch: 96, Seed: *seed,
+		})
+	case *modelPath != "":
+		var err error
+		tr, err = graf.LoadModel(*modelPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -model <path> or -train")
+		os.Exit(2)
+	}
+
+	s := graf.NewSimulation(a, *seed)
+	slo := time.Duration(*sloMS) * time.Millisecond
+	ctl := s.StartGRAF(tr, slo)
+	ctl.OnDecision = func(t float64, total float64, sol graf.Solution) {
+		fmt.Printf("[%6.0fs] solve: frontend %.0f rps → total quota %.0f mc (predicted p99 %.0f ms, %d iters)\n",
+			t, total, sol.TotalQuota, sol.Predicted*1000, sol.Iterations)
+	}
+
+	var gen interface{ Start() }
+	switch *shape {
+	case "const":
+		gen = s.OpenLoop(graf.ConstRate(*rate))
+	case "surge":
+		gen = s.OpenLoop(graf.StepRate(50, 300, 120*time.Second))
+	case "azure":
+		trace := azure.Generate(azure.DefaultTrace())
+		gen = s.ClosedLoop(workload.TraceUsers(trace, 24))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+	gen.Start()
+
+	for t := 30; t <= *durS; t += 30 {
+		s.RunFor(30 * time.Second)
+		fmt.Printf("[%6.0fs] status: %3d instances, %6.0f mc, p99 %6.1f ms (SLO %d ms)\n",
+			s.Engine.Now(), s.Cluster.TotalInstances(), s.Cluster.TotalRealizedQuota(),
+			float64(s.P99(30*time.Second))/float64(time.Millisecond), *sloMS)
+	}
+}

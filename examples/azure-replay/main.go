@@ -1,0 +1,101 @@
+// Azure replay: the paper's real-workload demonstration (Fig 20). A
+// synthetic AzurePublicDatasetV2-style invocations-per-minute trace drives
+// a Locust-like closed-loop generator; GRAF and the K8s autoscaler run side
+// by side, and the instance timelines show GRAF scaling both up AND down
+// with the workload while the HPA's 5-minute stabilization window delays
+// its scale-down after the sharp drop.
+//
+//	go run ./examples/azure-replay
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graf"
+	"graf/internal/azure"
+	"graf/internal/workload"
+)
+
+func main() {
+	a := graf.OnlineBoutique()
+	trace := azure.Generate(azure.DefaultTrace())
+	fmt.Printf("synthetic Azure-style trace: %d minutes, %.0f–%.0f invocations/min\n",
+		len(trace), minOf(trace), maxOf(trace))
+
+	trained := graf.Train(a, graf.TrainOptions{
+		SLO: 250 * time.Millisecond, MinRate: 40, MaxRate: 320,
+		Samples: 1500, Iterations: 600, Batch: 96, Seed: 9,
+	})
+
+	type point struct{ graf, k8s int }
+	timeline := map[int]*point{}
+	horizon := time.Duration(len(trace)) * time.Minute
+
+	run := func(isGraf bool) float64 {
+		s := graf.NewSimulation(a, 11)
+		var stop func()
+		if isGraf {
+			ctl := s.StartGRAF(trained, 250*time.Millisecond)
+			stop = ctl.Stop
+		} else {
+			h := s.StartHPA(0.5)
+			stop = h.Stop
+		}
+		gen := s.ClosedLoop(workload.TraceUsers(trace, 24))
+		gen.Start()
+		sum, n := 0.0, 0
+		for s.Now() < horizon {
+			s.RunFor(30 * time.Second)
+			inst := s.Cluster.TotalInstances()
+			sum += float64(inst)
+			n++
+			sec := int(s.Now().Seconds())
+			p := timeline[sec]
+			if p == nil {
+				p = &point{}
+				timeline[sec] = p
+			}
+			if isGraf {
+				p.graf = inst
+			} else {
+				p.k8s = inst
+			}
+		}
+		gen.Stop()
+		stop()
+		return sum / float64(n)
+	}
+
+	gAvg := run(true)
+	kAvg := run(false)
+
+	fmt.Printf("\n%-8s %-14s %-6s %-6s\n", "t", "users", "GRAF", "K8s")
+	for sec := 120; sec <= int(horizon.Seconds()); sec += 120 {
+		if p, ok := timeline[sec]; ok {
+			fmt.Printf("%-8d %-14d %-6d %-6d\n", sec, workload.TraceUsers(trace, 24)(float64(sec)), p.graf, p.k8s)
+		}
+	}
+	fmt.Printf("\nmean instances: GRAF %.1f vs K8s %.1f → %.0f%% fewer (paper: 21%%)\n",
+		gAvg, kAvg, (kAvg-gAvg)/kAvg*100)
+}
+
+func minOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,55 @@
+// Boutique surge: the paper's motivating scenario (§2.1, Figures 2/3/7 and
+// 21/22). Traffic to the Online Boutique cart page steps from 20 to 300
+// requests/s; the K8s autoscaler suffers the cascading effect while GRAF
+// provisions the whole chain the moment the front end sees the surge.
+//
+//	go run ./examples/boutique-surge
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graf"
+)
+
+func run(name string, attach func(*graf.Simulation) func()) {
+	a := graf.OnlineBoutique()
+	s := graf.NewSimulation(a, 42)
+	stop := attach(s)
+
+	gen := s.OpenLoop(graf.StepRate(20, 300, 60*time.Second))
+	gen.Start()
+
+	fmt.Printf("\n--- %s (surge 20→300 rps at t=60s) ---\n", name)
+	for _, t := range []time.Duration{50, 70, 90, 120, 180, 240} {
+		s.RunFor(t*time.Second - s.Now())
+		fmt.Printf("t=%-5v instances=%-4d p99(20s)=%v\n",
+			t*time.Second, s.Cluster.TotalInstances(),
+			s.P99(20*time.Second).Truncate(time.Millisecond))
+	}
+	gen.Stop()
+	stop()
+}
+
+func main() {
+	// GRAF needs its offline model first.
+	trained := graf.Train(graf.OnlineBoutique(), graf.TrainOptions{
+		SLO: 250 * time.Millisecond, MinRate: 40, MaxRate: 320,
+		Samples: 1500, Iterations: 600, Batch: 96,
+	})
+
+	run("GRAF (proactive)", func(s *graf.Simulation) func() {
+		ctl := s.StartGRAF(trained, 250*time.Millisecond)
+		return ctl.Stop
+	})
+	run("K8s autoscaler (50% threshold)", func(s *graf.Simulation) func() {
+		h := s.StartHPA(0.5)
+		return h.Stop
+	})
+	run("FIRM-like (latency-ratio trigger)", func(s *graf.Simulation) func() {
+		f := s.StartFIRM()
+		return f.Stop
+	})
+	fmt.Println("\nGRAF converges fastest because every microservice in the chain is scaled at once.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: train a GRAF latency model for Online Boutique, start the
+// proactive controller on a simulated cluster, and watch it hold a 250 ms
+// p99 SLO while minimizing CPU.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graf"
+)
+
+func main() {
+	a := graf.OnlineBoutique()
+	slo := 250 * time.Millisecond
+
+	fmt.Println("1. offline: Algorithm 1 + sample collection + GNN training")
+	trained := graf.Train(a, graf.TrainOptions{
+		SLO:     slo,
+		MinRate: 40, MaxRate: 320,
+		Samples: 1500, Iterations: 600, Batch: 96,
+	})
+	for i, name := range a.ServiceNames() {
+		fmt.Printf("   %-16s reduced search space [%4.0f, %4.0f] millicores\n",
+			name, trained.Bounds.Lo[i], trained.Bounds.Hi[i])
+	}
+
+	fmt.Println("2. one-shot solve: minimal quotas for 150 rps under the SLO")
+	load := graf.DistributeWorkload(a, a.MixRates(150))
+	sol := graf.Solve(trained, load, slo)
+	for i, name := range a.ServiceNames() {
+		fmt.Printf("   %-16s %6.0f mc\n", name, sol.Quotas[i])
+	}
+	fmt.Printf("   total %.0f mc, predicted p99 %.0f ms\n", sol.TotalQuota, sol.Predicted*1000)
+
+	fmt.Println("3. online: proactive controller on a simulated cluster")
+	s := graf.NewSimulation(a, 1)
+	ctl := s.StartGRAF(trained, slo)
+	gen := s.OpenLoop(graf.ConstRate(150))
+	gen.Start()
+	for i := 0; i < 6; i++ {
+		s.RunFor(time.Minute)
+		fmt.Printf("   t=%-4v instances=%-3d quota=%-6.0fmc p99=%v (SLO %v)\n",
+			s.Now().Truncate(time.Second), s.Cluster.TotalInstances(),
+			s.Cluster.TotalRealizedQuota(), s.P99(45*time.Second).Truncate(time.Millisecond), slo)
+	}
+	gen.Stop()
+	ctl.Stop()
+}

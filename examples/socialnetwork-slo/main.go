@@ -1,0 +1,64 @@
+// Social Network SLO targeting: train one latency model for the ten-service
+// DeathStarBench Social Network (paper Fig 10/16) and show how GRAF's
+// configuration solver retargets resources as the operator tightens or
+// loosens the end-to-end p99 SLO — no retraining, just a new gradient
+// descent through the same model (§3.5, Fig 17).
+//
+//	go run ./examples/socialnetwork-slo
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"graf"
+)
+
+func main() {
+	a := graf.SocialNetwork()
+	trained := graf.Train(a, graf.TrainOptions{
+		SLO: 200 * time.Millisecond, MinRate: 40, MaxRate: 320,
+		Samples: 1500, Iterations: 600, Batch: 96, Seed: 7,
+	})
+
+	load := graf.DistributeWorkload(a, map[string]float64{"compose-post": 150})
+	fmt.Println("solver output per SLO (compose-post at 150 rps):")
+	fmt.Printf("%-10s %-12s %-14s %s\n", "SLO", "total quota", "predicted p99", "binding services")
+	for _, sloMS := range []int{120, 160, 200, 260, 320} {
+		slo := time.Duration(sloMS) * time.Millisecond
+		sol := graf.Solve(trained, load, slo)
+		// Services pinned near their search-space upper bound are the
+		// latency-critical ones for this SLO.
+		binding := ""
+		for i, name := range a.ServiceNames() {
+			if sol.Quotas[i] > 0.9*trained.Bounds.Hi[i] {
+				if binding != "" {
+					binding += ", "
+				}
+				binding += name
+			}
+		}
+		if binding == "" {
+			binding = "(none)"
+		}
+		fmt.Printf("%-10v %7.0f mc   %7.0f ms     %s\n", slo, sol.TotalQuota, sol.Predicted*1000, binding)
+	}
+
+	// Deploy the 200ms solution and verify against the simulator.
+	slo := 200 * time.Millisecond
+	sol := graf.Solve(trained, load, slo)
+	s := graf.NewSimulation(a, 3)
+	quotas := map[string]float64{}
+	for i, name := range a.ServiceNames() {
+		quotas[name] = sol.Quotas[i]
+	}
+	s.Cluster.ApplyQuotas(quotas)
+	s.RunFor(2 * time.Minute) // let instances start
+	gen := s.OpenLoop(graf.ConstRate(150))
+	gen.API = "compose-post"
+	gen.Start()
+	s.RunFor(4 * time.Minute)
+	gen.Stop()
+	fmt.Printf("\ndeployed the %v solution: measured p99 = %v\n",
+		slo, s.P99(3*time.Minute).Truncate(time.Millisecond))
+}

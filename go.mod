@@ -1,0 +1,3 @@
+module graf
+
+go 1.22

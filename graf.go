@@ -1,0 +1,280 @@
+// Package graf is a Go implementation of GRAF, the graph-neural-network
+// based proactive resource allocation framework for SLO-oriented
+// microservices (Park, Choi, Lee, Han — CoNEXT 2021), together with every
+// substrate it needs to run end to end: a discrete-event microservice
+// cluster simulator with Kubernetes-style orchestration, distributed
+// tracing, load generation, the baseline autoscalers the paper compares
+// against, and a benchmark harness reproducing the paper's evaluation.
+//
+// # Quick start
+//
+// Build a simulated deployment of an application, train a latency
+// prediction model offline, and let the GRAF controller hold the tail
+// latency SLO with minimal CPU:
+//
+//	sim := graf.NewSimulation(graf.OnlineBoutique(), 1)
+//	trained := graf.Train(graf.OnlineBoutique(), graf.TrainOptions{
+//		SLO: 200 * time.Millisecond, MinRate: 40, MaxRate: 320,
+//	})
+//	ctl := sim.StartGRAF(trained, 200*time.Millisecond)
+//	gen := sim.OpenLoop(graf.ConstRate(150))
+//	gen.Start()
+//	sim.RunFor(10 * time.Minute)
+//	fmt.Println(sim.P99(30*time.Second), sim.Cluster.TotalQuota())
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package graf
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"graf/internal/app"
+	"graf/internal/autoscale"
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/gnn"
+	"graf/internal/sim"
+	"graf/internal/workload"
+)
+
+// Re-exported building blocks. These aliases are the public names for the
+// framework's core types; their methods are documented in the internal
+// packages they alias.
+type (
+	// App describes a microservice application: its service graph, API
+	// call trees, and per-service CPU-work parameters.
+	App = app.App
+	// Service is one microservice's resource/latency characteristics.
+	Service = app.Service
+	// API is one request type exposed by an application's frontend.
+	API = app.API
+	// Call is a node in an API's call tree.
+	Call = app.Call
+	// Cluster is the simulated orchestration substrate an App runs on.
+	Cluster = cluster.Cluster
+	// Deployment is one microservice's replica set within a Cluster.
+	Deployment = cluster.Deployment
+	// Model is the GNN latency prediction model (§3.4 of the paper).
+	Model = gnn.Model
+	// Sample is one (workload, resources, latency) training triple.
+	Sample = gnn.Sample
+	// Controller is GRAF's runtime control loop (§3.6/§3.8).
+	Controller = core.Controller
+	// Bounds is Algorithm 1's reduced per-service search space.
+	Bounds = core.Bounds
+	// Solution is the configuration solver's output (§3.5).
+	Solution = core.Solution
+	// HPA is the Kubernetes horizontal-pod-autoscaler baseline.
+	HPA = autoscale.HPA
+	// FIRMLike is the FIRM-style latency-ratio baseline.
+	FIRMLike = autoscale.FIRMLike
+	// OpenLoop is a Vegeta-like constant/shaped-rate load generator.
+	OpenLoop = workload.OpenLoop
+	// ClosedLoop is a Locust-like user-thread load generator.
+	ClosedLoop = workload.ClosedLoop
+)
+
+// Builtin applications from the paper's evaluation.
+func OnlineBoutique() *App { return app.OnlineBoutique() }
+
+// SocialNetwork returns the DeathStarBench Social Network application.
+func SocialNetwork() *App { return app.SocialNetwork() }
+
+// RobotShop returns the two-service Robot Shop slice used in Fig 6.
+func RobotShop() *App { return app.RobotShop() }
+
+// Bookinfo returns Istio's Bookinfo application (Fig 5).
+func Bookinfo() *App { return app.Bookinfo() }
+
+// ConstRate returns a fixed open-loop rate shape.
+func ConstRate(rps float64) func(float64) float64 { return workload.ConstRate(rps) }
+
+// StepRate returns a base→surge open-loop rate shape switching at the given
+// simulated time.
+func StepRate(base, surge float64, at time.Duration) func(float64) float64 {
+	return workload.StepRate(base, surge, at.Seconds())
+}
+
+// ConstUsers returns a fixed closed-loop user count.
+func ConstUsers(n int) func(float64) int { return workload.ConstUsers(n) }
+
+// Simulation bundles a deterministic discrete-event engine with a cluster
+// running one application.
+type Simulation struct {
+	Engine  *sim.Engine
+	Cluster *cluster.Cluster
+}
+
+// NewSimulation deploys a on a fresh simulated cluster (one warm instance
+// per microservice) with the default Kubernetes-like configuration.
+func NewSimulation(a *App, seed int64) *Simulation {
+	eng := sim.NewEngine(seed)
+	return &Simulation{Engine: eng, Cluster: cluster.New(eng, a, cluster.DefaultConfig())}
+}
+
+// RunFor advances simulated time by d.
+func (s *Simulation) RunFor(d time.Duration) {
+	s.Engine.RunUntil(s.Engine.Now() + d.Seconds())
+}
+
+// Now returns the current simulated time since start.
+func (s *Simulation) Now() time.Duration {
+	return time.Duration(s.Engine.Now() * float64(time.Second))
+}
+
+// P99 returns the end-to-end 99th-percentile latency over the trailing
+// window.
+func (s *Simulation) P99(window time.Duration) time.Duration {
+	return time.Duration(s.Cluster.E2ELatencyQuantile(0.99, window.Seconds()) * float64(time.Second))
+}
+
+// OpenLoop attaches a Vegeta-like generator with the given rate shape
+// (req/s as a function of simulated seconds).
+func (s *Simulation) OpenLoop(rate func(float64) float64) *OpenLoop {
+	return workload.NewOpenLoop(s.Cluster, rate)
+}
+
+// ClosedLoop attaches a Locust-like generator with the given user-count
+// shape.
+func (s *Simulation) ClosedLoop(users func(float64) int) *ClosedLoop {
+	return workload.NewClosedLoop(s.Cluster, users)
+}
+
+// StartHPA runs the Kubernetes autoscaler baseline over every microservice
+// at the given CPU-utilization threshold.
+func (s *Simulation) StartHPA(threshold float64) *HPA {
+	h := autoscale.NewHPA(s.Cluster, autoscale.DefaultHPAConfig(threshold))
+	h.Start()
+	return h
+}
+
+// StartFIRM runs the FIRM-like baseline.
+func (s *Simulation) StartFIRM() *FIRMLike {
+	f := autoscale.NewFIRMLike(s.Cluster, autoscale.DefaultFIRMConfig())
+	f.Start()
+	return f
+}
+
+// StartGRAF runs the GRAF controller using a trained model.
+func (s *Simulation) StartGRAF(t *TrainedModel, slo time.Duration) *Controller {
+	an := core.NewAnalyzer(s.Cluster.App)
+	cfg := core.DefaultControllerConfig(slo.Seconds())
+	cfg.TrainedMinRate = t.MinRate
+	cfg.TrainedMaxRate = t.MaxRate
+	ctl := core.NewController(s.Cluster, t.Model, an, t.Bounds, cfg)
+	ctl.Start()
+	return ctl
+}
+
+// TrainOptions parameterizes offline training (§3.7, §5 "Sample Collection
+// and Training").
+type TrainOptions struct {
+	// SLO is the end-to-end tail-latency objective used by Algorithm 1 to
+	// bound the search space.
+	SLO time.Duration
+
+	// MinRate and MaxRate bound the total front-end request rates the
+	// training set covers.
+	MinRate, MaxRate float64
+
+	// Samples, Iterations and Batch override the training budget
+	// (defaults: 4000 samples, 1600 iterations, batch 128).
+	Samples    int
+	Iterations int
+	Batch      int
+
+	// SimulatorLabels labels every sample with a discrete-event
+	// measurement instead of the calibrated analytic fast path. Slower
+	// but exact.
+	SimulatorLabels bool
+
+	Seed int64
+}
+
+// TrainedModel is the output of Train: a latency prediction model plus the
+// search-space bounds and workload range it was trained for.
+type TrainedModel struct {
+	Model   *Model
+	Bounds  Bounds
+	MinRate float64
+	MaxRate float64
+	SLO     time.Duration
+}
+
+// Train runs GRAF's offline path for application a: Algorithm 1 search
+// space reduction, state-aware sample collection, and GNN training.
+func Train(a *App, o TrainOptions) *TrainedModel {
+	if o.Samples <= 0 {
+		o.Samples = 4000
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1600
+	}
+	if o.Batch <= 0 {
+		o.Batch = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	probe := 0.75 * o.MaxRate
+	sc := core.NewSampleCollector(a, core.NewAnalyticMeasurer(a, 0, o.Seed), o.SLO.Seconds(), probe)
+	sc.ProbeRateLo = o.MinRate
+	sc.Seed = o.Seed + 10
+	b := sc.ReduceSearchSpace()
+
+	var m core.Measurer
+	if o.SimulatorLabels {
+		m = core.NewSimMeasurer(a, o.Seed+20)
+	} else {
+		cal := core.Calibrate(a, b, o.MinRate, o.MaxRate, 5*o.SLO.Seconds(), 12, o.Seed+30)
+		m = core.CalibratedMeasurer{
+			AnalyticMeasurer: core.NewAnalyticMeasurer(a, 0.15, o.Seed+40),
+			Cal:              cal,
+		}
+	}
+	sc.M = m
+	sc.MaxLatency = 5 * o.SLO.Seconds()
+	samples := sc.Collect(o.Samples, o.MinRate, o.MaxRate, b)
+
+	cfg := gnn.DefaultConfig(len(a.Services), a.Parents())
+	model := gnn.New(cfg, rand.New(rand.NewSource(o.Seed+50)))
+	tc := gnn.DefaultTrainConfig()
+	tc.Iterations, tc.Batch, tc.Seed = o.Iterations, o.Batch, o.Seed+60
+	tc.LR = 2e-3
+	model.Train(samples, tc)
+	return &TrainedModel{Model: model, Bounds: b, MinRate: o.MinRate, MaxRate: o.MaxRate, SLO: o.SLO}
+}
+
+// Save persists the trained model and its metadata to path.
+func (t *TrainedModel) Save(path string) error {
+	blob, err := encodeTrained(t)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadModel restores a model previously written with Save.
+func LoadModel(path string) (*TrainedModel, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTrained(blob)
+}
+
+// Solve runs the configuration solver once: the minimal per-service quotas
+// (millicores, in App.Services order) whose predicted tail latency meets
+// the SLO for the given per-service workload vector.
+func Solve(t *TrainedModel, load []float64, slo time.Duration) Solution {
+	return core.Solve(t.Model, load, slo.Seconds(), t.Bounds.Lo, t.Bounds.Hi, core.DefaultSolverConfig())
+}
+
+// DistributeWorkload converts per-API frontend rates to the per-service
+// workload vector the model and solver consume, using the application's
+// declared call trees (the Workload Analyzer uses live traces instead).
+func DistributeWorkload(a *App, apiRates map[string]float64) []float64 {
+	return core.NewAnalyzer(a).Distribute(apiRates)
+}

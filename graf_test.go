@@ -1,0 +1,147 @@
+package graf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// quickTrain trains a small model once for the public-API tests.
+var quickTrained *TrainedModel
+
+func trained(t *testing.T) *TrainedModel {
+	t.Helper()
+	if quickTrained == nil {
+		quickTrained = Train(OnlineBoutique(), TrainOptions{
+			SLO: 250 * time.Millisecond, MinRate: 40, MaxRate: 320,
+			Samples: 600, Iterations: 220, Batch: 64, Seed: 3,
+		})
+	}
+	return quickTrained
+}
+
+func TestSimulationBasics(t *testing.T) {
+	s := NewSimulation(OnlineBoutique(), 1)
+	gen := s.OpenLoop(ConstRate(30))
+	gen.Start()
+	s.RunFor(60 * time.Second)
+	gen.Stop()
+	if s.Now() < 60*time.Second {
+		t.Errorf("Now = %v, want ≥ 60s", s.Now())
+	}
+	if s.P99(30*time.Second) <= 0 {
+		t.Error("no latency observed")
+	}
+}
+
+func TestTrainAndSolve(t *testing.T) {
+	tr := trained(t)
+	load := DistributeWorkload(OnlineBoutique(), map[string]float64{"cart": 60, "product": 60, "home": 30})
+	sol := Solve(tr, load, 250*time.Millisecond)
+	if len(sol.Quotas) != 6 {
+		t.Fatalf("solution has %d quotas", len(sol.Quotas))
+	}
+	if sol.Predicted > 0.250*1.05 {
+		t.Errorf("solver violated SLO: predicted %.3fs", sol.Predicted)
+	}
+	for i, q := range sol.Quotas {
+		if q < tr.Bounds.Lo[i]-1e-9 || q > tr.Bounds.Hi[i]+1e-9 {
+			t.Errorf("quota %d = %v outside bounds", i, q)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := trained(t)
+	path := filepath.Join(t.TempDir(), "model.graf")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := DistributeWorkload(OnlineBoutique(), map[string]float64{"cart": 50})
+	quota := make([]float64, 6)
+	for i := range quota {
+		quota[i] = 800
+	}
+	if got.Model.Predict(load, quota) != tr.Model.Predict(load, quota) {
+		t.Error("loaded model predicts differently")
+	}
+	if got.MaxRate != tr.MaxRate || got.SLO != tr.SLO {
+		t.Error("metadata not preserved")
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err == nil {
+		t.Error("loading garbage should fail")
+	}
+}
+
+func TestGRAFControllerEndToEnd(t *testing.T) {
+	tr := trained(t)
+	s := NewSimulation(OnlineBoutique(), 5)
+	ctl := s.StartGRAF(tr, 250*time.Millisecond)
+	gen := s.OpenLoop(ConstRate(120))
+	gen.Start()
+	s.RunFor(4 * time.Minute)
+	gen.Stop()
+	ctl.Stop()
+	s.RunFor(time.Minute)
+	if ctl.Solves() == 0 {
+		t.Fatal("controller never solved")
+	}
+	p99 := s.P99(90 * time.Second)
+	if p99 <= 0 {
+		t.Fatal("no tail latency measured")
+	}
+	// Generous 2× band: quick-budget model on a stochastic system.
+	if p99 > 500*time.Millisecond {
+		t.Errorf("p99 %v far above the 250ms SLO", p99)
+	}
+}
+
+func TestBaselinesViaPublicAPI(t *testing.T) {
+	s := NewSimulation(OnlineBoutique(), 6)
+	h := s.StartHPA(0.5)
+	gen := s.OpenLoop(ConstRate(120))
+	gen.Start()
+	s.RunFor(3 * time.Minute)
+	gen.Stop()
+	h.Stop()
+	if s.Cluster.TotalInstances() <= 6 {
+		t.Error("HPA did not scale via public API")
+	}
+
+	s2 := NewSimulation(OnlineBoutique(), 7)
+	f := s2.StartFIRM()
+	gen2 := s2.OpenLoop(ConstRate(200))
+	gen2.Start()
+	s2.RunFor(3 * time.Minute)
+	gen2.Stop()
+	f.Stop()
+	if s2.Cluster.TotalQuota() <= 6*250 {
+		t.Error("FIRM-like did not scale via public API")
+	}
+}
+
+func TestBuiltinAppsExported(t *testing.T) {
+	for _, a := range []*App{OnlineBoutique(), SocialNetwork(), RobotShop(), Bookinfo()} {
+		if len(a.Services) == 0 {
+			t.Errorf("%s has no services", a.Name)
+		}
+	}
+}
+
+func TestStepRateHelper(t *testing.T) {
+	r := StepRate(10, 100, 30*time.Second)
+	if r(29) != 10 || r(31) != 100 {
+		t.Error("StepRate switch point wrong")
+	}
+}

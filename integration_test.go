@@ -1,0 +1,79 @@
+package graf_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graf"
+)
+
+// Integration: the full offline→persist→online path through the public API
+// on the ten-service Social Network — train a model, round-trip it through
+// disk, drive the controller against a live simulated cluster under a
+// workload surge, and check the SLO is re-attained after the surge.
+func TestIntegrationSocialNetworkLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a := graf.SocialNetwork()
+	slo := 200 * time.Millisecond
+
+	trained := graf.Train(a, graf.TrainOptions{
+		SLO: slo, MinRate: 40, MaxRate: 320,
+		Samples: 900, Iterations: 300, Batch: 64, Seed: 11,
+	})
+	path := filepath.Join(t.TempDir(), "social.graf")
+	if err := trained.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graf.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := graf.NewSimulation(a, 13)
+	ctl := s.StartGRAF(loaded, slo)
+	gen := s.OpenLoop(graf.StepRate(60, 220, 3*time.Minute))
+	gen.Start()
+	s.RunFor(3 * time.Minute)
+	preQuota := s.Cluster.TotalRealizedQuota()
+	s.RunFor(5 * time.Minute)
+	postQuota := s.Cluster.TotalRealizedQuota()
+	p99 := s.P99(2 * time.Minute)
+	gen.Stop()
+	ctl.Stop()
+	s.RunFor(time.Minute)
+
+	if ctl.Solves() < 2 {
+		t.Errorf("controller solved only %d times across a surge", ctl.Solves())
+	}
+	if postQuota <= preQuota {
+		t.Errorf("quota did not grow across a 60→220 rps surge: %v → %v", preQuota, postQuota)
+	}
+	// Generous band: the point is re-attainment, not tightness.
+	if p99 > 2*slo {
+		t.Errorf("p99 %v far above SLO %v five minutes after the surge", p99, slo)
+	}
+}
+
+// Integration: Bookinfo's parallel structure through the public API — the
+// solver should spend less on 'details' (off the critical path) than on the
+// reviews→ratings branch that dominates the max.
+func TestIntegrationBookinfoCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a := graf.Bookinfo()
+	trained := graf.Train(a, graf.TrainOptions{
+		SLO: 150 * time.Millisecond, MinRate: 20, MaxRate: 160,
+		Samples: 900, Iterations: 300, Batch: 64, Seed: 17,
+	})
+	load := graf.DistributeWorkload(a, map[string]float64{"productpage": 80})
+	sol := graf.Solve(trained, load, 150*time.Millisecond)
+	details := sol.Quotas[a.ServiceIndex("details")]
+	reviews := sol.Quotas[a.ServiceIndex("reviews")]
+	if details >= reviews {
+		t.Errorf("details (%v mc, off critical path) allocated ≥ reviews (%v mc)", details, reviews)
+	}
+}

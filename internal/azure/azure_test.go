@@ -1,0 +1,58 @@
+package azure
+
+import "testing"
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultTrace()
+	s := Generate(cfg)
+	if len(s) != cfg.Minutes {
+		t.Fatalf("len = %d, want %d", len(s), cfg.Minutes)
+	}
+	for i, v := range s {
+		if v < 0 {
+			t.Errorf("minute %d negative: %v", i, v)
+		}
+	}
+	// Sustained drop: mean after DropAt well below mean before.
+	pre, post := 0.0, 0.0
+	for i, v := range s {
+		if i < cfg.DropAt {
+			pre += v / float64(cfg.DropAt)
+		} else {
+			post += v / float64(cfg.Minutes-cfg.DropAt)
+		}
+	}
+	if post >= pre*0.8 {
+		t.Errorf("post-drop mean %.0f not clearly below pre-drop mean %.0f", post, pre)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(DefaultTrace()), Generate(DefaultTrace())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at minute %d", i)
+		}
+	}
+	cfg := DefaultTrace()
+	cfg.Seed = 99
+	c := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateNoDrop(t *testing.T) {
+	cfg := DefaultTrace()
+	cfg.DropAt = -1
+	s := Generate(cfg)
+	if len(s) != cfg.Minutes {
+		t.Fatal("wrong length")
+	}
+}

@@ -1,0 +1,767 @@
+// Package cluster simulates the container-orchestration substrate the paper
+// runs on (Kubernetes, §2.1/§4): per-microservice deployments of replica
+// instances, CPU quotas, instance-creation latency, request execution with
+// per-deployment queueing, and the telemetry (CPU utilization, latency
+// percentiles, traces, perceived workload) that GRAF and the baseline
+// autoscalers consume.
+//
+// # Execution model
+//
+// Each microservice is a Deployment: a shared FIFO queue served by its ready
+// Instances. An instance serves one request at a time; its service time is
+// BaseMS (non-CPU floor) plus lognormal CPU work scaled by the per-instance
+// CPU quota, so halving the quota doubles the CPU portion of the service
+// time. After the instance is released the request executes its call tree:
+// stages run sequentially, calls within a stage run in parallel, exactly the
+// sum/max latency composition of §3 ("a combination of multiple addition and
+// max operations").
+//
+// # Instance creation
+//
+// Creating instances takes time (paper Fig 1: 5.5 s for one instance,
+// 45.6 s for a batch of 16). A batch of k instances requested together
+// becomes ready one by one at StartupBaseS + j*StartupSlopeS (j = 1..k),
+// reproducing both the single-instance delay and the batch completion times
+// of Fig 1. This delay is the root cause of the cascading effect (§2.1).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"graf/internal/app"
+	"graf/internal/metrics"
+	"graf/internal/sim"
+	"graf/internal/trace"
+)
+
+// Config holds cluster-wide constants.
+type Config struct {
+	// CPUUnit is the CPU quota of one instance in millicores (the CPUunit
+	// of Eq. 7). Scaling a deployment to quota r yields ceil(r/CPUUnit)
+	// instances.
+	CPUUnit float64
+
+	// StartupBaseS and StartupSlopeS parameterize instance-creation time:
+	// the j-th instance of a batch is ready after StartupBaseS +
+	// j*StartupSlopeS seconds. Defaults fit the paper's Figure 1.
+	StartupBaseS  float64
+	StartupSlopeS float64
+
+	// MinQuota floors any per-instance quota (millicores) to keep service
+	// times finite.
+	MinQuota float64
+
+	// TraceCap bounds retained traces per API (0 = unbounded).
+	TraceCap int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		CPUUnit:       250,
+		StartupBaseS:  2.8,
+		StartupSlopeS: 2.67,
+		MinQuota:      10,
+		TraceCap:      4096,
+	}
+}
+
+type instance struct {
+	id        int
+	ready     bool
+	busy      bool
+	condemned bool
+	readyAt   float64
+}
+
+type job struct {
+	enqueuedAt float64
+	exec       func(inst *instance, queued float64)
+}
+
+// Deployment is one microservice's replica set.
+type Deployment struct {
+	Service app.Service
+
+	cl        *Cluster
+	queue     []*job
+	instances []*instance
+	nextID    int
+
+	quota float64 // total desired CPU quota in millicores
+
+	// contention multiplies CPU work per request while an injected
+	// contention anomaly is active (§6, "Actively removing contention
+	// anomalies"): resource interference slows execution without any
+	// change in workload or quota.
+	contention float64
+
+	// Telemetry.
+	readySeries *metrics.Series // ready-instance count over time
+	totalSeries *metrics.Series // created (ready+starting) count over time
+	cpuWork     *metrics.Window // CPU-seconds consumed, stamped at completion
+	selfLat     *metrics.Window // per-invocation self latency (s): queue+service
+	arrivals    *metrics.Window // arrival timestamps (value 1)
+}
+
+// Cluster simulates one application deployed on an orchestration substrate.
+type Cluster struct {
+	Eng *sim.Engine
+	App *app.App
+	Cfg Config
+
+	deps        map[string]*Deployment
+	names       []string
+	traces      *trace.Collector
+	e2e         map[string]*metrics.Window // end-to-end latency per API
+	e2eAll      *metrics.Window            // end-to-end latency, all APIs
+	apiArrivals map[string]*metrics.Window // frontend arrivals per API
+
+	nextTraceID  int64
+	inFlight     int
+	onDoneDrain  func()
+	createdTotal int
+}
+
+// New builds a cluster for application a on engine eng. Every deployment
+// starts with one instance, already ready (as after an initial rollout).
+func New(eng *sim.Engine, a *app.App, cfg Config) *Cluster {
+	c := &Cluster{
+		Eng:    eng,
+		App:    a,
+		Cfg:    cfg,
+		deps:   make(map[string]*Deployment, len(a.Services)),
+		traces: trace.NewCollector(cfg.TraceCap),
+		e2e:    make(map[string]*metrics.Window),
+		e2eAll: metrics.NewWindow(),
+	}
+	for _, svc := range a.Services {
+		d := &Deployment{
+			Service:     svc,
+			cl:          c,
+			quota:       cfg.CPUUnit,
+			readySeries: metrics.NewSeries(svc.Name + "/ready"),
+			totalSeries: metrics.NewSeries(svc.Name + "/total"),
+			cpuWork:     metrics.NewWindow(),
+			selfLat:     metrics.NewWindow(),
+			arrivals:    metrics.NewWindow(),
+		}
+		inst := &instance{id: d.nextID, ready: true, readyAt: eng.Now()}
+		d.nextID++
+		d.instances = append(d.instances, inst)
+		d.recordCounts()
+		c.deps[svc.Name] = d
+		c.names = append(c.names, svc.Name)
+	}
+	c.apiArrivals = make(map[string]*metrics.Window)
+	for _, api := range a.APIs {
+		c.e2e[api.Name] = metrics.NewWindow()
+		c.apiArrivals[api.Name] = metrics.NewWindow()
+	}
+	return c
+}
+
+// APIArrivalRate returns the frontend arrival rate (req/s) for one API over
+// the trailing window — the only workload signal GRAF's proactive path is
+// allowed to use (§3.8: "Latency Prediction Model only utilizes front-end
+// workloads data").
+func (c *Cluster) APIArrivalRate(api string, window float64) float64 {
+	w, ok := c.apiArrivals[api]
+	if !ok {
+		return 0
+	}
+	now := c.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	if now <= from {
+		return 0
+	}
+	return float64(w.Count(from, now)) / (now - from)
+}
+
+// APIArrivalRates returns APIArrivalRate for every API.
+func (c *Cluster) APIArrivalRates(window float64) map[string]float64 {
+	out := make(map[string]float64, len(c.apiArrivals))
+	for api := range c.apiArrivals {
+		out[api] = c.APIArrivalRate(api, window)
+	}
+	return out
+}
+
+// Deployment returns the deployment for the named service. It panics on an
+// unknown name (a wiring bug, not a runtime condition).
+func (c *Cluster) Deployment(name string) *Deployment {
+	d, ok := c.deps[name]
+	if !ok {
+		panic(fmt.Sprintf("cluster: unknown service %q", name))
+	}
+	return d
+}
+
+// Traces returns the cluster's trace collector.
+func (c *Cluster) Traces() *trace.Collector { return c.traces }
+
+// InFlight returns the number of requests currently executing.
+func (c *Cluster) InFlight() int { return c.inFlight }
+
+// CreatedTotal returns the cumulative number of instances ever created
+// (excluding the initial one per deployment).
+func (c *Cluster) CreatedTotal() int { return c.createdTotal }
+
+// --- Deployment: scaling ---------------------------------------------------
+
+func (d *Deployment) recordCounts() {
+	now := d.cl.Eng.Now()
+	ready, total := 0, 0
+	for _, in := range d.instances {
+		if in.condemned {
+			continue
+		}
+		total++
+		if in.ready {
+			ready++
+		}
+	}
+	d.readySeries.Add(now, float64(ready))
+	d.totalSeries.Add(now, float64(total))
+}
+
+// Quota returns the deployment's desired total CPU quota in millicores.
+func (d *Deployment) Quota() float64 { return d.quota }
+
+// Replicas returns the number of non-condemned instances (ready or starting).
+func (d *Deployment) Replicas() int {
+	n := 0
+	for _, in := range d.instances {
+		if !in.condemned {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadyReplicas returns the number of ready, non-condemned instances.
+func (d *Deployment) ReadyReplicas() int {
+	n := 0
+	for _, in := range d.instances {
+		if in.ready && !in.condemned {
+			n++
+		}
+	}
+	return n
+}
+
+// perInstanceQuota realizes the paper's round-up semantics (Eq. 7): above
+// one CPU unit every instance runs at the full unit (the realized total
+// overprovisions by at most one unit); below one unit a single instance is
+// vertically sized. Latency is therefore monotone nonincreasing in quota.
+func (d *Deployment) perInstanceQuota() float64 {
+	if d.quota <= d.cl.Cfg.CPUUnit {
+		q := d.quota
+		if q < d.cl.Cfg.MinQuota {
+			q = d.cl.Cfg.MinQuota
+		}
+		return q
+	}
+	return d.cl.Cfg.CPUUnit
+}
+
+// SetQuota scales the deployment to total CPU quota millicores, creating or
+// condemning instances per Eq. 7 (replicas = ceil(quota/CPUUnit)).
+func (d *Deployment) SetQuota(millicores float64) {
+	if millicores < d.cl.Cfg.MinQuota {
+		millicores = d.cl.Cfg.MinQuota
+	}
+	d.quota = millicores
+	d.SetReplicas(int(math.Ceil(millicores / d.cl.Cfg.CPUUnit)))
+}
+
+// SetReplicas scales the deployment to n instances (n ≥ 1). Excess instances
+// are condemned (busy ones finish their current request first); missing
+// instances are created as one batch with Figure 1 startup latency.
+func (d *Deployment) SetReplicas(n int) {
+	if n < 1 {
+		n = 1
+	}
+	cur := d.Replicas()
+	switch {
+	case n > cur:
+		// Un-condemn instances first: cheaper than creating new ones.
+		need := n - cur
+		for _, in := range d.instances {
+			if need == 0 {
+				break
+			}
+			if in.condemned {
+				in.condemned = false
+				need--
+			}
+		}
+		d.createBatch(need)
+	case n < cur:
+		d.condemn(cur - n)
+	}
+	d.recordCounts()
+	d.dispatch()
+}
+
+func (d *Deployment) createBatch(k int) {
+	now := d.cl.Eng.Now()
+	for j := 1; j <= k; j++ {
+		inst := &instance{id: d.nextID, readyAt: now + d.cl.Cfg.StartupBaseS + float64(j)*d.cl.Cfg.StartupSlopeS}
+		d.nextID++
+		d.instances = append(d.instances, inst)
+		d.cl.createdTotal++
+		in := inst
+		d.cl.Eng.At(in.readyAt, func() {
+			if in.condemned {
+				return
+			}
+			in.ready = true
+			d.recordCounts()
+			d.dispatch()
+		})
+	}
+}
+
+// condemn marks k instances for removal, preferring not-yet-ready ones, then
+// idle ready ones, then busy ones (which retire after their current job).
+func (d *Deployment) condemn(k int) {
+	mark := func(pred func(*instance) bool) {
+		for i := len(d.instances) - 1; i >= 0 && k > 0; i-- {
+			in := d.instances[i]
+			if !in.condemned && pred(in) {
+				in.condemned = true
+				k--
+			}
+		}
+	}
+	mark(func(in *instance) bool { return !in.ready })
+	mark(func(in *instance) bool { return in.ready && !in.busy })
+	mark(func(in *instance) bool { return true })
+	d.gc()
+}
+
+// gc drops condemned idle instances from the slice.
+func (d *Deployment) gc() {
+	kept := d.instances[:0]
+	for _, in := range d.instances {
+		if in.condemned && !in.busy {
+			continue
+		}
+		kept = append(kept, in)
+	}
+	d.instances = kept
+}
+
+// --- Deployment: serving ---------------------------------------------------
+
+func (d *Deployment) enqueue(j *job) {
+	d.arrivals.Add(d.cl.Eng.Now(), 1)
+	d.queue = append(d.queue, j)
+	d.dispatch()
+}
+
+func (d *Deployment) freeInstance() *instance {
+	for _, in := range d.instances {
+		if in.ready && !in.busy && !in.condemned {
+			return in
+		}
+	}
+	return nil
+}
+
+func (d *Deployment) dispatch() {
+	for len(d.queue) > 0 {
+		in := d.freeInstance()
+		if in == nil {
+			return
+		}
+		j := d.queue[0]
+		d.queue = d.queue[1:]
+		in.busy = true
+		j.exec(in, d.cl.Eng.Now()-j.enqueuedAt)
+	}
+}
+
+// sampleServiceTime draws the service time in seconds at the current
+// per-instance quota, and returns the CPU-seconds consumed.
+func (d *Deployment) sampleServiceTime() (svcS, cpuS float64) {
+	q := d.perInstanceQuota()
+	work := d.Service.WorkMS
+	if d.contention > 1 {
+		work *= d.contention
+	}
+	mean := work * 1000 / q // ms
+	cv := d.Service.CV
+	var workMS float64
+	if cv <= 0 {
+		workMS = mean
+	} else {
+		sigma2 := math.Log(1 + cv*cv)
+		mu := math.Log(mean) - sigma2/2
+		workMS = math.Exp(mu + math.Sqrt(sigma2)*d.cl.Eng.Rand().NormFloat64())
+	}
+	svcS = (d.Service.BaseMS + workMS) / 1000
+	cpuS = workMS / 1000 * q / 1000 // CPU-seconds at q millicores
+	return svcS, cpuS
+}
+
+func (d *Deployment) release(in *instance) {
+	in.busy = false
+	if in.condemned {
+		d.gc()
+		d.recordCounts()
+	}
+	d.dispatch()
+}
+
+// --- Telemetry accessors ---------------------------------------------------
+
+// Utilization returns the deployment's mean CPU utilization over
+// [now-window, now]: CPU-seconds consumed divided by quota-seconds available
+// (mean ready replicas × per-instance quota × window). This is what the K8s
+// HPA's CPU metric reads.
+func (d *Deployment) Utilization(window float64) float64 {
+	now := d.cl.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	if now <= from {
+		return 0
+	}
+	used := 0.0
+	for _, v := range d.cpuWork.Since(from, now) {
+		used += v
+	}
+	meanReady := d.readySeries.Mean(from, now)
+	if meanReady < 1 {
+		meanReady = 1
+	}
+	avail := meanReady * d.perInstanceQuota() / 1000 * (now - from)
+	if avail <= 0 {
+		return 0
+	}
+	return used / avail
+}
+
+// CPUPerRequestMS returns the mean CPU consumed per request over the
+// trailing window, in millicore·seconds per request ×1000 (i.e. cpu-ms).
+// This is the per-service demand signal a cAdvisor-style collector
+// observes; it returns 0 when no request completed in the window.
+func (d *Deployment) CPUPerRequestMS(window float64) float64 {
+	now := d.cl.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	vals := d.cpuWork.Since(from, now)
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals)) * 1000
+}
+
+// ArrivalRate returns the perceived workload in requests/s over the trailing
+// window (the per-microservice workload of Fig 7).
+func (d *Deployment) ArrivalRate(window float64) float64 {
+	now := d.cl.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	if now <= from {
+		return 0
+	}
+	return float64(d.arrivals.Count(from, now)) / (now - from)
+}
+
+// SelfLatencyQuantile returns the q-quantile of this service's queue+service
+// latency (seconds) over the trailing window.
+func (d *Deployment) SelfLatencyQuantile(q, window float64) float64 {
+	now := d.cl.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	return d.selfLat.Quantile(q, from, now)
+}
+
+// ReadySeries returns the ready-instance-count time series.
+func (d *Deployment) ReadySeries() *metrics.Series { return d.readySeries }
+
+// TotalSeries returns the created-instance-count time series.
+func (d *Deployment) TotalSeries() *metrics.Series { return d.totalSeries }
+
+// ArrivalSeriesRate samples ArrivalRate-like data from recorded arrivals:
+// the request rate in [t-window, t].
+func (d *Deployment) ArrivalRateAt(t, window float64) float64 {
+	from := t - window
+	if from < 0 {
+		from = 0
+	}
+	if t <= from {
+		return 0
+	}
+	return float64(d.arrivals.Count(from, t)) / (t - from)
+}
+
+// TrimTelemetry drops telemetry older than before to bound memory in long
+// runs.
+func (d *Deployment) TrimTelemetry(before float64) {
+	d.cpuWork.Trim(before)
+	d.selfLat.Trim(before)
+	d.arrivals.Trim(before)
+}
+
+// E2ELatencyQuantile returns the q-quantile of end-to-end latency (seconds)
+// across all APIs over the trailing window.
+func (c *Cluster) E2ELatencyQuantile(q, window float64) float64 {
+	now := c.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	return c.e2eAll.Quantile(q, from, now)
+}
+
+// E2EWindow exposes the all-API end-to-end latency window.
+func (c *Cluster) E2EWindow() *metrics.Window { return c.e2eAll }
+
+// APILatencyQuantile returns the q-quantile of end-to-end latency (seconds)
+// for one API over the trailing window.
+func (c *Cluster) APILatencyQuantile(api string, q, window float64) float64 {
+	w, ok := c.e2e[api]
+	if !ok {
+		return 0
+	}
+	now := c.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	return w.Quantile(q, from, now)
+}
+
+// TotalInstances returns the number of non-condemned instances across all
+// deployments (ready + starting), the quantity Figures 2, 20 and 21 plot.
+func (c *Cluster) TotalInstances() int {
+	n := 0
+	for _, name := range c.names {
+		n += c.deps[name].Replicas()
+	}
+	return n
+}
+
+// RealizedQuota returns the CPU actually deployed for this service:
+// replicas × per-instance quota. For quota-driven scaling this is the
+// Eq. 7 round-up of the desired quota; for replica-driven scaling (HPA) it
+// reflects the live replica count.
+func (d *Deployment) RealizedQuota() float64 {
+	return float64(d.Replicas()) * d.perInstanceQuota()
+}
+
+// TotalRealizedQuota sums RealizedQuota over all deployments.
+func (c *Cluster) TotalRealizedQuota() float64 {
+	q := 0.0
+	for _, name := range c.names {
+		q += c.deps[name].RealizedQuota()
+	}
+	return q
+}
+
+// RealizedQuotas returns the per-service realized quota map.
+func (c *Cluster) RealizedQuotas() map[string]float64 {
+	out := make(map[string]float64, len(c.names))
+	for _, name := range c.names {
+		out[name] = c.deps[name].RealizedQuota()
+	}
+	return out
+}
+
+// PendingInstances returns the number of created-but-not-yet-ready
+// instances across all deployments.
+func (c *Cluster) PendingInstances() int {
+	n := 0
+	for _, name := range c.names {
+		d := c.deps[name]
+		n += d.Replicas() - d.ReadyReplicas()
+	}
+	return n
+}
+
+// TotalQuota returns the sum of desired quotas in millicores.
+func (c *Cluster) TotalQuota() float64 {
+	q := 0.0
+	for _, name := range c.names {
+		q += c.deps[name].quota
+	}
+	return q
+}
+
+// Quotas returns the per-service quota map (copy).
+func (c *Cluster) Quotas() map[string]float64 {
+	out := make(map[string]float64, len(c.names))
+	for _, name := range c.names {
+		out[name] = c.deps[name].quota
+	}
+	return out
+}
+
+// ApplyQuotas scales every deployment named in quotas.
+func (c *Cluster) ApplyQuotas(quotas map[string]float64) {
+	// Deterministic order.
+	names := make([]string, 0, len(quotas))
+	for n := range quotas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.Deployment(n).SetQuota(quotas[n])
+	}
+}
+
+// TrimTelemetry trims all deployments and e2e windows.
+func (c *Cluster) TrimTelemetry(before float64) {
+	for _, name := range c.names {
+		c.deps[name].TrimTelemetry(before)
+	}
+	c.e2eAll.Trim(before)
+	for _, w := range c.e2e {
+		w.Trim(before)
+	}
+	for _, w := range c.apiArrivals {
+		w.Trim(before)
+	}
+}
+
+// --- Request execution -----------------------------------------------------
+
+// Submit injects one request for the named API at the current simulated
+// time. onDone, if non-nil, receives the end-to-end latency in seconds when
+// the request completes.
+func (c *Cluster) Submit(api string, onDone func(latency float64)) {
+	ap := c.App.API(api)
+	if ap == nil {
+		panic(fmt.Sprintf("cluster: unknown API %q", api))
+	}
+	c.nextTraceID++
+	tid := c.nextTraceID
+	start := c.Eng.Now()
+	c.apiArrivals[api].Add(start, 1)
+	tr := &trace.Trace{ID: tid, API: api}
+	c.inFlight++
+	c.execCall(ap.Root, api, tid, "", tr, func() {
+		lat := c.Eng.Now() - start
+		c.e2e[api].Add(c.Eng.Now(), lat)
+		c.e2eAll.Add(c.Eng.Now(), lat)
+		c.traces.Collect(*tr)
+		c.inFlight--
+		if onDone != nil {
+			onDone(lat)
+		}
+		if c.inFlight == 0 && c.onDoneDrain != nil {
+			c.onDoneDrain()
+		}
+	})
+}
+
+// execCall runs one Call node: Times() sequential repetitions of
+// (queue → service → stages), then done.
+func (c *Cluster) execCall(call *app.Call, api string, tid int64, parent string, tr *trace.Trace, done func()) {
+	d := c.Deployment(call.Service)
+	reps := call.Times()
+	var runRep func(rep int)
+	runRep = func(rep int) {
+		if rep == reps {
+			done()
+			return
+		}
+		enq := c.Eng.Now()
+		d.enqueue(&job{
+			enqueuedAt: enq,
+			exec: func(in *instance, queued float64) {
+				svcS, cpuS := d.sampleServiceTime()
+				c.Eng.After(svcS, func() {
+					now := c.Eng.Now()
+					d.cpuWork.Add(now, cpuS)
+					d.selfLat.Add(now, queued+svcS)
+					d.release(in)
+					// Service work done; run stages, then record span.
+					c.runStages(call, 0, api, tid, tr, func() {
+						tr.Spans = append(tr.Spans, trace.Span{
+							TraceID: tid, API: api,
+							Service: call.Service, Parent: parent,
+							Start: enq, End: c.Eng.Now(), Queue: queued,
+						})
+						runRep(rep + 1)
+					})
+				})
+			},
+		})
+	}
+	runRep(0)
+}
+
+// runStages executes call.Stages[idx:] sequentially; within a stage all
+// children run in parallel.
+func (c *Cluster) runStages(call *app.Call, idx int, api string, tid int64, tr *trace.Trace, done func()) {
+	if idx == len(call.Stages) {
+		done()
+		return
+	}
+	stage := call.Stages[idx]
+	if len(stage) == 0 {
+		c.runStages(call, idx+1, api, tid, tr, done)
+		return
+	}
+	remaining := len(stage)
+	for _, child := range stage {
+		c.execCall(child, api, tid, call.Service, tr, func() {
+			remaining--
+			if remaining == 0 {
+				c.runStages(call, idx+1, api, tid, tr, done)
+			}
+		})
+	}
+}
+
+// OnDrain registers fn to run whenever in-flight requests reach zero.
+func (c *Cluster) OnDrain(fn func()) { c.onDoneDrain = fn }
+
+// InjectContention slows the named service's CPU work by factor (> 1) for
+// duration seconds, simulating the unexpected resource interference of §6:
+// latency spikes with no change in workload or allocated quota. Overlapping
+// injections keep the largest factor until both expire.
+func (c *Cluster) InjectContention(svc string, factor, duration float64) {
+	d := c.Deployment(svc)
+	if factor <= 1 {
+		return
+	}
+	prev := d.contention
+	if factor > prev {
+		d.contention = factor
+	}
+	c.Eng.After(duration, func() {
+		if d.contention == factor {
+			d.contention = prev
+		}
+	})
+}
+
+// Contention returns the service's current contention factor (1 = none).
+func (d *Deployment) Contention() float64 {
+	if d.contention < 1 {
+		return 1
+	}
+	return d.contention
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graf/internal/app"
+	"graf/internal/sim"
+)
+
+// Conservation: every submitted request completes exactly once, across
+// random load levels, quota changes and scale-downs mid-flight.
+func TestRequestConservationProperty(t *testing.T) {
+	f := func(seed int64, rateRaw, scaleRaw uint8) bool {
+		rate := 5 + float64(rateRaw%60)
+		eng := sim.NewEngine(seed)
+		cl := New(eng, app.OnlineBoutique(), DefaultConfig())
+		submitted, completed := 0, 0
+		for i := 0; i < 150; i++ {
+			at := float64(i) / rate
+			eng.At(at, func() {
+				submitted++
+				cl.Submit("cart", func(float64) { completed++ })
+			})
+		}
+		// Random scaling churn while requests are in flight.
+		for i := 0; i < 5; i++ {
+			at := float64(i) * 150 / rate / 5
+			n := 1 + int(scaleRaw)%6
+			eng.At(at, func() {
+				cl.Deployment("cart").SetReplicas(n)
+				cl.Deployment("frontend").SetQuota(float64(100 + 200*n))
+			})
+		}
+		eng.Run()
+		return submitted == 150 && completed == 150 && cl.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every completed request leaves a full trace whose visit counts match the
+// API's declared call tree.
+func TestTraceCompletenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		eng := sim.NewEngine(seed)
+		a := app.SocialNetwork()
+		cl := New(eng, a, DefaultConfig())
+		const n = 40
+		for i := 0; i < n; i++ {
+			at := float64(i) / 10
+			eng.At(at, func() { cl.Submit("compose-post", nil) })
+		}
+		eng.Run()
+		traces := cl.Traces().Traces("compose-post")
+		if len(traces) != n {
+			return false
+		}
+		want := a.Visits("compose-post")
+		for _, tr := range traces {
+			got := tr.Visits()
+			for svc, w := range want {
+				if float64(got[svc]) != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(78))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Span timestamps nest correctly: children start after (or at) their
+// parent's start and finish before the root finishes.
+func TestSpanNesting(t *testing.T) {
+	eng := sim.NewEngine(9)
+	cl := New(eng, app.Bookinfo(), DefaultConfig())
+	for i := 0; i < 20; i++ {
+		at := float64(i)
+		eng.At(at, func() { cl.Submit("productpage", nil) })
+	}
+	eng.Run()
+	for _, tr := range cl.Traces().Traces("productpage") {
+		var rootStart, rootEnd float64
+		for _, s := range tr.Spans {
+			if s.Parent == "" {
+				rootStart, rootEnd = s.Start, s.End
+			}
+		}
+		for _, s := range tr.Spans {
+			if s.Start < rootStart-1e-9 || s.End > rootEnd+1e-9 {
+				t.Fatalf("span %s [%v,%v] escapes root [%v,%v]", s.Service, s.Start, s.End, rootStart, rootEnd)
+			}
+			if s.End < s.Start {
+				t.Fatalf("span %s ends before it starts", s.Service)
+			}
+			if s.Queue < 0 || s.Queue > s.End-s.Start+1e-9 {
+				t.Fatalf("span %s queue time %v outside duration", s.Service, s.Queue)
+			}
+		}
+	}
+}
+
+// Utilization is always within [0, ~1]: the accounting can briefly read
+// slightly above 1 at window edges but must never be wildly off.
+func TestUtilizationBounded(t *testing.T) {
+	eng := sim.NewEngine(10)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	for i := 0; i < 2000; i++ {
+		at := float64(i) / 100 // 100 rps: far above one instance's capacity
+		eng.At(at, func() { cl.Submit("catalogue", nil) })
+	}
+	stop := eng.Ticker(1, 1, func() {
+		for _, name := range cl.App.ServiceNames() {
+			u := cl.Deployment(name).Utilization(5)
+			if u < 0 || u > 1.25 {
+				t.Fatalf("%s utilization %v out of bounds at t=%v", name, u, eng.Now())
+			}
+		}
+	})
+	eng.RunUntil(20)
+	stop()
+	eng.Run()
+}
+
+// RealizedQuota ≥ desired quota (Eq. 7 rounds up) and equals
+// replicas × per-instance quota.
+func TestRealizedQuotaProperty(t *testing.T) {
+	f := func(qRaw uint16) bool {
+		quota := 20 + float64(qRaw%4000)
+		eng := sim.NewEngine(3)
+		cl := New(eng, app.RobotShop(), DefaultConfig())
+		d := cl.Deployment("web")
+		d.SetQuota(quota)
+		eng.Run()
+		rq := d.RealizedQuota()
+		// Above one unit, realized ≥ desired; below, realized = clamped desired.
+		if quota >= cl.Cfg.CPUUnit {
+			return rq >= quota-1e-9
+		}
+		return rq >= cl.Cfg.MinQuota-1e-9 && rq <= cl.Cfg.CPUUnit+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(79))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPendingInstances(t *testing.T) {
+	eng := sim.NewEngine(11)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	cl.Deployment("web").SetReplicas(5)
+	if got := cl.PendingInstances(); got != 4 {
+		t.Errorf("PendingInstances = %d, want 4", got)
+	}
+	eng.RunUntil(60)
+	if got := cl.PendingInstances(); got != 0 {
+		t.Errorf("PendingInstances after startup = %d, want 0", got)
+	}
+}
+
+func TestCPUPerRequestMS(t *testing.T) {
+	eng := sim.NewEngine(12)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	for i := 0; i < 100; i++ {
+		at := float64(i) / 5
+		eng.At(at, func() { cl.Submit("catalogue", nil) })
+	}
+	eng.Run()
+	// catalogue WorkMS = 11 cpu-ms; lognormal mean preserved.
+	got := cl.Deployment("catalogue").CPUPerRequestMS(eng.Now())
+	if got < 7 || got > 16 {
+		t.Errorf("CPUPerRequestMS = %v, want ≈11", got)
+	}
+	if cl.Deployment("web").CPUPerRequestMS(0.0001) != 0 {
+		t.Error("empty window must return 0")
+	}
+}

@@ -1,0 +1,97 @@
+// Package core implements the GRAF framework itself (§3): the state and
+// trace collector, the workload analyzer, the state-aware sample collector
+// with Algorithm 1's search-space reduction, the gradient-descent
+// configuration solver over the trained latency model, the resource
+// controller, and the end-to-end proactive control loop.
+package core
+
+import (
+	"sort"
+
+	"graf/internal/app"
+	"graf/internal/trace"
+)
+
+// LatencyModel is the trained Latency Prediction Model contract (§3.4). It
+// is satisfied by *gnn.Model; tests also satisfy it with analytic oracles.
+type LatencyModel interface {
+	// Predict returns end-to-end tail latency in seconds for per-node
+	// workloads (req/s) and CPU quotas (millicores).
+	Predict(load, quota []float64) float64
+	// PredictGrad additionally returns ∂latency/∂quota per node.
+	PredictGrad(load, quota []float64) (latency float64, dQuota []float64)
+}
+
+// Analyzer is the Workload Analyzer (§3.3): it converts front-end per-API
+// workloads into the per-microservice workload distribution that forms the
+// GNN's node states, using the 90th-percentile visit counts extracted from
+// tracing data.
+type Analyzer struct {
+	App *app.App
+
+	// VisitQuantile selects which quantile of per-trace visit counts
+	// represents an API's behaviour (paper: 0.90).
+	VisitQuantile float64
+
+	// profiles[api][service] is the visit multiplicity learned from traces.
+	profiles map[string]map[string]float64
+}
+
+// NewAnalyzer returns an analyzer for application a with the paper's 90th
+// percentile visit extraction.
+func NewAnalyzer(a *app.App) *Analyzer {
+	return &Analyzer{App: a, VisitQuantile: 0.90, profiles: map[string]map[string]float64{}}
+}
+
+// Refresh re-derives per-API visit profiles from collected traces. APIs with
+// no traces yet fall back to the application's declared call tree, so the
+// analyzer degrades gracefully during cold start.
+func (an *Analyzer) Refresh(tc *trace.Collector) {
+	for _, api := range an.App.APIs {
+		if p := tc.VisitProfile(api.Name, an.VisitQuantile); p != nil {
+			an.profiles[api.Name] = p
+		}
+	}
+}
+
+// visits returns the visit profile for api, preferring traced data.
+func (an *Analyzer) visits(api string) map[string]float64 {
+	if p, ok := an.profiles[api]; ok {
+		return p
+	}
+	return an.App.Visits(api)
+}
+
+// Distribute converts per-API frontend rates into the per-service workload
+// vector (indexed like App.Services) the latency model consumes.
+func (an *Analyzer) Distribute(apiRates map[string]float64) []float64 {
+	load := make([]float64, len(an.App.Services))
+	// Deterministic iteration.
+	apis := make([]string, 0, len(apiRates))
+	for api := range apiRates {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
+	for _, api := range apis {
+		rate := apiRates[api]
+		if rate <= 0 {
+			continue
+		}
+		for svc, mult := range an.visits(api) {
+			if i := an.App.ServiceIndex(svc); i >= 0 {
+				load[i] += rate * mult
+			}
+		}
+	}
+	return load
+}
+
+// DistributeMap is Distribute keyed by service name.
+func (an *Analyzer) DistributeMap(apiRates map[string]float64) map[string]float64 {
+	load := an.Distribute(apiRates)
+	out := make(map[string]float64, len(load))
+	for i, name := range an.App.ServiceNames() {
+		out[name] = load[i]
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"graf/internal/cluster"
+)
+
+// AnomalyMitigator implements the paper's §6 direction of "actively
+// removing contention anomalies": GRAF minimizes quota for the given
+// workload, which leaves no slack for unexpected resource interference.
+// The mitigator watches each microservice's self-latency; a spike over the
+// short window relative to its longer baseline — with the arrival rate
+// roughly unchanged, so it is not a workload effect GRAF would handle — is
+// attributed to contention, and the service temporarily receives extra
+// quota until the spike clears.
+type AnomalyMitigatorConfig struct {
+	IntervalS    float64 // check period
+	ShortWindowS float64 // spike detection window
+	LongWindowS  float64 // baseline window
+	SpikeFactor  float64 // short/long p95 ratio that flags an anomaly
+	RateTol      float64 // max relative arrival-rate change still "unchanged"
+	BoostQuota   float64 // extra millicores added per firing
+	MaxBoost     float64 // cap on accumulated extra quota per service
+}
+
+// DefaultAnomalyMitigatorConfig returns the settings used in the tests and
+// the ablation bench.
+func DefaultAnomalyMitigatorConfig() AnomalyMitigatorConfig {
+	return AnomalyMitigatorConfig{
+		IntervalS:    5,
+		ShortWindowS: 10,
+		LongWindowS:  120,
+		SpikeFactor:  1.8,
+		RateTol:      0.25,
+		BoostQuota:   250,
+		MaxBoost:     2000,
+	}
+}
+
+// AnomalyMitigator is the runtime component.
+type AnomalyMitigator struct {
+	Cluster *cluster.Cluster
+	Cfg     AnomalyMitigatorConfig
+
+	extra map[string]float64 // quota added by the mitigator per service
+	fired int
+	stop  func()
+}
+
+// NewAnomalyMitigator returns a mitigator for every microservice of c.
+func NewAnomalyMitigator(c *cluster.Cluster, cfg AnomalyMitigatorConfig) *AnomalyMitigator {
+	return &AnomalyMitigator{Cluster: c, Cfg: cfg, extra: map[string]float64{}}
+}
+
+// Start begins the check loop.
+func (m *AnomalyMitigator) Start() {
+	m.stop = m.Cluster.Eng.Ticker(m.Cluster.Eng.Now()+m.Cfg.IntervalS, m.Cfg.IntervalS, m.Step)
+}
+
+// Stop halts the check loop.
+func (m *AnomalyMitigator) Stop() {
+	if m.stop != nil {
+		m.stop()
+	}
+}
+
+// Fired returns how many boost actions the mitigator has taken.
+func (m *AnomalyMitigator) Fired() int { return m.fired }
+
+// Extra returns the quota currently added for the named service.
+func (m *AnomalyMitigator) Extra(svc string) float64 { return m.extra[svc] }
+
+// Step performs one detection pass across all deployments.
+func (m *AnomalyMitigator) Step() {
+	for _, name := range m.Cluster.App.ServiceNames() {
+		d := m.Cluster.Deployment(name)
+		short := d.SelfLatencyQuantile(0.95, m.Cfg.ShortWindowS)
+		long := d.SelfLatencyQuantile(0.95, m.Cfg.LongWindowS)
+		rShort := d.ArrivalRate(m.Cfg.ShortWindowS)
+		rLong := d.ArrivalRate(m.Cfg.LongWindowS)
+		if long <= 0 || rLong <= 0 {
+			continue
+		}
+		rateShift := (rShort - rLong) / rLong
+		if rateShift < 0 {
+			rateShift = -rateShift
+		}
+		spiking := short > long*m.Cfg.SpikeFactor && rateShift <= m.Cfg.RateTol
+		switch {
+		case spiking && m.extra[name] < m.Cfg.MaxBoost:
+			m.extra[name] += m.Cfg.BoostQuota
+			m.fired++
+			d.SetQuota(d.Quota() + m.Cfg.BoostQuota)
+		case !spiking && m.extra[name] > 0 && short <= long*1.1:
+			// Spike cleared: return the borrowed quota.
+			give := m.extra[name]
+			m.extra[name] = 0
+			q := d.Quota() - give
+			if q < m.Cfg.BoostQuota {
+				q = m.Cfg.BoostQuota
+			}
+			d.SetQuota(q)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"graf/internal/app"
+)
+
+// Calibration maps analytic end-to-end labels onto the simulator's scale
+// with a log-linear fit ln(sim) = A + B·ln(analytic). A single scalar ratio
+// is not enough: in well-provisioned regions the analytic sum-of-quantiles
+// composition over-estimates the simulator (ratio ≈ 0.5) while near the SLO
+// boundary queueing correlations push the ratio above 1 — and the boundary
+// is exactly where the solver operates.
+type Calibration struct {
+	A, B float64
+}
+
+// Identity is the no-op calibration.
+func IdentityCalibration() Calibration { return Calibration{A: 0, B: 1} }
+
+// Apply maps one analytic latency (seconds) onto the calibrated scale.
+func (c Calibration) Apply(analytic float64) float64 {
+	if analytic <= 0 {
+		return analytic
+	}
+	return math.Exp(c.A + c.B*math.Log(analytic))
+}
+
+// Calibrate fits the log-linear map from probe configurations spanning the
+// whole search space and workload range, discarding probes where either
+// measurer saturates beyond maxLat (their ratios are artifacts of the
+// analytic saturation penalty). It needs ~2·probes simulator runs: one
+// analytic and one simulated measurement per kept probe.
+func Calibrate(a *app.App, b Bounds, rateLo, rateHi, maxLat float64, probes int, seed int64) Calibration {
+	ident := IdentityCalibration()
+	if probes <= 0 {
+		return ident
+	}
+	ana := NewAnalyticMeasurer(a, 0, seed)
+	simm := NewSimMeasurer(a, seed+1)
+	rng := rand.New(rand.NewSource(seed + 2))
+	names := a.ServiceNames()
+	var xs, ys []float64
+	for p := 0; p < probes*5 && len(xs) < probes; p++ {
+		quotas := map[string]float64{}
+		for i, s := range names {
+			quotas[s] = b.Lo[i] + rng.Float64()*(b.Hi[i]-b.Lo[i])
+		}
+		rate := rateLo + rng.Float64()*(rateHi-rateLo)
+		av := ana.MeasureE2E(quotas, rate)
+		sv := simm.MeasureE2E(quotas, rate)
+		if av <= 0 || sv <= 0 || av > maxLat || sv > maxLat {
+			continue
+		}
+		xs = append(xs, math.Log(av))
+		ys = append(ys, math.Log(sv))
+	}
+	if len(xs) < 4 {
+		return ident
+	}
+	// Ordinary least squares in log space.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return ident
+	}
+	bHat := (n*sxy - sx*sy) / den
+	// A slope well below 1 compresses the label range and erases the
+	// saturation gradient the solver needs; keep a floor on it.
+	if bHat < 0.7 {
+		bHat = 0.7
+	}
+	if bHat > 2.5 {
+		bHat = 2.5
+	}
+	aHat := (sy - bHat*sx) / n
+	return Calibration{A: aHat, B: bHat}
+}
+
+// CalibratedMeasurer applies a Calibration to an AnalyticMeasurer's
+// end-to-end labels, so bulk sample collection stays cheap while labels
+// track what the simulator will actually measure.
+type CalibratedMeasurer struct {
+	*AnalyticMeasurer
+	Cal Calibration
+}
+
+// MeasureE2E implements Measurer.
+func (c CalibratedMeasurer) MeasureE2E(quotas map[string]float64, totalRate float64) float64 {
+	return c.Cal.Apply(c.AnalyticMeasurer.MeasureE2E(quotas, totalRate))
+}

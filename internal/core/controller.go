@@ -1,0 +1,225 @@
+package core
+
+import (
+	"graf/internal/cluster"
+)
+
+// ControllerConfig parameterizes the end-to-end GRAF control loop (§3.6,
+// §3.8).
+type ControllerConfig struct {
+	// IntervalS is the decision interval in seconds. GRAF solves
+	// synchronously to workload change; the interval only bounds how often
+	// the front-end rate is re-read.
+	IntervalS float64
+
+	// RateWindowS is the trailing window over which front-end per-API
+	// rates are observed. Short windows make the controller proactive:
+	// the surge is visible within seconds at the front end even though
+	// deep services have not yet perceived it.
+	RateWindowS float64
+
+	// SLO is the end-to-end tail-latency objective in seconds.
+	SLO float64
+
+	// TrainedMinRate and TrainedMaxRate bound the total front-end rates
+	// covered by the training set. Workloads outside the region are
+	// scaled into it before solving and the resulting quotas scaled back
+	// proportionally (§3.6, "Scaling workload and instances"), assuming
+	// load is evenly distributed over instances. Scaling down matters as
+	// much as scaling up: Algorithm 1's lower bounds are probed at a
+	// substantial workload, so light traffic must shrink quotas below
+	// them rather than sit on the bound. Zero disables either direction.
+	TrainedMinRate float64
+	TrainedMaxRate float64
+
+	// Hysteresis is the relative front-end rate change below which the
+	// previous configuration is kept (avoids churn from rate noise).
+	Hysteresis float64
+
+	// MinTotalRate is the observed-rate floor below which no decision is
+	// made at all: with no traffic there is no workload signal, and
+	// solving for a near-zero rate would tear down a standing deployment
+	// (e.g. right after the controller attaches to a warm cluster).
+	MinTotalRate float64
+
+	// DemandFloorUtil adds a capacity guardrail to every solve: each
+	// service's quota is floored at (per-service arrival rate × measured
+	// CPU per request) / DemandFloorUtil, with the CPU-per-request signal
+	// read from the cluster's telemetry (the cAdvisor data the state
+	// collector already observes, §3.2). The latency model alone cannot
+	// be trusted to never dip below raw CPU demand — a configuration
+	// below demand diverges no matter what the model predicted. 0
+	// disables the floor.
+	DemandFloorUtil float64
+
+	// ViolationBoost is a reactive guardrail beyond the paper's design:
+	// when the measured tail latency violates the SLO, the last applied
+	// quotas are multiplied by this factor until the violation clears,
+	// then the proactive path resumes. It exists for closed-loop
+	// saturation, where the front-end arrival rate equals the
+	// capacity-throttled throughput and therefore under-reports demand —
+	// without the guardrail the controller can converge to a starved
+	// fixed point. 1 (or 0) disables it.
+	ViolationBoost float64
+
+	Solver SolverConfig
+}
+
+// DefaultControllerConfig returns the loop settings used in the evaluation.
+func DefaultControllerConfig(slo float64) ControllerConfig {
+	return ControllerConfig{
+		IntervalS:       5,
+		RateWindowS:     10,
+		SLO:             slo,
+		TrainedMaxRate:  0, // 0 = no workload scaling
+		Hysteresis:      0.12,
+		MinTotalRate:    1,
+		DemandFloorUtil: 0.85,
+		ViolationBoost:  1.5,
+		Solver:          DefaultSolverConfig(),
+	}
+}
+
+// Controller is GRAF's runtime: every interval it reads the front-end
+// workload, distributes it over the graph with the Workload Analyzer, runs
+// the Configuration Solver through the trained model, and applies the
+// resulting quotas to the cluster — for every microservice at once, which
+// is what avoids the cascading effect.
+type Controller struct {
+	Cluster  *cluster.Cluster
+	Model    LatencyModel
+	Analyzer *Analyzer
+	Bounds   Bounds
+	Cfg      ControllerConfig
+
+	lastRate   float64
+	lastSLO    float64
+	lastQuotas map[string]float64
+	solves     int
+	boosts     int
+	stop       func()
+
+	// OnDecision, if set, observes every applied configuration.
+	OnDecision func(t float64, totalRate float64, sol Solution)
+}
+
+// NewController wires a controller. The bounds come from Algorithm 1.
+func NewController(cl *cluster.Cluster, m LatencyModel, an *Analyzer, b Bounds, cfg ControllerConfig) *Controller {
+	return &Controller{Cluster: cl, Model: m, Analyzer: an, Bounds: b, Cfg: cfg}
+}
+
+// Solves returns how many times the solver has run.
+func (c *Controller) Solves() int { return c.solves }
+
+// Boosts returns how many times the SLO-violation guardrail fired.
+func (c *Controller) Boosts() int { return c.boosts }
+
+// Start begins the control loop at the current simulated time.
+func (c *Controller) Start() {
+	c.stop = c.Cluster.Eng.Ticker(c.Cluster.Eng.Now()+0.001, c.Cfg.IntervalS, c.Step)
+}
+
+// Stop halts the control loop.
+func (c *Controller) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+// Step executes one decision: observe → analyze → solve → apply. Exposed so
+// experiments can drive decisions at exact instants.
+func (c *Controller) Step() {
+	// Reactive guardrail: under a measured SLO violation the arrival rate
+	// under-reports demand (closed-loop throttling), so grow the current
+	// configuration instead of re-solving on a starved signal.
+	if c.Cfg.ViolationBoost > 1 {
+		p99 := c.Cluster.E2ELatencyQuantile(0.99, c.Cfg.RateWindowS)
+		if p99 > c.Cfg.SLO*1.1 {
+			c.lastRate = 0 // force a fresh solve once the violation clears
+			// Wait until the previous scale-up has fully materialized:
+			// boosting faster than instances start compounds into huge
+			// overshoot.
+			if c.Cluster.PendingInstances() > 0 {
+				return
+			}
+			if c.lastQuotas == nil {
+				c.lastQuotas = c.Cluster.Quotas()
+			}
+			for k := range c.lastQuotas {
+				c.lastQuotas[k] *= c.Cfg.ViolationBoost
+			}
+			c.Cluster.ApplyQuotas(c.lastQuotas)
+			c.boosts++
+			return
+		}
+	}
+	rates := c.Cluster.APIArrivalRates(c.Cfg.RateWindowS)
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	if total < c.Cfg.MinTotalRate {
+		return
+	}
+	if c.lastRate > 0 && c.lastSLO == c.Cfg.SLO {
+		rel := (total - c.lastRate) / c.lastRate
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel < c.Cfg.Hysteresis {
+			return
+		}
+	}
+	c.lastRate, c.lastSLO = total, c.Cfg.SLO
+
+	// Workload scaling (§3.6): solve inside the trained region, scale the
+	// configuration back proportionally in either direction.
+	scale := 1.0
+	switch {
+	case c.Cfg.TrainedMaxRate > 0 && total > c.Cfg.TrainedMaxRate:
+		scale = total / c.Cfg.TrainedMaxRate
+	case c.Cfg.TrainedMinRate > 0 && total < c.Cfg.TrainedMinRate:
+		scale = total / c.Cfg.TrainedMinRate
+	}
+	if scale != 1 {
+		scaled := make(map[string]float64, len(rates))
+		for k, v := range rates {
+			scaled[k] = v / scale
+		}
+		rates = scaled
+	}
+
+	c.Analyzer.Refresh(c.Cluster.Traces())
+	load := c.Analyzer.Distribute(rates)
+
+	// Capacity guardrail: never solve below measured CPU demand.
+	lo := c.Bounds.Lo
+	hi := c.Bounds.Hi
+	if c.Cfg.DemandFloorUtil > 0 {
+		lo = append([]float64(nil), c.Bounds.Lo...)
+		hi = append([]float64(nil), c.Bounds.Hi...)
+		for i, name := range c.Cluster.App.ServiceNames() {
+			cpuMS := c.Cluster.Deployment(name).CPUPerRequestMS(c.Cfg.RateWindowS * 3)
+			// req/s × cpu-ms/req = cpu-ms/s = millicores of demand.
+			floor := load[i] * cpuMS / c.Cfg.DemandFloorUtil
+			if floor > lo[i] {
+				lo[i] = floor
+			}
+			if lo[i] > hi[i] {
+				hi[i] = lo[i]
+			}
+		}
+	}
+	sol := Solve(c.Model, load, c.Cfg.SLO, lo, hi, c.Cfg.Solver)
+	c.solves++
+
+	quotas := make(map[string]float64, len(sol.Quotas))
+	for i, name := range c.Cluster.App.ServiceNames() {
+		quotas[name] = sol.Quotas[i] * scale
+	}
+	c.Cluster.ApplyQuotas(quotas)
+	c.lastQuotas = quotas
+	if c.OnDecision != nil {
+		c.OnDecision(c.Cluster.Eng.Now(), total, sol)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/cluster"
+	"graf/internal/sim"
+	"graf/internal/workload"
+)
+
+// hyperbola is an analytic latency oracle L(w,r) = Σᵢ aᵢ·wᵢ/rᵢ + c with an
+// exact gradient and a closed-form constrained optimum, used to validate
+// the solver independently of GNN training quality.
+type hyperbola struct {
+	a []float64 // seconds·millicore per (req/s)
+	c float64
+}
+
+func (h hyperbola) Predict(load, quota []float64) float64 {
+	sum := h.c
+	for i := range quota {
+		sum += h.a[i] * load[i] / quota[i]
+	}
+	return sum
+}
+
+func (h hyperbola) PredictGrad(load, quota []float64) (float64, []float64) {
+	g := make([]float64, len(quota))
+	for i := range quota {
+		g[i] = -h.a[i] * load[i] / (quota[i] * quota[i])
+	}
+	return h.Predict(load, quota), g
+}
+
+func TestAnalyzerFallbackMatchesGroundTruth(t *testing.T) {
+	a := app.OnlineBoutique()
+	an := NewAnalyzer(a)
+	rates := map[string]float64{"cart": 10, "home": 5}
+	load := an.DistributeMap(rates)
+	want := a.PerServiceRate(rates)
+	for svc, w := range want {
+		if math.Abs(load[svc]-w) > 1e-9 {
+			t.Errorf("%s: load %v, want %v", svc, load[svc], w)
+		}
+	}
+}
+
+func TestAnalyzerLearnsFromTraces(t *testing.T) {
+	a := app.OnlineBoutique()
+	eng := sim.NewEngine(3)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	for i := 0; i < 50; i++ {
+		at := float64(i)
+		eng.At(at, func() { cl.Submit("cart", nil) })
+	}
+	eng.Run()
+	an := NewAnalyzer(a)
+	an.Refresh(cl.Traces())
+	load := an.DistributeMap(map[string]float64{"cart": 10})
+	// Traced multiplicities must reproduce Count: 2 on currency.
+	if math.Abs(load["currency"]-20) > 1e-9 {
+		t.Errorf("traced currency load = %v, want 20", load["currency"])
+	}
+	if math.Abs(load["frontend"]-10) > 1e-9 {
+		t.Errorf("frontend load = %v, want 10", load["frontend"])
+	}
+}
+
+func TestReduceSearchSpace(t *testing.T) {
+	a := app.OnlineBoutique()
+	m := NewAnalyticMeasurer(a, 0, 1) // exact measurements for determinism
+	sc := NewSampleCollector(a, m, 0.150, 50)
+	b := sc.ReduceSearchSpace()
+	for i, name := range a.ServiceNames() {
+		if b.Lo[i] >= b.Hi[i] {
+			t.Errorf("%s: Lo %v >= Hi %v", name, b.Lo[i], b.Hi[i])
+		}
+		if b.Lo[i] < sc.MinQuota || b.Hi[i] > sc.HighQuota {
+			t.Errorf("%s: bounds [%v,%v] outside sweep range", name, b.Lo[i], b.Hi[i])
+		}
+	}
+	ratio := sc.VolumeRatio(b)
+	if ratio <= 0 || ratio >= 1 {
+		t.Errorf("volume ratio = %v, want in (0,1)", ratio)
+	}
+	// The paper reports ~2.7e-4 for Online Boutique; we only require a
+	// substantial reduction.
+	if ratio > 0.05 {
+		t.Errorf("volume ratio %v: search space barely reduced", ratio)
+	}
+}
+
+func TestCollectSamplesWithinBounds(t *testing.T) {
+	a := app.RobotShop()
+	m := NewAnalyticMeasurer(a, 0.05, 2)
+	sc := NewSampleCollector(a, m, 0.2, 40)
+	b := sc.ReduceSearchSpace()
+	samples := sc.Collect(50, 20, 60, b)
+	if len(samples) != 50 {
+		t.Fatalf("collected %d samples, want 50", len(samples))
+	}
+	for _, s := range samples {
+		if s.Latency <= 0 {
+			t.Fatal("non-positive label")
+		}
+		for i := range s.Quota {
+			if s.Quota[i] < b.Lo[i]-1e-9 || s.Quota[i] > b.Hi[i]+1e-9 {
+				t.Fatalf("quota %v outside bounds [%v,%v]", s.Quota[i], b.Lo[i], b.Hi[i])
+			}
+		}
+		if s.Load[0] <= 0 {
+			t.Fatal("zero load recorded")
+		}
+	}
+}
+
+func TestSimMeasurerAgreesWithAnalytic(t *testing.T) {
+	a := app.RobotShop()
+	simM := NewSimMeasurer(a, 3)
+	anaM := NewAnalyticMeasurer(a, 0, 4)
+	quotas := map[string]float64{"web": 1000, "catalogue": 1500}
+	s := simM.MeasureE2E(quotas, 40)
+	an := anaM.MeasureE2E(quotas, 40)
+	if s <= 0 || an <= 0 {
+		t.Fatalf("degenerate measurements: sim=%v analytic=%v", s, an)
+	}
+	if r := s / an; r < 0.3 || r > 3 {
+		t.Errorf("sim p99 %v vs analytic %v: ratio %v outside [0.3,3]", s, an, r)
+	}
+}
+
+func TestSolveReachesClosedFormOptimum(t *testing.T) {
+	// minimize Σr s.t. Σ aᵢwᵢ/rᵢ ≤ SLO → rᵢ* = √(aᵢwᵢ)·Σⱼ√(aⱼwⱼ)/SLO.
+	h := hyperbola{a: []float64{20, 5, 45}} // seconds·mc per rps
+	load := []float64{1, 1, 1}
+	slo := 0.150
+	sumSqrt := 0.0
+	for i := range h.a {
+		sumSqrt += math.Sqrt(h.a[i] * load[i])
+	}
+	want := make([]float64, 3)
+	for i := range want {
+		want[i] = math.Sqrt(h.a[i]*load[i]) * sumSqrt / slo
+	}
+	lo := []float64{50, 50, 50}
+	hi := []float64{5000, 5000, 5000}
+	cfg := DefaultSolverConfig()
+	cfg.MaxIters = 3000
+	sol := Solve(h, load, slo, lo, hi, cfg)
+	for i := range want {
+		rel := math.Abs(sol.Quotas[i]-want[i]) / want[i]
+		if rel > 0.08 {
+			t.Errorf("quota[%d] = %v, closed-form optimum %v (rel err %.3f)", i, sol.Quotas[i], want[i], rel)
+		}
+	}
+	if sol.Predicted > slo*1.02 {
+		t.Errorf("solution violates SLO: predicted %v > %v", sol.Predicted, slo)
+	}
+	if !sol.Converged {
+		t.Error("solver did not report convergence")
+	}
+}
+
+func TestSolveRespectsBounds(t *testing.T) {
+	h := hyperbola{a: []float64{10, 10}}
+	load := []float64{1, 1}
+	lo := []float64{400, 400}
+	hi := []float64{800, 800}
+	sol := Solve(h, load, 0.001 /*impossible SLO*/, lo, hi, DefaultSolverConfig())
+	for i := range sol.Quotas {
+		if sol.Quotas[i] < lo[i]-1e-9 || sol.Quotas[i] > hi[i]+1e-9 {
+			t.Errorf("quota[%d] = %v escaped [%v,%v]", i, sol.Quotas[i], lo[i], hi[i])
+		}
+	}
+	// Impossible SLO drives quotas to the upper bound.
+	if sol.Quotas[0] < hi[0]*0.98 {
+		t.Errorf("impossible SLO should saturate upper bound, got %v", sol.Quotas[0])
+	}
+}
+
+func TestSolveLooseSLOHitsLowerBound(t *testing.T) {
+	h := hyperbola{a: []float64{10, 10}}
+	load := []float64{1, 1}
+	lo := []float64{100, 100}
+	hi := []float64{3000, 3000}
+	sol := Solve(h, load, 10 /*trivially loose*/, lo, hi, DefaultSolverConfig())
+	for i := range sol.Quotas {
+		if sol.Quotas[i] > lo[i]*1.2 {
+			t.Errorf("loose SLO should drive quota[%d] to lower bound, got %v", i, sol.Quotas[i])
+		}
+	}
+}
+
+func TestLossAt(t *testing.T) {
+	h := hyperbola{a: []float64{10}}
+	load := []float64{1}
+	// No violation: loss = Σ r/1000.
+	if got := LossAt(h, load, []float64{1000}, 1, 100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("LossAt without violation = %v, want 1", got)
+	}
+	// With violation the penalty dominates.
+	loose := LossAt(h, load, []float64{1000}, 0.001, 100)
+	if loose <= 1 {
+		t.Errorf("violating LossAt = %v, want > 1", loose)
+	}
+}
+
+func TestControllerReactsToSurge(t *testing.T) {
+	a := app.OnlineBoutique()
+	eng := sim.NewEngine(9)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	// Oracle: per-node latency contribution grows with load; forces quota
+	// to scale with workload.
+	h := hyperbola{a: []float64{2, 2, 2, 2, 2, 2}, c: 0.01}
+	an := NewAnalyzer(a)
+	b := Bounds{
+		Lo: []float64{100, 100, 100, 100, 100, 100},
+		Hi: []float64{6000, 6000, 6000, 6000, 6000, 6000},
+	}
+	cfg := DefaultControllerConfig(0.150)
+	ctl := NewController(cl, h, an, b, cfg)
+	ctl.Start()
+
+	gen := workload.NewOpenLoop(cl, workload.StepRate(20, 200, 120))
+	gen.Start()
+	eng.RunUntil(115)
+	preQuota := cl.TotalQuota()
+	preSolves := ctl.Solves()
+	eng.RunUntil(140) // a few control intervals after the surge
+	postQuota := cl.TotalQuota()
+	gen.Stop()
+	ctl.Stop()
+	eng.RunUntil(200)
+
+	if ctl.Solves() <= preSolves {
+		t.Error("controller did not re-solve after the surge")
+	}
+	if postQuota < preQuota*2 {
+		t.Errorf("total quota %v → %v: controller did not scale up proactively", preQuota, postQuota)
+	}
+}
+
+func TestControllerHysteresisSkipsStableLoad(t *testing.T) {
+	a := app.RobotShop()
+	eng := sim.NewEngine(10)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	h := hyperbola{a: []float64{2, 2}, c: 0.01}
+	an := NewAnalyzer(a)
+	b := Bounds{Lo: []float64{100, 100}, Hi: []float64{4000, 4000}}
+	ctl := NewController(cl, h, an, b, DefaultControllerConfig(0.2))
+	ctl.Start()
+	gen := workload.NewOpenLoop(cl, workload.ConstRate(40))
+	gen.Start()
+	eng.RunUntil(300)
+	gen.Stop()
+	ctl.Stop()
+	eng.Run()
+	// ~60 ticks at 5s interval; hysteresis should have suppressed most.
+	if ctl.Solves() > 20 {
+		t.Errorf("solver ran %d times on stable load; hysteresis ineffective", ctl.Solves())
+	}
+	if ctl.Solves() == 0 {
+		t.Error("solver never ran")
+	}
+}
+
+func TestControllerWorkloadScaling(t *testing.T) {
+	a := app.RobotShop()
+	eng := sim.NewEngine(11)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	h := hyperbola{a: []float64{2, 2}, c: 0.005}
+	an := NewAnalyzer(a)
+	b := Bounds{Lo: []float64{100, 100}, Hi: []float64{3000, 3000}}
+	cfg := DefaultControllerConfig(0.1)
+	cfg.TrainedMaxRate = 50
+	cfg.ViolationBoost = 1 // this test checks the scaling arithmetic only
+	ctl := NewController(cl, h, an, b, cfg)
+	var solvedTotal float64
+	ctl.OnDecision = func(tm, total float64, sol Solution) { solvedTotal = sol.TotalQuota }
+	ctl.Start()
+	gen := workload.NewOpenLoop(cl, workload.ConstRate(150)) // 3× trained max
+	gen.Start()
+	eng.RunUntil(60)
+	gen.Stop()
+	ctl.Stop()
+	eng.Run()
+	if solvedTotal == 0 {
+		t.Fatal("no decision observed")
+	}
+	applied := cl.TotalQuota()
+	ratio := applied / solvedTotal
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("applied/solved quota ratio %v, want ≈3 (workload scaling)", ratio)
+	}
+}

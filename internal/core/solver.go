@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+
+	"graf/internal/nn"
+)
+
+// SolverConfig parameterizes the Configuration Solver (§3.5): gradient
+// descent with Adam over the per-microservice CPU quotas, with the trained
+// latency model acting as the SLO-violation detector in the penalty term of
+// Eq. 5.
+type SolverConfig struct {
+	// Rho is the penalty coefficient ρ of Eq. 5, in total-CPU units per
+	// second of SLO violation. It must dominate the resource term so the
+	// optimum sits at the SLO boundary rather than below it.
+	Rho float64
+
+	// LR is the Adam learning rate in kilocore units.
+	LR float64
+
+	// MaxIters bounds the descent; Tolerance stops it early once
+	// |loss_t − loss_{t−1}| stays below the threshold for PatienceIters
+	// consecutive iterations ("the configuration solver iterates until the
+	// tolerance ... is less than the predetermined threshold").
+	MaxIters      int
+	Tolerance     float64
+	PatienceIters int
+}
+
+// DefaultSolverConfig returns the solver settings used in the evaluation.
+func DefaultSolverConfig() SolverConfig {
+	return SolverConfig{
+		Rho:           200,
+		LR:            0.02,
+		MaxIters:      600,
+		Tolerance:     1e-4,
+		PatienceIters: 8,
+	}
+}
+
+// Solution is the solver's output.
+type Solution struct {
+	Quotas     []float64 // millicores per service
+	Predicted  float64   // model's latency estimate at Quotas (seconds)
+	TotalQuota float64   // Σ Quotas
+	Iterations int
+	Converged  bool
+	Loss       float64
+}
+
+// Solve minimizes Eq. 5
+//
+//	Loss(r) = Σᵢ rᵢ + ρ·max(0, L(w, r) − SLO)
+//
+// over the box [lo, hi] (Algorithm 1's reduced search space) by Adam,
+// starting from the upper bounds. Quotas are optimized in kilocores so the
+// resource and penalty terms are comparable. The returned quotas satisfy
+// the model's latency estimate ≤ SLO whenever the box admits it.
+func Solve(m LatencyModel, load []float64, sloSeconds float64, lo, hi []float64, cfg SolverConfig) Solution {
+	n := len(load)
+	if len(lo) != n || len(hi) != n {
+		panic("core: Solve bounds must match load length")
+	}
+	// Variables in kilocores, starting at the top of the box where
+	// predicted latency is lowest.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = hi[i] / 1000
+	}
+	quotas := make([]float64, n)
+	toQuotas := func() {
+		for i := range x {
+			q := x[i] * 1000
+			if q < lo[i] {
+				q = lo[i]
+			}
+			if q > hi[i] {
+				q = hi[i]
+			}
+			quotas[i] = q
+		}
+	}
+
+	opt := nn.NewVecAdam(cfg.LR, n)
+	grad := make([]float64, n)
+	// Convergence is detected on an exponentially smoothed loss: Adam's
+	// normalized steps oscillate around the optimum with amplitude ≈ LR,
+	// so the raw per-iteration delta never shrinks, but its mean does.
+	ema, prevEMA := math.Inf(1), math.Inf(1)
+	calm := 0
+	sol := Solution{}
+	var lastLoss float64
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		// Decay the step size over the run so the descent settles at the
+		// SLO boundary instead of oscillating across it.
+		if iter == cfg.MaxIters/2 {
+			opt.LR = cfg.LR * 0.2
+		}
+		if iter == cfg.MaxIters*3/4 {
+			opt.LR = cfg.LR * 0.04
+		}
+		toQuotas()
+		lat, dq := m.PredictGrad(load, quotas)
+		loss := 0.0
+		for i := range quotas {
+			loss += quotas[i] / 1000
+		}
+		viol := lat - sloSeconds
+		for i := range grad {
+			grad[i] = 1 // d(Σ r)/dx in kilocores
+			if viol > 0 {
+				grad[i] += cfg.Rho * dq[i] * 1000 // dq is per millicore
+			}
+		}
+		if viol > 0 {
+			loss += cfg.Rho * viol
+		}
+		opt.Step(x, grad)
+		// Project into the box (in kilocores).
+		for i := range x {
+			if x[i] < lo[i]/1000 {
+				x[i] = lo[i] / 1000
+			}
+			if x[i] > hi[i]/1000 {
+				x[i] = hi[i] / 1000
+			}
+		}
+		sol.Iterations = iter + 1
+		lastLoss = loss
+		if math.IsInf(ema, 1) {
+			ema = loss
+		} else {
+			ema = 0.9*ema + 0.1*loss
+		}
+		if math.Abs(ema-prevEMA) < cfg.Tolerance {
+			calm++
+			if calm >= cfg.PatienceIters {
+				sol.Converged = true
+				break
+			}
+		} else {
+			calm = 0
+		}
+		prevEMA = ema
+	}
+	toQuotas()
+	sol.Quotas = append([]float64(nil), quotas...)
+	sol.Predicted = m.Predict(load, quotas)
+	for _, q := range quotas {
+		sol.TotalQuota += q
+	}
+	sol.Loss = lastLoss
+	return sol
+}
+
+// LossAt evaluates Eq. 5 at a specific configuration — used by the Fig 12
+// heatmap and by diagnostics.
+func LossAt(m LatencyModel, load, quotas []float64, sloSeconds float64, rho float64) float64 {
+	loss := 0.0
+	for _, q := range quotas {
+		loss += q / 1000
+	}
+	if lat := m.Predict(load, quotas); lat > sloSeconds {
+		loss += rho * (lat - sloSeconds)
+	}
+	return loss
+}

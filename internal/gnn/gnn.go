@@ -1,0 +1,286 @@
+// Package gnn implements the paper's Latency Prediction Model (§3.4): a
+// message-passing neural network (MPNN, Eq. 3) over the microservice graph
+// followed by a fully connected readout that regresses end-to-end tail
+// latency from per-node (workload, CPU-quota) states.
+//
+// Two message-passing steps are performed, exactly as the paper specifies:
+// in step one a node's embedding is computed from its one-hop anterior
+// microservices' raw features; in step two from their step-one embeddings.
+// γ and φ are MLPs with two hidden layers of 20 units; the readout has two
+// hidden layers of 120 units with dropout 0.25 (Table 1, §4).
+//
+// The model exposes gradients with respect to its quota inputs
+// (PredictGrad), which is what makes the configuration solver's Eq. 5
+// end-to-end differentiable.
+package gnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"graf/internal/nn"
+)
+
+// Config describes the network architecture and input scaling.
+type Config struct {
+	Nodes   int     // number of microservices
+	Parents [][]int // Parents[i] = indices of node i's callers (N(i) of Eq. 3)
+
+	Hidden        int     // hidden width of γ/φ (paper: 20)
+	Embed         int     // embedding width (paper: 20)
+	ReadoutHidden int     // hidden width of the readout FC (paper: 120)
+	Dropout       float64 // readout dropout probability (paper: 0.25)
+	Steps         int     // message-passing steps (paper: 2)
+	UseMPNN       bool    // false = the "GRAF w/o MPNN" ablation of Fig 11
+
+	// Input scaling keeps features O(1): loads are multiplied by
+	// LoadScale, quotas by QuotaScale. The output is latency in seconds.
+	LoadScale  float64
+	QuotaScale float64
+}
+
+// DefaultConfig returns the paper's architecture for an application with
+// the given node count and parent lists.
+func DefaultConfig(nodes int, parents [][]int) Config {
+	return Config{
+		Nodes: nodes, Parents: parents,
+		Hidden: 20, Embed: 20, ReadoutHidden: 120,
+		Dropout: 0.25, Steps: 2, UseMPNN: true,
+		LoadScale: 1.0 / 100, QuotaScale: 1.0 / 1000,
+	}
+}
+
+// Model is a trained or trainable latency predictor.
+type Model struct {
+	Cfg Config
+
+	phi     []*nn.MLP // per step: message network φ^(k)
+	gamma   []*nn.MLP // per step: update network γ^(k)
+	readout *nn.MLP
+}
+
+// New builds a model with freshly initialized weights drawn from rng.
+func New(cfg Config, rng *rand.Rand) *Model {
+	if cfg.Nodes <= 0 || len(cfg.Parents) != cfg.Nodes {
+		panic("gnn: invalid node/parents configuration")
+	}
+	m := &Model{Cfg: cfg}
+	const features = 2 // (load, quota)
+	if cfg.UseMPNN {
+		for k := 0; k < cfg.Steps; k++ {
+			inDim := features
+			if k > 0 {
+				inDim = cfg.Embed
+			}
+			m.phi = append(m.phi, nn.NewMLP([]int{inDim, cfg.Hidden, cfg.Hidden, cfg.Embed}, 0, rng))
+			m.gamma = append(m.gamma, nn.NewMLP([]int{features + cfg.Embed, cfg.Hidden, cfg.Hidden, cfg.Embed}, 0, rng))
+		}
+		m.readout = nn.NewMLP([]int{cfg.Nodes * cfg.Embed, cfg.ReadoutHidden, cfg.ReadoutHidden, 1}, cfg.Dropout, rng)
+	} else {
+		m.readout = nn.NewMLP([]int{cfg.Nodes * features, cfg.ReadoutHidden, cfg.ReadoutHidden, 1}, cfg.Dropout, rng)
+	}
+	return m
+}
+
+// Sample is one (workload, resources, latency) training triple, the format
+// the sample collector produces (§3.7). Load and Quota are indexed by node.
+type Sample struct {
+	Load    []float64 // per-node workload, req/s
+	Quota   []float64 // per-node CPU quota, millicores
+	Latency float64   // end-to-end tail latency, seconds
+}
+
+type fwdState struct {
+	x          [][]float64
+	embs       [][][]float64 // embs[k][i]: k=0 is x
+	gammaTapes [][]*nn.Tape  // [k][i]
+	phiTapes   [][][]*nn.Tape
+	readIn     []float64
+	readTape   *nn.Tape
+	y          float64
+}
+
+func (m *Model) features(load, quota []float64) [][]float64 {
+	if len(load) != m.Cfg.Nodes || len(quota) != m.Cfg.Nodes {
+		panic(fmt.Sprintf("gnn: expected %d nodes, got load=%d quota=%d", m.Cfg.Nodes, len(load), len(quota)))
+	}
+	x := make([][]float64, m.Cfg.Nodes)
+	for i := range x {
+		x[i] = []float64{load[i] * m.Cfg.LoadScale, quota[i] * m.Cfg.QuotaScale}
+	}
+	return x
+}
+
+func (m *Model) forward(load, quota []float64, train bool, rng *rand.Rand) *fwdState {
+	st := &fwdState{x: m.features(load, quota)}
+	if !m.Cfg.UseMPNN {
+		st.readIn = make([]float64, 0, m.Cfg.Nodes*2)
+		for _, xi := range st.x {
+			st.readIn = append(st.readIn, xi...)
+		}
+		out, tape := m.readout.Forward(st.readIn, train, rng)
+		st.readTape, st.y = tape, out[0]
+		return st
+	}
+	st.embs = append(st.embs, st.x)
+	cur := st.x
+	for k := 0; k < m.Cfg.Steps; k++ {
+		next := make([][]float64, m.Cfg.Nodes)
+		kGamma := make([]*nn.Tape, m.Cfg.Nodes)
+		kPhi := make([][]*nn.Tape, m.Cfg.Nodes)
+		for i := 0; i < m.Cfg.Nodes; i++ {
+			msg := make([]float64, m.Cfg.Embed)
+			for _, j := range m.Cfg.Parents[i] {
+				out, tape := m.phi[k].Forward(cur[j], train, rng)
+				kPhi[i] = append(kPhi[i], tape)
+				for d, v := range out {
+					msg[d] += v
+				}
+			}
+			in := make([]float64, 0, 2+m.Cfg.Embed)
+			in = append(in, st.x[i]...)
+			in = append(in, msg...)
+			out, tape := m.gamma[k].Forward(in, train, rng)
+			kGamma[i] = tape
+			next[i] = out
+		}
+		st.gammaTapes = append(st.gammaTapes, kGamma)
+		st.phiTapes = append(st.phiTapes, kPhi)
+		st.embs = append(st.embs, next)
+		cur = next
+	}
+	st.readIn = make([]float64, 0, m.Cfg.Nodes*m.Cfg.Embed)
+	for _, e := range cur {
+		st.readIn = append(st.readIn, e...)
+	}
+	out, tape := m.readout.Forward(st.readIn, train, rng)
+	st.readTape, st.y = tape, out[0]
+	return st
+}
+
+// backward accumulates parameter gradients for upstream gradient dy and
+// returns the gradient with respect to each node's (load, quota) features
+// in *unscaled* units (req/s, millicores).
+func (m *Model) backward(st *fwdState, dy float64) (dLoad, dQuota []float64) {
+	dLoad = make([]float64, m.Cfg.Nodes)
+	dQuota = make([]float64, m.Cfg.Nodes)
+	dRead := m.readout.Backward(st.readTape, []float64{dy})
+	addX := func(i int, d []float64) {
+		dLoad[i] += d[0] * m.Cfg.LoadScale
+		dQuota[i] += d[1] * m.Cfg.QuotaScale
+	}
+	if !m.Cfg.UseMPNN {
+		for i := 0; i < m.Cfg.Nodes; i++ {
+			addX(i, dRead[i*2:i*2+2])
+		}
+		return dLoad, dQuota
+	}
+	dEmb := make([][]float64, m.Cfg.Nodes)
+	for i := 0; i < m.Cfg.Nodes; i++ {
+		dEmb[i] = append([]float64(nil), dRead[i*m.Cfg.Embed:(i+1)*m.Cfg.Embed]...)
+	}
+	for k := m.Cfg.Steps - 1; k >= 0; k-- {
+		prevDim := len(st.embs[k][0])
+		dPrev := make([][]float64, m.Cfg.Nodes)
+		for i := range dPrev {
+			dPrev[i] = make([]float64, prevDim)
+		}
+		for i := 0; i < m.Cfg.Nodes; i++ {
+			d := m.gamma[k].Backward(st.gammaTapes[k][i], dEmb[i])
+			addX(i, d[:2])
+			dMsg := d[2:]
+			for pi, j := range m.Cfg.Parents[i] {
+				dp := m.phi[k].Backward(st.phiTapes[k][i][pi], dMsg)
+				for idx, v := range dp {
+					dPrev[j][idx] += v
+				}
+			}
+		}
+		dEmb = dPrev
+	}
+	// embs[0] = x.
+	for i := 0; i < m.Cfg.Nodes; i++ {
+		addX(i, dEmb[i])
+	}
+	return dLoad, dQuota
+}
+
+// Predict returns the model's end-to-end tail-latency estimate in seconds.
+func (m *Model) Predict(load, quota []float64) float64 {
+	return m.forward(load, quota, false, nil).y
+}
+
+// PredictGrad returns the prediction and its gradient with respect to each
+// node's quota (seconds per millicore) — the ∂L/∂r the configuration solver
+// descends.
+func (m *Model) PredictGrad(load, quota []float64) (latency float64, dQuota []float64) {
+	st := m.forward(load, quota, false, nil)
+	m.zeroGrad()
+	_, dq := m.backward(st, 1)
+	m.zeroGrad()
+	return st.y, dq
+}
+
+func (m *Model) params() []*nn.Linear {
+	var out []*nn.Linear
+	for _, p := range m.phi {
+		out = append(out, p.Params()...)
+	}
+	for _, g := range m.gamma {
+		out = append(out, g.Params()...)
+	}
+	out = append(out, m.readout.Params()...)
+	return out
+}
+
+func (m *Model) zeroGrad() {
+	for _, l := range m.params() {
+		l.ZeroGrad()
+	}
+}
+
+// snapshotWeights deep-copies all weights (for best-validation tracking).
+func (m *Model) snapshotWeights() [][]float64 {
+	var out [][]float64
+	for _, l := range m.params() {
+		out = append(out, append([]float64(nil), l.W...), append([]float64(nil), l.B...))
+	}
+	return out
+}
+
+func (m *Model) restoreWeights(snap [][]float64) {
+	i := 0
+	for _, l := range m.params() {
+		copy(l.W, snap[i])
+		copy(l.B, snap[i+1])
+		i += 2
+	}
+}
+
+// --- Serialization -----------------------------------------------------
+
+type persisted struct {
+	Cfg     Config
+	Weights [][]float64
+}
+
+// MarshalBinary encodes the model (architecture + weights) with gob.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(persisted{Cfg: m.Cfg, Weights: m.snapshotWeights()})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary decodes a model previously encoded with MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var p persisted
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return err
+	}
+	fresh := New(p.Cfg, rand.New(rand.NewSource(0)))
+	fresh.restoreWeights(p.Weights)
+	*m = *fresh
+	return nil
+}

@@ -1,0 +1,109 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graf/internal/app"
+)
+
+func TestPartitionByDepth(t *testing.T) {
+	a := app.SyntheticChain(12)
+	groups := PartitionByDepth(a.Parents(), 3)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if len(g) != 4 {
+			t.Errorf("uneven chain partition: %v", groups)
+		}
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("node %d in two partitions", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("cover has %d nodes, want 12", len(seen))
+	}
+	// Depth ordering: group 0 holds the shallowest nodes.
+	if groups[0][0] != 0 {
+		t.Errorf("root not in first group: %v", groups)
+	}
+}
+
+func TestPartitionByDepthDegenerate(t *testing.T) {
+	a := app.RobotShop()
+	groups := PartitionByDepth(a.Parents(), 10) // more groups than nodes
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 2 {
+		t.Errorf("cover size %d, want 2", total)
+	}
+}
+
+func TestPartitionedPredictGradNumeric(t *testing.T) {
+	a := app.SyntheticChain(8)
+	base := DefaultConfig(0, nil)
+	base.Hidden, base.Embed, base.ReadoutHidden = 6, 6, 12
+	base.Dropout = 0
+	groups := PartitionByDepth(a.Parents(), 2)
+	p := NewPartitioned(base, a.Parents(), groups, rand.New(rand.NewSource(1)))
+	load := make([]float64, 8)
+	quota := make([]float64, 8)
+	for i := range load {
+		load[i] = 50
+		quota[i] = 400 + 100*float64(i)
+	}
+	_, dq := p.PredictGrad(load, quota)
+	const h = 1e-3
+	for i := range quota {
+		qp := append([]float64(nil), quota...)
+		qm := append([]float64(nil), quota...)
+		qp[i] += h
+		qm[i] -= h
+		num := (p.Predict(load, qp) - p.Predict(load, qm)) / (2 * h)
+		if math.Abs(num-dq[i]) > 1e-6+1e-4*math.Abs(num) {
+			t.Errorf("node %d: analytic %v numeric %v", i, dq[i], num)
+		}
+	}
+}
+
+func TestPartitionedTrainLearns(t *testing.T) {
+	a := app.SyntheticChain(8)
+	samples := synthSamples(a, 900, 21)
+	base := DefaultConfig(0, nil)
+	base.Hidden, base.Embed, base.ReadoutHidden = 10, 10, 24
+	groups := PartitionByDepth(a.Parents(), 2)
+	p := NewPartitioned(base, a.Parents(), groups, rand.New(rand.NewSource(2)))
+	tc := DefaultTrainConfig()
+	tc.Iterations, tc.Batch, tc.LR = 350, 64, 3e-3
+	res := p.Train(samples, tc)
+	if res.BestVal < 0 {
+		t.Fatal("no validation recorded")
+	}
+	if res.BestVal >= res.Curve[0].Val {
+		t.Errorf("validation did not improve: %v → %v", res.Curve[0].Val, res.BestVal)
+	}
+	rows, _ := p.Evaluate(res.Test, [][2]float64{{0, 1e9}})
+	if rows[0].MAPE > 0.6 {
+		t.Errorf("partitioned MAPE %.2f too high", rows[0].MAPE)
+	}
+}
+
+func TestNewPartitionedPanicsOnBadCover(t *testing.T) {
+	a := app.SyntheticChain(4)
+	base := DefaultConfig(0, nil)
+	base.Hidden, base.Embed, base.ReadoutHidden = 4, 4, 8
+	defer func() {
+		if recover() == nil {
+			t.Error("incomplete cover did not panic")
+		}
+	}()
+	NewPartitioned(base, a.Parents(), [][]int{{0, 1}}, rand.New(rand.NewSource(3)))
+}

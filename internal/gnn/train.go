@@ -1,0 +1,182 @@
+package gnn
+
+import (
+	"math/rand"
+	"sort"
+
+	"graf/internal/nn"
+)
+
+// TrainConfig parameterizes supervised training (§3.4, Table 1). The
+// paper's full budget is 7×10⁴ iterations of batch 256 at LR 2×10⁻⁴ on a
+// GPU; callers scale Iterations down for CPU budgets.
+type TrainConfig struct {
+	Iterations int
+	Batch      int
+	LR         float64
+	ValFrac    float64 // fraction of samples held out for validation
+	TestFrac   float64 // fraction held out for testing (Table 2)
+	Loss       nn.LossFunc
+	Seed       int64
+
+	// EvalEvery controls how often train/validation losses are recorded
+	// into the learning curve (0 = every 50 iterations).
+	EvalEvery int
+}
+
+// DefaultTrainConfig returns the paper's hyperparameters (Table 1) with an
+// iteration budget scaled for CPU training.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Iterations: 3000,
+		Batch:      256,
+		LR:         2e-4,
+		ValFrac:    0.15,
+		TestFrac:   0.15,
+		Loss:       nn.PaperLoss(),
+		Seed:       1,
+		EvalEvery:  50,
+	}
+}
+
+// CurvePoint is one learning-curve observation (Fig 11).
+type CurvePoint struct {
+	Iteration int
+	Train     float64
+	Val       float64
+}
+
+// TrainResult reports the outcome of Train.
+type TrainResult struct {
+	Curve   []CurvePoint
+	BestVal float64
+	Test    []Sample // the held-out test split, for Table 2 evaluation
+}
+
+// Train runs minibatch Adam over the samples, holding out validation and
+// test splits, and restores the weights that achieved the best validation
+// loss (the paper: "the validation set is used to prevent overfitting and
+// save the best performance GNN").
+func (m *Model) Train(samples []Sample, tc TrainConfig) TrainResult {
+	if tc.Loss == nil {
+		tc.Loss = nn.PaperLoss()
+	}
+	if tc.EvalEvery <= 0 {
+		tc.EvalEvery = 50
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	shuffled := append([]Sample(nil), samples...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	nVal := int(float64(len(shuffled)) * tc.ValFrac)
+	nTest := int(float64(len(shuffled)) * tc.TestFrac)
+	val := shuffled[:nVal]
+	test := shuffled[nVal : nVal+nTest]
+	train := shuffled[nVal+nTest:]
+	if len(train) == 0 {
+		panic("gnn: no training samples after splits")
+	}
+
+	opt := nn.NewAdam(tc.LR)
+	res := TrainResult{BestVal: -1, Test: test}
+	var bestSnap [][]float64
+
+	evalSet := func(set []Sample) float64 {
+		if len(set) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, s := range set {
+			l, _ := tc.Loss.Loss(m.Predict(s.Load, s.Quota), s.Latency)
+			sum += l
+		}
+		return sum / float64(len(set))
+	}
+
+	for iter := 0; iter < tc.Iterations; iter++ {
+		m.zeroGrad()
+		batchLoss := 0.0
+		for b := 0; b < tc.Batch; b++ {
+			s := train[rng.Intn(len(train))]
+			st := m.forward(s.Load, s.Quota, true, rng)
+			l, d := tc.Loss.Loss(st.y, s.Latency)
+			batchLoss += l
+			m.backward(st, d)
+		}
+		opt.Step(m.params(), float64(tc.Batch))
+
+		if iter%tc.EvalEvery == 0 || iter == tc.Iterations-1 {
+			v := evalSet(val)
+			res.Curve = append(res.Curve, CurvePoint{
+				Iteration: iter,
+				Train:     batchLoss / float64(tc.Batch),
+				Val:       v,
+			})
+			if len(val) > 0 && (res.BestVal < 0 || v < res.BestVal) {
+				res.BestVal = v
+				bestSnap = m.snapshotWeights()
+			}
+		}
+	}
+	if bestSnap != nil {
+		m.restoreWeights(bestSnap)
+	}
+	return res
+}
+
+// RegionError is one row of the paper's Table 2: the mean absolute
+// percentage error of predictions whose *true* latency falls in
+// [LoMS, HiMS) milliseconds.
+type RegionError struct {
+	LoMS, HiMS float64
+	MAPE       float64 // mean |pred-true|/true
+	Count      int
+}
+
+// Evaluate reproduces Table 2 on a sample set: per-region mean absolute
+// percentage error plus the mean signed overestimation across all samples.
+func (m *Model) Evaluate(set []Sample, regions [][2]float64) (rows []RegionError, overestimate float64) {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	accs := make([]acc, len(regions))
+	signedSum := 0.0
+	n := 0
+	for _, s := range set {
+		if s.Latency <= 0 {
+			continue
+		}
+		pred := m.Predict(s.Load, s.Quota)
+		pe := (pred - s.Latency) / s.Latency
+		signedSum += pe
+		n++
+		ms := s.Latency * 1000
+		for ri, r := range regions {
+			if ms >= r[0] && ms < r[1] {
+				a := pe
+				if a < 0 {
+					a = -a
+				}
+				accs[ri].sum += a
+				accs[ri].n++
+			}
+		}
+	}
+	for ri, r := range regions {
+		row := RegionError{LoMS: r[0], HiMS: r[1], Count: accs[ri].n}
+		if accs[ri].n > 0 {
+			row.MAPE = accs[ri].sum / float64(accs[ri].n)
+		}
+		rows = append(rows, row)
+	}
+	if n > 0 {
+		overestimate = signedSum / float64(n)
+	}
+	return rows, overestimate
+}
+
+// SortSamplesByLatency orders samples ascending by label — convenient for
+// stratified inspection in tests and reports.
+func SortSamplesByLatency(set []Sample) {
+	sort.Slice(set, func(i, j int) bool { return set[i].Latency < set[j].Latency })
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestQuantileExact(t *testing.T) {
+	d := NewDigest(0)
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.9, 90}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewDigest(0)
+	if d.Quantile(0.99) != 0 || d.Mean() != 0 || d.Max() != 0 {
+		t.Error("empty digest must return 0 for all queries")
+	}
+}
+
+func TestDigestAddAfterQuantile(t *testing.T) {
+	d := NewDigest(0)
+	d.Add(5)
+	d.Add(1)
+	if got := d.Quantile(1); got != 5 {
+		t.Fatalf("max = %v, want 5", got)
+	}
+	d.Add(10)
+	if got := d.Quantile(1); got != 10 {
+		t.Errorf("max after re-add = %v, want 10", got)
+	}
+}
+
+func TestDigestNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(NaN) did not panic")
+		}
+	}()
+	NewDigest(0).Add(math.NaN())
+}
+
+// Property: Quantile is monotone in q and bracketed by min/max of samples.
+func TestDigestQuantileProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		d := NewDigest(len(vals))
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d.Add(v)
+		}
+		if d.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := d.Quantile(q)
+			if v < prev {
+				ok = false
+			}
+			prev = v
+		}
+		s := d.Snapshot()
+		return ok && d.Quantile(0) == s[0] && d.Quantile(1) == s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestMeanMax(t *testing.T) {
+	d := NewDigest(0)
+	for _, v := range []float64{2, 4, 6} {
+		d.Add(v)
+	}
+	if d.Mean() != 4 {
+		t.Errorf("Mean = %v, want 4", d.Mean())
+	}
+	if d.Max() != 6 {
+		t.Errorf("Max = %v, want 6", d.Max())
+	}
+	d.Reset()
+	if d.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestWindowQueries(t *testing.T) {
+	w := NewWindow()
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i), float64(i))
+	}
+	if got := w.Count(10, 19); got != 10 {
+		t.Errorf("Count(10,19) = %d, want 10", got)
+	}
+	if got := w.Mean(0, 99); got != 49.5 {
+		t.Errorf("Mean = %v, want 49.5", got)
+	}
+	if got := w.Quantile(1, 0, 49); got != 49 {
+		t.Errorf("Quantile(1, 0, 49) = %v, want 49", got)
+	}
+	if got := w.Quantile(0.5, 90, 200); got != 94 {
+		t.Errorf("median of [90..99] = %v, want 94", got)
+	}
+}
+
+func TestWindowTrim(t *testing.T) {
+	w := NewWindow()
+	for i := 0; i < 10; i++ {
+		w.Add(float64(i), 1)
+	}
+	w.Trim(5)
+	if w.Len() != 5 {
+		t.Errorf("after Trim(5), Len = %d, want 5", w.Len())
+	}
+	if got := w.Count(0, 100); got != 5 {
+		t.Errorf("Count after trim = %d, want 5", got)
+	}
+}
+
+func TestWindowEmptyInterval(t *testing.T) {
+	w := NewWindow()
+	w.Add(1, 10)
+	if w.Quantile(0.99, 5, 6) != 0 || w.Mean(5, 6) != 0 {
+		t.Error("queries over empty interval must return 0")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(1, 10)
+	s.Add(3, 30)
+	if s.At(0) != 0 {
+		t.Errorf("At(0) = %v, want 0", s.At(0))
+	}
+	if s.At(1) != 10 || s.At(2) != 10 || s.At(3) != 30 || s.At(99) != 30 {
+		t.Errorf("step lookup wrong: %v %v %v %v", s.At(1), s.At(2), s.At(3), s.At(99))
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 10)
+	s.Add(10, 20)
+	// 10 for t∈[0,10), 20 for t∈[10,20) → mean over [0,20) = 15.
+	if got := s.Mean(0, 20); got != 15 {
+		t.Errorf("Mean(0,20) = %v, want 15", got)
+	}
+	if got := s.Mean(0, 10); got != 10 {
+		t.Errorf("Mean(0,10) = %v, want 10", got)
+	}
+}
+
+// Property: window quantile equals digest quantile over the same values.
+func TestWindowMatchesDigest(t *testing.T) {
+	f := func(raw []uint16) bool {
+		w := NewWindow()
+		d := NewDigest(len(raw))
+		for i, r := range raw {
+			v := float64(r)
+			w.Add(float64(i), v)
+			d.Add(v)
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if w.Quantile(q, 0, float64(len(raw))) != d.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	d := NewDigest(0)
+	for _, v := range []float64{5, 1, 3} {
+		d.Add(v)
+	}
+	if !sort.Float64sAreSorted(d.Snapshot()) {
+		t.Error("Snapshot not sorted")
+	}
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import "sort"
+
+// timed is one timestamped observation.
+type timed struct {
+	at float64
+	v  float64
+}
+
+// Window retains timestamped observations and answers queries over a
+// trailing interval, e.g. "p99 latency over the last 10 seconds". This is
+// the primitive behind both the paper's 10-second sample-collection windows
+// (§5, Sample Collection) and the autoscalers' utilization windows.
+type Window struct {
+	buf []timed
+}
+
+// NewWindow returns an empty window.
+func NewWindow() *Window { return &Window{} }
+
+// Add records observation v at time at. Observations must be added in
+// nondecreasing time order (the simulator guarantees this).
+func (w *Window) Add(at, v float64) {
+	w.buf = append(w.buf, timed{at, v})
+}
+
+// Trim discards observations strictly older than before. Call periodically
+// to bound memory in long simulations.
+func (w *Window) Trim(before float64) {
+	i := sort.Search(len(w.buf), func(i int) bool { return w.buf[i].at >= before })
+	if i > 0 {
+		w.buf = append(w.buf[:0], w.buf[i:]...)
+	}
+}
+
+// Since returns the observations with timestamp in [from, to].
+func (w *Window) Since(from, to float64) []float64 {
+	lo := sort.Search(len(w.buf), func(i int) bool { return w.buf[i].at >= from })
+	hi := sort.Search(len(w.buf), func(i int) bool { return w.buf[i].at > to })
+	out := make([]float64, 0, hi-lo)
+	for _, t := range w.buf[lo:hi] {
+		out = append(out, t.v)
+	}
+	return out
+}
+
+// Quantile returns the q-quantile of observations in [from, to], or 0 when
+// the interval is empty.
+func (w *Window) Quantile(q, from, to float64) float64 {
+	vals := w.Since(from, to)
+	if len(vals) == 0 {
+		return 0
+	}
+	d := Digest{samples: vals}
+	return d.Quantile(q)
+}
+
+// Mean returns the mean of observations in [from, to], or 0 when empty.
+func (w *Window) Mean(from, to float64) float64 {
+	vals := w.Since(from, to)
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Count returns the number of observations in [from, to].
+func (w *Window) Count(from, to float64) int { return len(w.Since(from, to)) }
+
+// Len returns the total number of retained observations.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Series is an append-only timestamped series used to record experiment
+// outputs (instance counts over time, perceived workload, …) exactly as the
+// paper plots them.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends point (t, v).
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// At returns the value at the latest point with timestamp ≤ t (step
+// interpolation), or 0 before the first point.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Mean returns the time-weighted mean of the step function over [from, to].
+// Before the first point the series is treated as holding its first value.
+func (s *Series) Mean(from, to float64) float64 {
+	if len(s.T) == 0 || to <= from {
+		return 0
+	}
+	total := 0.0
+	prevT, prevV := from, s.At(from)
+	if prevV == 0 && from < s.T[0] {
+		prevV = s.V[0]
+	}
+	for i, t := range s.T {
+		if t <= from {
+			continue
+		}
+		if t >= to {
+			break
+		}
+		total += (t - prevT) * prevV
+		prevT, prevV = t, s.V[i]
+	}
+	total += (to - prevT) * prevV
+	return total / (to - from)
+}

@@ -1,0 +1,176 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives everything dynamic in this repository: request arrivals,
+// per-instance queueing, instance startup delays, autoscaler control loops,
+// and metric sampling. Time is a float64 number of seconds since simulation
+// start. Events scheduled at the same instant are executed in FIFO order of
+// scheduling, which keeps runs fully deterministic under a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Clock exposes the current simulated time in seconds.
+type Clock interface {
+	// Now returns the current simulated time in seconds since start.
+	Now() float64
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   float64
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ e *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (id EventID) Cancel() {
+	if id.e != nil {
+		id.e.dead = true
+	}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine. Engines are not
+// safe for concurrent use: all callbacks run on the goroutine that calls Run
+// or Step.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// The same seed always yields the same execution.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's deterministic random source. All stochastic
+// components of a simulation must draw from this source (or a source derived
+// from it) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it indicates a logic error in the caller, and silently
+// clamping would corrupt causality.
+func (e *Engine) At(t float64, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.6f before now %.6f", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{e: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d float64, fn func()) EventID {
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is after t. The clock is left at min(t, time of last event executed),
+// then advanced to t so subsequent scheduling is relative to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.queue) > 0 && !e.halted {
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+	}
+	if t > e.now {
+		e.now = t
+	}
+	e.halted = false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	for !e.halted && e.Step() {
+	}
+	e.halted = false
+}
+
+// Halt stops Run/RunUntil after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Ticker invokes fn every interval seconds, starting at start, until the
+// returned stop function is called. It is the simulated analogue of
+// time.Ticker and is used for control loops (autoscalers, metric scrapers).
+func (e *Engine) Ticker(start, interval float64, fn func()) (stop func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			e.After(interval, tick)
+		}
+	}
+	e.At(start, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,159 @@
+// Package trace is the distributed-tracing substrate (the paper's Jaeger,
+// §3.2). The cluster simulator emits one Span per microservice invocation;
+// the Collector groups spans into Traces and derives the per-API execution
+// statistics the Workload Analyzer (§3.3) consumes: which microservices an
+// API touches and how many times, at the 90th percentile of observed request
+// histories.
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// Span records one microservice invocation within a request.
+type Span struct {
+	TraceID int64
+	API     string
+	Service string
+	Parent  string // calling service; "" for the frontend span
+
+	Start float64 // arrival at the service (seconds, simulated)
+	End   float64 // response sent (seconds, simulated)
+	Queue float64 // portion of Start..End spent waiting for an instance
+}
+
+// Duration returns the span's wall-clock time in seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Trace is the full tree of spans for one end-to-end request.
+type Trace struct {
+	ID    int64
+	API   string
+	Spans []Span
+}
+
+// EndToEnd returns the end-to-end latency in seconds: the root span's
+// duration (the root encloses all children, as in Jaeger).
+func (t Trace) EndToEnd() float64 {
+	best := 0.0
+	for _, s := range t.Spans {
+		if s.Parent == "" && s.Duration() > best {
+			best = s.Duration()
+		}
+	}
+	return best
+}
+
+// Visits returns how many times each service appears in the trace.
+func (t Trace) Visits() map[string]int {
+	m := make(map[string]int)
+	for _, s := range t.Spans {
+		m[s.Service]++
+	}
+	return m
+}
+
+// Collector accumulates completed traces. Cap bounds retained traces per API
+// (oldest evicted first); 0 means unbounded.
+type Collector struct {
+	Cap    int
+	byAPI  map[string][]Trace
+	nTotal int
+}
+
+// NewCollector returns a collector retaining at most cap traces per API
+// (0 = unbounded).
+func NewCollector(cap int) *Collector {
+	return &Collector{Cap: cap, byAPI: make(map[string][]Trace)}
+}
+
+// Collect stores one completed trace.
+func (c *Collector) Collect(t Trace) {
+	list := append(c.byAPI[t.API], t)
+	if c.Cap > 0 && len(list) > c.Cap {
+		list = list[len(list)-c.Cap:]
+	}
+	c.byAPI[t.API] = list
+	c.nTotal++
+}
+
+// Total returns the number of traces ever collected.
+func (c *Collector) Total() int { return c.nTotal }
+
+// APIs returns the API names seen, sorted.
+func (c *Collector) APIs() []string {
+	names := make([]string, 0, len(c.byAPI))
+	for k := range c.byAPI {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Traces returns the retained traces for api (shared slice; do not mutate).
+func (c *Collector) Traces(api string) []Trace { return c.byAPI[api] }
+
+// VisitProfile returns, for each service touched by api, the q-quantile of
+// per-trace visit counts. The paper chooses the 90th percentile of request
+// histories to represent an API's behaviour (§3.3): "from the history
+// 90%-ile samples are chosen".
+func (c *Collector) VisitProfile(api string, q float64) map[string]float64 {
+	traces := c.byAPI[api]
+	if len(traces) == 0 {
+		return nil
+	}
+	counts := make(map[string][]float64)
+	for _, t := range traces {
+		for svc, n := range t.Visits() {
+			counts[svc] = append(counts[svc], float64(n))
+		}
+	}
+	out := make(map[string]float64, len(counts))
+	for svc, vals := range counts {
+		// Services missing from some traces count as zero visits there.
+		for len(vals) < len(traces) {
+			vals = append(vals, 0)
+		}
+		sort.Float64s(vals)
+		// Nearest-rank, matching metrics.Digest.Quantile.
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(vals) {
+			rank = len(vals)
+		}
+		out[svc] = vals[rank-1]
+	}
+	return out
+}
+
+// Edges returns the set of caller→callee pairs observed for api. The GNN's
+// message-passing structure is "constructed from microservices tracing data"
+// (§3.4); this is that construction.
+func (c *Collector) Edges(api string) map[[2]string]bool {
+	out := make(map[[2]string]bool)
+	for _, t := range c.byAPI[api] {
+		for _, s := range t.Spans {
+			if s.Parent != "" {
+				out[[2]string{s.Parent, s.Service}] = true
+			}
+		}
+	}
+	return out
+}
+
+// AllEdges unions Edges over every API.
+func (c *Collector) AllEdges() map[[2]string]bool {
+	out := make(map[[2]string]bool)
+	for api := range c.byAPI {
+		for e := range c.Edges(api) {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// Reset discards all retained traces but keeps the total counter.
+func (c *Collector) Reset() { c.byAPI = make(map[string][]Trace) }

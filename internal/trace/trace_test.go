@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkTrace(id int64, api string, e2e float64, visits map[string]int) Trace {
+	t := Trace{ID: id, API: api}
+	t.Spans = append(t.Spans, Span{TraceID: id, API: api, Service: "frontend", Start: 0, End: e2e})
+	for svc, n := range visits {
+		for i := 0; i < n; i++ {
+			t.Spans = append(t.Spans, Span{TraceID: id, API: api, Service: svc, Parent: "frontend", Start: 0.001, End: e2e / 2})
+		}
+	}
+	return t
+}
+
+func TestEndToEnd(t *testing.T) {
+	tr := mkTrace(1, "cart", 0.25, map[string]int{"cart": 1})
+	if got := tr.EndToEnd(); got != 0.25 {
+		t.Errorf("EndToEnd = %v, want 0.25", got)
+	}
+}
+
+func TestVisits(t *testing.T) {
+	tr := mkTrace(1, "cart", 0.1, map[string]int{"cart": 2, "currency": 3})
+	v := tr.Visits()
+	if v["cart"] != 2 || v["currency"] != 3 || v["frontend"] != 1 {
+		t.Errorf("Visits = %v", v)
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	c := NewCollector(5)
+	for i := 0; i < 10; i++ {
+		c.Collect(mkTrace(int64(i), "cart", 0.1, nil))
+	}
+	if len(c.Traces("cart")) != 5 {
+		t.Errorf("retained %d traces, want 5", len(c.Traces("cart")))
+	}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d, want 10", c.Total())
+	}
+	// Oldest evicted: remaining IDs are 5..9.
+	if c.Traces("cart")[0].ID != 5 {
+		t.Errorf("oldest retained ID = %d, want 5", c.Traces("cart")[0].ID)
+	}
+}
+
+func TestVisitProfile(t *testing.T) {
+	c := NewCollector(0)
+	// 10 traces: 9 visit "cart" once, 1 visits it 5 times.
+	for i := 0; i < 9; i++ {
+		c.Collect(mkTrace(int64(i), "cart", 0.1, map[string]int{"cart": 1}))
+	}
+	c.Collect(mkTrace(99, "cart", 0.1, map[string]int{"cart": 5}))
+	p := c.VisitProfile("cart", 0.90)
+	if p["cart"] != 1 {
+		t.Errorf("p90 cart visits = %v, want 1", p["cart"])
+	}
+	p = c.VisitProfile("cart", 0.99)
+	if p["cart"] != 5 {
+		t.Errorf("p99 cart visits = %v, want 5", p["cart"])
+	}
+	if p["frontend"] != 1 {
+		t.Errorf("frontend visits = %v, want 1", p["frontend"])
+	}
+}
+
+func TestVisitProfileMissingService(t *testing.T) {
+	c := NewCollector(0)
+	// Service "rare" appears in only 1 of 10 traces → p90 visits 0 or more
+	// depending on rank; must not be reported as always-visited.
+	for i := 0; i < 9; i++ {
+		c.Collect(mkTrace(int64(i), "home", 0.1, nil))
+	}
+	c.Collect(mkTrace(9, "home", 0.1, map[string]int{"rare": 1}))
+	p := c.VisitProfile("home", 0.5)
+	if p["rare"] != 0 {
+		t.Errorf("median visits for rare service = %v, want 0", p["rare"])
+	}
+}
+
+func TestEdges(t *testing.T) {
+	c := NewCollector(0)
+	tr := Trace{ID: 1, API: "post"}
+	tr.Spans = []Span{
+		{Service: "nginx", Parent: ""},
+		{Service: "text", Parent: "nginx"},
+		{Service: "url", Parent: "text"},
+	}
+	c.Collect(tr)
+	e := c.Edges("post")
+	if !e[[2]string{"nginx", "text"}] || !e[[2]string{"text", "url"}] {
+		t.Errorf("Edges = %v", e)
+	}
+	if len(e) != 2 {
+		t.Errorf("len(Edges) = %d, want 2", len(e))
+	}
+	all := c.AllEdges()
+	if len(all) != 2 {
+		t.Errorf("AllEdges = %v", all)
+	}
+}
+
+func TestAPIsSorted(t *testing.T) {
+	c := NewCollector(0)
+	for _, api := range []string{"z", "a", "m"} {
+		c.Collect(Trace{API: api})
+	}
+	got := fmt.Sprint(c.APIs())
+	if got != "[a m z]" {
+		t.Errorf("APIs = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector(0)
+	c.Collect(mkTrace(1, "cart", 0.1, nil))
+	c.Reset()
+	if len(c.Traces("cart")) != 0 {
+		t.Error("Reset did not clear traces")
+	}
+	if c.Total() != 1 {
+		t.Error("Reset must keep the total counter")
+	}
+}

@@ -1,0 +1,44 @@
+package graf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+)
+
+// persistedTrained is the on-disk form of a TrainedModel.
+type persistedTrained struct {
+	ModelBlob []byte
+	Lo, Hi    []float64
+	MinRate   float64
+	MaxRate   float64
+	SLO       time.Duration
+}
+
+func encodeTrained(t *TrainedModel) ([]byte, error) {
+	mb, err := t.Model.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(persistedTrained{
+		ModelBlob: mb, Lo: t.Bounds.Lo, Hi: t.Bounds.Hi,
+		MinRate: t.MinRate, MaxRate: t.MaxRate, SLO: t.SLO,
+	})
+	return buf.Bytes(), err
+}
+
+func decodeTrained(blob []byte) (*TrainedModel, error) {
+	var p persistedTrained
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&p); err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := m.UnmarshalBinary(p.ModelBlob); err != nil {
+		return nil, err
+	}
+	return &TrainedModel{
+		Model: &m, Bounds: Bounds{Lo: p.Lo, Hi: p.Hi},
+		MinRate: p.MinRate, MaxRate: p.MaxRate, SLO: p.SLO,
+	}, nil
+}
