@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Reproduce the paper's evaluation tables (see EXPERIMENTS.md).
+bench:
+	$(GO) run ./cmd/grafbench -scale quick
+
+ci: build vet test-race

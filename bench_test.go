@@ -190,3 +190,7 @@ func BenchmarkAblationInteger(b *testing.B)   { runExperiment(b, bench.AblationI
 func BenchmarkAblationAnomaly(b *testing.B)   { runExperiment(b, bench.AblationAnomaly) }
 func BenchmarkScalability(b *testing.B)       { runExperiment(b, bench.Scalability) }
 func BenchmarkAblationPartition(b *testing.B) { runExperiment(b, bench.AblationPartition) }
+
+// --- Robustness benchmark (chaos injection, DESIGN.md §3c) ------------------
+
+func BenchmarkChaosRobustness(b *testing.B) { runExperiment(b, bench.ChaosRobustness) }

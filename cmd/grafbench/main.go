@@ -49,6 +49,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"abl-anomaly":   bench.AblationAnomaly,
 	"scalability":   bench.Scalability,
 	"abl-partition": bench.AblationPartition,
+	"chaos":         bench.ChaosRobustness,
 }
 
 // order runs cheap observation experiments first and groups the ones that
@@ -60,6 +61,7 @@ var order = []string{
 	"tab03", "fig19", "fig20", "fig21", "fig22",
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
+	"chaos",
 }
 
 func main() {

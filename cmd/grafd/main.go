@@ -58,7 +58,11 @@ func main() {
 
 	s := graf.NewSimulation(a, *seed)
 	slo := time.Duration(*sloMS) * time.Millisecond
-	ctl := s.StartGRAF(tr, slo)
+	ctl, err := s.StartGRAF(tr, slo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	ctl.OnDecision = func(t float64, total float64, sol graf.Solution) {
 		fmt.Printf("[%6.0fs] solve: frontend %.0f rps → total quota %.0f mc (predicted p99 %.0f ms, %d iters)\n",
 			t, total, sol.TotalQuota, sol.Predicted*1000, sol.Iterations)

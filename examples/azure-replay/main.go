@@ -36,7 +36,10 @@ func main() {
 		s := graf.NewSimulation(a, 11)
 		var stop func()
 		if isGraf {
-			ctl := s.StartGRAF(trained, 250*time.Millisecond)
+			ctl, err := s.StartGRAF(trained, 250*time.Millisecond)
+			if err != nil {
+				panic(err)
+			}
 			stop = ctl.Stop
 		} else {
 			h := s.StartHPA(0.5)

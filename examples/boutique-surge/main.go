@@ -40,7 +40,10 @@ func main() {
 	})
 
 	run("GRAF (proactive)", func(s *graf.Simulation) func() {
-		ctl := s.StartGRAF(trained, 250*time.Millisecond)
+		ctl, err := s.StartGRAF(trained, 250*time.Millisecond)
+		if err != nil {
+			panic(err)
+		}
 		return ctl.Stop
 	})
 	run("K8s autoscaler (50% threshold)", func(s *graf.Simulation) func() {

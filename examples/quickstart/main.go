@@ -37,7 +37,10 @@ func main() {
 
 	fmt.Println("3. online: proactive controller on a simulated cluster")
 	s := graf.NewSimulation(a, 1)
-	ctl := s.StartGRAF(trained, slo)
+	ctl, err := s.StartGRAF(trained, slo)
+	if err != nil {
+		panic(err)
+	}
 	gen := s.OpenLoop(graf.ConstRate(150))
 	gen.Start()
 	for i := 0; i < 6; i++ {

@@ -16,7 +16,7 @@
 //	trained := graf.Train(graf.OnlineBoutique(), graf.TrainOptions{
 //		SLO: 200 * time.Millisecond, MinRate: 40, MaxRate: 320,
 //	})
-//	ctl := sim.StartGRAF(trained, 200*time.Millisecond)
+//	ctl, err := sim.StartGRAF(trained, 200*time.Millisecond)
 //	gen := sim.OpenLoop(graf.ConstRate(150))
 //	gen.Start()
 //	sim.RunFor(10 * time.Minute)
@@ -26,12 +26,15 @@
 package graf
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"graf/internal/app"
 	"graf/internal/autoscale"
+	"graf/internal/chaos"
 	"graf/internal/cluster"
 	"graf/internal/core"
 	"graf/internal/gnn"
@@ -62,6 +65,13 @@ type (
 	Sample = gnn.Sample
 	// Controller is GRAF's runtime control loop (§3.6/§3.8).
 	Controller = core.Controller
+	// ControllerConfig parameterizes the control loop, including the
+	// graceful-degradation guardrails.
+	ControllerConfig = core.ControllerConfig
+	// HealthState is the controller's degraded-mode state.
+	HealthState = core.HealthState
+	// HealthStats counts the controller's degraded-mode activity.
+	HealthStats = core.HealthStats
 	// Bounds is Algorithm 1's reduced per-service search space.
 	Bounds = core.Bounds
 	// Solution is the configuration solver's output (§3.5).
@@ -88,6 +98,26 @@ func RobotShop() *App { return app.RobotShop() }
 // Bookinfo returns Istio's Bookinfo application (Fig 5).
 func Bookinfo() *App { return app.Bookinfo() }
 
+// Controller health states (see Controller.Health).
+const (
+	Healthy           = core.Healthy
+	DegradedTelemetry = core.DegradedTelemetry
+	FallbackHeuristic = core.FallbackHeuristic
+	Boosting          = core.Boosting
+)
+
+// DefaultControllerConfig returns the hardened default control-loop
+// settings for the given SLO.
+func DefaultControllerConfig(slo time.Duration) ControllerConfig {
+	return core.DefaultControllerConfig(slo.Seconds())
+}
+
+// VanillaControllerConfig returns the control loop exactly as the paper
+// describes it, with every graceful-degradation guardrail disabled.
+func VanillaControllerConfig(slo time.Duration) ControllerConfig {
+	return core.VanillaControllerConfig(slo.Seconds())
+}
+
 // ConstRate returns a fixed open-loop rate shape.
 func ConstRate(rps float64) func(float64) float64 { return workload.ConstRate(rps) }
 
@@ -100,11 +130,58 @@ func StepRate(base, surge float64, at time.Duration) func(float64) float64 {
 // ConstUsers returns a fixed closed-loop user count.
 func ConstUsers(n int) func(float64) int { return workload.ConstUsers(n) }
 
+// Chaos-injection building blocks (see internal/chaos and DESIGN.md).
+type (
+	// ChaosInjector schedules scripted fault scenarios against a cluster.
+	ChaosInjector = chaos.Injector
+	// ChaosScenario is a named, ordered fault schedule.
+	ChaosScenario = chaos.Scenario
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+)
+
+// ChaosKill kills n ready instances of svc at the given offset.
+func ChaosKill(at time.Duration, svc string, n int) ChaosEvent {
+	return chaos.Kill(at.Seconds(), svc, n)
+}
+
+// ChaosCrashFraction crashes the given fraction of every deployment's
+// instances at the given offset (a correlated failure).
+func ChaosCrashFraction(at time.Duration, fraction float64) ChaosEvent {
+	return chaos.Crash(at.Seconds(), fraction)
+}
+
+// ChaosTelemetryBlackhole suppresses the frontend arrival telemetry for the
+// window — requests still flow, but the controller's rate windows go dark.
+func ChaosTelemetryBlackhole(at, duration time.Duration) ChaosEvent {
+	return chaos.BlackholeFrontend(at.Seconds(), duration.Seconds())
+}
+
+// ChaosArrivalSampling records only the given fraction of arrivals in
+// telemetry for the window (a lossy metrics pipeline).
+func ChaosArrivalSampling(at time.Duration, keep float64, duration time.Duration) ChaosEvent {
+	return chaos.SampleArrivals(at.Seconds(), keep, duration.Seconds())
+}
+
+// ChaosTraceDrop discards the given fraction of completed traces for the
+// window, starving the Workload Analyzer.
+func ChaosTraceDrop(at time.Duration, p float64, duration time.Duration) ChaosEvent {
+	return chaos.DropTraces(at.Seconds(), p, duration.Seconds())
+}
+
+// ChaosContention multiplies svc's service times by factor for the window
+// (a noisy neighbor).
+func ChaosContention(at time.Duration, svc string, factor float64, duration time.Duration) ChaosEvent {
+	return chaos.Contend(at.Seconds(), svc, factor, duration.Seconds())
+}
+
 // Simulation bundles a deterministic discrete-event engine with a cluster
 // running one application.
 type Simulation struct {
 	Engine  *sim.Engine
 	Cluster *cluster.Cluster
+
+	chaosInj *ChaosInjector
 }
 
 // NewSimulation deploys a on a fresh simulated cluster (one warm instance
@@ -142,6 +219,16 @@ func (s *Simulation) ClosedLoop(users func(float64) int) *ClosedLoop {
 	return workload.NewClosedLoop(s.Cluster, users)
 }
 
+// Chaos returns the simulation's fault injector. Event offsets in a played
+// scenario are relative to the simulated time of the Play call, so a
+// scenario can be replayed against a warmed-up cluster.
+func (s *Simulation) Chaos() *ChaosInjector {
+	if s.chaosInj == nil {
+		s.chaosInj = chaos.New(s.Cluster)
+	}
+	return s.chaosInj
+}
+
 // StartHPA runs the Kubernetes autoscaler baseline over every microservice
 // at the given CPU-utilization threshold.
 func (s *Simulation) StartHPA(threshold float64) *HPA {
@@ -157,15 +244,28 @@ func (s *Simulation) StartFIRM() *FIRMLike {
 	return f
 }
 
-// StartGRAF runs the GRAF controller using a trained model.
-func (s *Simulation) StartGRAF(t *TrainedModel, slo time.Duration) *Controller {
-	an := core.NewAnalyzer(s.Cluster.App)
+// StartGRAF runs the GRAF controller using a trained model. It fails when
+// the model's shape does not match the simulation's application — e.g. a
+// model trained for a different app, or a stale file after the service
+// graph changed.
+func (s *Simulation) StartGRAF(t *TrainedModel, slo time.Duration) (*Controller, error) {
 	cfg := core.DefaultControllerConfig(slo.Seconds())
+	return s.StartGRAFWith(t, cfg)
+}
+
+// StartGRAFWith is StartGRAF with an explicit controller configuration
+// (e.g. VanillaControllerConfig for a guardrail-free paper-exact loop).
+// The trained workload range always comes from the model.
+func (s *Simulation) StartGRAFWith(t *TrainedModel, cfg ControllerConfig) (*Controller, error) {
+	if err := t.ValidateFor(s.Cluster.App); err != nil {
+		return nil, err
+	}
+	an := core.NewAnalyzer(s.Cluster.App)
 	cfg.TrainedMinRate = t.MinRate
 	cfg.TrainedMaxRate = t.MaxRate
 	ctl := core.NewController(s.Cluster, t.Model, an, t.Bounds, cfg)
 	ctl.Start()
-	return ctl
+	return ctl, nil
 }
 
 // TrainOptions parameterizes offline training (§3.7, §5 "Sample Collection
@@ -245,6 +345,55 @@ func Train(a *App, o TrainOptions) *TrainedModel {
 	tc.LR = 2e-3
 	model.Train(samples, tc)
 	return &TrainedModel{Model: model, Bounds: b, MinRate: o.MinRate, MaxRate: o.MaxRate, SLO: o.SLO}
+}
+
+// ValidateFor checks that the trained model's shape matches application a:
+// same service count, consistent bounds, and the same caller structure. A
+// mismatch means the model was trained for a different application (or an
+// older revision of this one) and its predictions would be garbage.
+func (t *TrainedModel) ValidateFor(a *App) error {
+	if t == nil || t.Model == nil {
+		return fmt.Errorf("graf: trained model is nil")
+	}
+	n := len(a.Services)
+	if t.Model.Cfg.Nodes != n {
+		return fmt.Errorf("graf: model trained for %d services, application %q has %d",
+			t.Model.Cfg.Nodes, a.Name, n)
+	}
+	if len(t.Bounds.Lo) != n || len(t.Bounds.Hi) != n {
+		return fmt.Errorf("graf: bounds cover %d/%d services, application %q has %d",
+			len(t.Bounds.Lo), len(t.Bounds.Hi), a.Name, n)
+	}
+	want := a.Parents()
+	got := t.Model.Cfg.Parents
+	if len(got) != len(want) {
+		return fmt.Errorf("graf: model graph has %d nodes, application %q has %d",
+			len(got), a.Name, len(want))
+	}
+	for i := range want {
+		if !sameParentSet(got[i], want[i]) {
+			return fmt.Errorf("graf: model graph disagrees with application %q at service %q: callers %v, want %v",
+				a.Name, a.Services[i].Name, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// sameParentSet compares two caller lists as sets.
+func sameParentSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Save persists the trained model and its metadata to path.

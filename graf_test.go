@@ -84,10 +84,34 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStartGRAFRejectsMismatchedModel(t *testing.T) {
+	tr := trained(t) // trained for OnlineBoutique (6 services)
+	s := NewSimulation(RobotShop(), 7)
+	if _, err := s.StartGRAF(tr, 250*time.Millisecond); err == nil {
+		t.Fatal("StartGRAF accepted a model trained for a different application")
+	}
+	if err := tr.ValidateFor(RobotShop()); err == nil {
+		t.Error("ValidateFor accepted a 6-service model for a 2-service app")
+	}
+	if err := tr.ValidateFor(OnlineBoutique()); err != nil {
+		t.Errorf("ValidateFor rejected the matching application: %v", err)
+	}
+
+	// Truncated bounds must be caught even when the service count matches.
+	bad := *tr
+	bad.Bounds = Bounds{Lo: tr.Bounds.Lo[:3], Hi: tr.Bounds.Hi[:3]}
+	if err := bad.ValidateFor(OnlineBoutique()); err == nil {
+		t.Error("ValidateFor accepted truncated bounds")
+	}
+}
+
 func TestGRAFControllerEndToEnd(t *testing.T) {
 	tr := trained(t)
 	s := NewSimulation(OnlineBoutique(), 5)
-	ctl := s.StartGRAF(tr, 250*time.Millisecond)
+	ctl, err := s.StartGRAF(tr, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gen := s.OpenLoop(ConstRate(120))
 	gen.Start()
 	s.RunFor(4 * time.Minute)
@@ -143,5 +167,41 @@ func TestStepRateHelper(t *testing.T) {
 	r := StepRate(10, 100, 30*time.Second)
 	if r(29) != 10 || r(31) != 100 {
 		t.Error("StepRate switch point wrong")
+	}
+}
+
+func TestChaosViaPublicAPI(t *testing.T) {
+	s := NewSimulation(OnlineBoutique(), 21)
+	for _, svc := range OnlineBoutique().ServiceNames() {
+		s.Cluster.Deployment(svc).SetReplicas(3)
+	}
+	gen := s.OpenLoop(ConstRate(40))
+	gen.Start()
+	s.RunFor(60 * time.Second)
+
+	inj := s.Chaos()
+	if inj != s.Chaos() {
+		t.Fatal("Chaos() must memoize the injector")
+	}
+	inj.Play(ChaosScenario{Name: "pub", Events: []ChaosEvent{
+		ChaosKill(1*time.Second, "cart", 1),
+		ChaosCrashFraction(5*time.Second, 0.3),
+		ChaosTelemetryBlackhole(10*time.Second, 10*time.Second),
+		ChaosArrivalSampling(12*time.Second, 0.5, 5*time.Second),
+		ChaosTraceDrop(12*time.Second, 0.5, 5*time.Second),
+		ChaosContention(15*time.Second, "currency", 2.0, 5*time.Second),
+	}})
+	s.RunFor(60 * time.Second)
+	gen.Stop()
+	s.Engine.Run()
+
+	if got := len(inj.Log()); got != 6 {
+		t.Fatalf("injector fired %d events, want 6", got)
+	}
+	if s.Cluster.KilledTotal() == 0 {
+		t.Error("no instances were killed")
+	}
+	if s.Cluster.InFlight() != 0 {
+		t.Errorf("%d requests stranded after drain", s.Cluster.InFlight())
 	}
 }

@@ -33,7 +33,10 @@ func TestIntegrationSocialNetworkLifecycle(t *testing.T) {
 	}
 
 	s := graf.NewSimulation(a, 13)
-	ctl := s.StartGRAF(loaded, slo)
+	ctl, err := s.StartGRAF(loaded, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gen := s.OpenLoop(graf.StepRate(60, 220, 3*time.Minute))
 	gen.Start()
 	s.RunFor(3 * time.Minute)

@@ -248,3 +248,32 @@ func TestScalesAreOrdered(t *testing.T) {
 		t.Error("iteration budgets not ordered")
 	}
 }
+
+func TestChaosHardenedBeatsVanilla(t *testing.T) {
+	tr := BoutiquePipeline(Quick())
+	hardened := runChaosPolicy(tr, "graf", tr.SLO, 42)
+	vanilla := runChaosPolicy(tr, "graf-vanilla", tr.SLO, 42)
+	if hardened.violRate >= vanilla.violRate {
+		t.Errorf("hardened viol rate %.3f not strictly below vanilla %.3f",
+			hardened.violRate, vanilla.violRate)
+	}
+	if hardened.stranded != 0 || vanilla.stranded != 0 {
+		t.Errorf("stranded in-flight requests after drain: hardened=%d vanilla=%d",
+			hardened.stranded, vanilla.stranded)
+	}
+	if hardened.stats.StaleHolds == 0 {
+		t.Error("telemetry blackhole never engaged the stale-telemetry hold")
+	}
+	sawDegraded := false
+	for _, h := range hardened.health {
+		if strings.Contains(h, "DegradedTelemetry") {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Errorf("no DegradedTelemetry transition in health log %v", hardened.health)
+	}
+	if vanilla.stats.StaleHolds != 0 || vanilla.stats.BreakerTrips != 0 || vanilla.stats.RateLimited != 0 {
+		t.Error("vanilla configuration must run with guardrails disabled")
+	}
+}

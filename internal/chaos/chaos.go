@@ -1,0 +1,181 @@
+// Package chaos is the fault-injection subsystem: deterministic,
+// scenario-scripted failures driven by the simulation engine. A Scenario
+// is a fixed schedule of Events — instance kills, correlated crash
+// fractions, telemetry blackholes and sampling faults, trace loss,
+// contention bursts — and an Injector plays it against a live cluster.
+// Because every event fires at a scripted simulated time and all
+// randomness flows through the engine's seeded source, a chaos run is as
+// reproducible as any other simulation, which is what lets the robustness
+// benchmarks compare hardened and vanilla control planes on identical
+// fault sequences.
+package chaos
+
+import (
+	"fmt"
+
+	"graf/internal/cluster"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// KillInstances kills N instances of one service.
+	KillInstances Kind = iota
+	// CrashFraction kills a correlated fraction of every deployment's
+	// instances (node loss, AZ outage).
+	CrashFraction
+	// TelemetryBlackhole suppresses one deployment's telemetry for a
+	// window: its CPU, latency and arrival windows read empty/stale.
+	TelemetryBlackhole
+	// FrontendBlackhole suppresses the frontend arrival and end-to-end
+	// latency windows for a window.
+	FrontendBlackhole
+	// ArrivalSampling keeps only a fraction of frontend arrival
+	// observations for a window (a lossy telemetry pipeline).
+	ArrivalSampling
+	// TraceDrop drops each completed trace with probability Fraction
+	// before it reaches the collector, for a window.
+	TraceDrop
+	// Contention multiplies one service's CPU work for a window.
+	Contention
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KillInstances:
+		return "kill"
+	case CrashFraction:
+		return "crash-fraction"
+	case TelemetryBlackhole:
+		return "telemetry-blackhole"
+	case FrontendBlackhole:
+		return "frontend-blackhole"
+	case ArrivalSampling:
+		return "arrival-sampling"
+	case TraceDrop:
+		return "trace-drop"
+	case Contention:
+		return "contention"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scripted fault. At is seconds after Play; the remaining
+// fields are a union interpreted per Kind (see the constructors).
+type Event struct {
+	At       float64
+	Kind     Kind
+	Service  string  // KillInstances, TelemetryBlackhole, Contention
+	N        int     // KillInstances
+	Fraction float64 // CrashFraction kill fraction; ArrivalSampling keep; TraceDrop probability
+	Factor   float64 // Contention work multiplier
+	Duration float64 // windowed faults (blackholes, sampling, drop, contention)
+}
+
+// Kill returns an event killing n instances of svc at time at.
+func Kill(at float64, svc string, n int) Event {
+	return Event{At: at, Kind: KillInstances, Service: svc, N: n}
+}
+
+// Crash returns an event killing fraction of every deployment's instances.
+func Crash(at, fraction float64) Event {
+	return Event{At: at, Kind: CrashFraction, Fraction: fraction}
+}
+
+// Blackhole returns an event suppressing svc's telemetry for duration.
+func Blackhole(at float64, svc string, duration float64) Event {
+	return Event{At: at, Kind: TelemetryBlackhole, Service: svc, Duration: duration}
+}
+
+// BlackholeFrontend returns an event suppressing the frontend arrival and
+// latency windows for duration.
+func BlackholeFrontend(at, duration float64) Event {
+	return Event{At: at, Kind: FrontendBlackhole, Duration: duration}
+}
+
+// SampleArrivals returns an event that records only fraction keep of
+// frontend arrivals for duration.
+func SampleArrivals(at, keep, duration float64) Event {
+	return Event{At: at, Kind: ArrivalSampling, Fraction: keep, Duration: duration}
+}
+
+// DropTraces returns an event dropping traces with probability p for
+// duration.
+func DropTraces(at, p, duration float64) Event {
+	return Event{At: at, Kind: TraceDrop, Fraction: p, Duration: duration}
+}
+
+// Contend returns an event multiplying svc's CPU work by factor for
+// duration.
+func Contend(at float64, svc string, factor, duration float64) Event {
+	return Event{At: at, Kind: Contention, Service: svc, Factor: factor, Duration: duration}
+}
+
+// Scenario is a named, deterministic fault schedule.
+type Scenario struct {
+	Name   string
+	Events []Event
+}
+
+// Fired records one executed fault.
+type Fired struct {
+	At     float64 // simulated time the fault fired
+	Event  Event
+	Detail string // e.g. "killed 3"
+}
+
+func (f Fired) String() string {
+	return fmt.Sprintf("t=%.1f %s %s", f.At, f.Event.Kind, f.Detail)
+}
+
+// Injector plays fault scenarios against one cluster on its engine.
+type Injector struct {
+	cl  *cluster.Cluster
+	log []Fired
+}
+
+// New returns an injector for cl.
+func New(cl *cluster.Cluster) *Injector { return &Injector{cl: cl} }
+
+// Play schedules every event of sc relative to the current simulated time.
+// It may be called more than once; schedules compose.
+func (in *Injector) Play(sc Scenario) {
+	now := in.cl.Eng.Now()
+	for _, ev := range sc.Events {
+		ev := ev
+		in.cl.Eng.At(now+ev.At, func() { in.apply(ev) })
+	}
+}
+
+func (in *Injector) apply(ev Event) {
+	detail := ""
+	switch ev.Kind {
+	case KillInstances:
+		detail = fmt.Sprintf("%s killed %d", ev.Service, in.cl.KillInstances(ev.Service, ev.N))
+	case CrashFraction:
+		detail = fmt.Sprintf("killed %d (%.0f%% of every deployment)", in.cl.CrashFraction(ev.Fraction), ev.Fraction*100)
+	case TelemetryBlackhole:
+		in.cl.Deployment(ev.Service).SuppressTelemetry(ev.Duration)
+		detail = fmt.Sprintf("%s for %.0fs", ev.Service, ev.Duration)
+	case FrontendBlackhole:
+		in.cl.SuppressFrontendTelemetry(ev.Duration)
+		detail = fmt.Sprintf("for %.0fs", ev.Duration)
+	case ArrivalSampling:
+		in.cl.SetArrivalSampling(ev.Fraction)
+		in.cl.Eng.After(ev.Duration, func() { in.cl.SetArrivalSampling(1) })
+		detail = fmt.Sprintf("keep %.0f%% for %.0fs", ev.Fraction*100, ev.Duration)
+	case TraceDrop:
+		in.cl.SetTraceDrop(ev.Fraction)
+		in.cl.Eng.After(ev.Duration, func() { in.cl.SetTraceDrop(0) })
+		detail = fmt.Sprintf("p=%.2f for %.0fs", ev.Fraction, ev.Duration)
+	case Contention:
+		in.cl.InjectContention(ev.Service, ev.Factor, ev.Duration)
+		detail = fmt.Sprintf("%s ×%.1f for %.0fs", ev.Service, ev.Factor, ev.Duration)
+	}
+	in.log = append(in.log, Fired{At: in.cl.Eng.Now(), Event: ev, Detail: detail})
+}
+
+// Log returns the faults fired so far, in firing order.
+func (in *Injector) Log() []Fired { return in.log }

@@ -55,6 +55,18 @@ type Config struct {
 
 	// TraceCap bounds retained traces per API (0 = unbounded).
 	TraceCap int
+
+	// MaxRetries, RetryBaseS and QueueTimeoutS parameterize the call
+	// layer's fault handling (the client side of each RPC). A job lost to
+	// a crashed instance — or stuck in queue longer than QueueTimeoutS —
+	// is retried up to MaxRetries times with exponential backoff starting
+	// at RetryBaseS. Exhausted retries fail the call: the request
+	// continues degraded (as with an upstream 5xx swallowed by the
+	// caller) and the failure is surfaced in the deployment's error-rate
+	// telemetry. QueueTimeoutS = 0 disables queue timeouts.
+	MaxRetries    int
+	RetryBaseS    float64
+	QueueTimeoutS float64
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -65,6 +77,9 @@ func DefaultConfig() Config {
 		StartupSlopeS: 2.67,
 		MinQuota:      10,
 		TraceCap:      4096,
+		MaxRetries:    3,
+		RetryBaseS:    0.25,
+		QueueTimeoutS: 0,
 	}
 }
 
@@ -73,11 +88,14 @@ type instance struct {
 	ready     bool
 	busy      bool
 	condemned bool
+	crashed   bool
 	readyAt   float64
 }
 
 type job struct {
 	enqueuedAt float64
+	started    bool // dispatched to an instance
+	dead       bool // timed out while queued; dispatch must skip it
 	exec       func(inst *instance, queued float64)
 }
 
@@ -104,6 +122,13 @@ type Deployment struct {
 	cpuWork     *metrics.Window // CPU-seconds consumed, stamped at completion
 	selfLat     *metrics.Window // per-invocation self latency (s): queue+service
 	arrivals    *metrics.Window // arrival timestamps (value 1)
+	errors      *metrics.Window // failed attempts (crashes, timeouts), value 1
+
+	// suppressUntil black-holes the deployment's metric writes (cpuWork,
+	// selfLat, arrivals) until the given simulated time: a dead metrics
+	// agent. Instance-count series are exempt — the control plane, not
+	// the telemetry pipeline, reports those.
+	suppressUntil float64
 }
 
 // Cluster simulates one application deployed on an orchestration substrate.
@@ -123,19 +148,31 @@ type Cluster struct {
 	inFlight     int
 	onDoneDrain  func()
 	createdTotal int
+
+	// Fault-injection state (driven by internal/chaos).
+	frontSuppressUntil float64 // frontend arrival+latency windows black-holed
+	arrivalKeep        float64 // fraction of frontend arrivals recorded (1 = all)
+	arrivalAcc         float64 // deterministic sampling accumulator
+	traceDropP         float64 // probability a completed trace never reaches the collector
+
+	killedTotal   int // instances killed by fault injection
+	failedCalls   int // calls that exhausted their retries
+	failedReqs    int // requests completing with ≥1 failed call
+	droppedTraces int
 }
 
 // New builds a cluster for application a on engine eng. Every deployment
 // starts with one instance, already ready (as after an initial rollout).
 func New(eng *sim.Engine, a *app.App, cfg Config) *Cluster {
 	c := &Cluster{
-		Eng:    eng,
-		App:    a,
-		Cfg:    cfg,
-		deps:   make(map[string]*Deployment, len(a.Services)),
-		traces: trace.NewCollector(cfg.TraceCap),
-		e2e:    make(map[string]*metrics.Window),
-		e2eAll: metrics.NewWindow(),
+		Eng:         eng,
+		App:         a,
+		Cfg:         cfg,
+		deps:        make(map[string]*Deployment, len(a.Services)),
+		traces:      trace.NewCollector(cfg.TraceCap),
+		e2e:         make(map[string]*metrics.Window),
+		e2eAll:      metrics.NewWindow(),
+		arrivalKeep: 1,
 	}
 	for _, svc := range a.Services {
 		d := &Deployment{
@@ -147,6 +184,7 @@ func New(eng *sim.Engine, a *app.App, cfg Config) *Cluster {
 			cpuWork:     metrics.NewWindow(),
 			selfLat:     metrics.NewWindow(),
 			arrivals:    metrics.NewWindow(),
+			errors:      metrics.NewWindow(),
 		}
 		inst := &instance{id: d.nextID, ready: true, readyAt: eng.Now()}
 		d.nextID++
@@ -318,7 +356,7 @@ func (d *Deployment) createBatch(k int) {
 		d.cl.createdTotal++
 		in := inst
 		d.cl.Eng.At(in.readyAt, func() {
-			if in.condemned {
+			if in.condemned || in.crashed {
 				return
 			}
 			in.ready = true
@@ -361,14 +399,16 @@ func (d *Deployment) gc() {
 // --- Deployment: serving ---------------------------------------------------
 
 func (d *Deployment) enqueue(j *job) {
-	d.arrivals.Add(d.cl.Eng.Now(), 1)
+	if d.telemetryOn() {
+		d.arrivals.Add(d.cl.Eng.Now(), 1)
+	}
 	d.queue = append(d.queue, j)
 	d.dispatch()
 }
 
 func (d *Deployment) freeInstance() *instance {
 	for _, in := range d.instances {
-		if in.ready && !in.busy && !in.condemned {
+		if in.ready && !in.busy && !in.condemned && !in.crashed {
 			return in
 		}
 	}
@@ -377,13 +417,18 @@ func (d *Deployment) freeInstance() *instance {
 
 func (d *Deployment) dispatch() {
 	for len(d.queue) > 0 {
+		j := d.queue[0]
+		if j.dead {
+			d.queue = d.queue[1:]
+			continue
+		}
 		in := d.freeInstance()
 		if in == nil {
 			return
 		}
-		j := d.queue[0]
 		d.queue = d.queue[1:]
 		in.busy = true
+		j.started = true
 		j.exec(in, d.cl.Eng.Now()-j.enqueuedAt)
 	}
 }
@@ -515,12 +560,28 @@ func (d *Deployment) ArrivalRateAt(t, window float64) float64 {
 	return float64(d.arrivals.Count(from, t)) / (t - from)
 }
 
+// ErrorRate returns failed call attempts per second (crashed-instance
+// losses and queue timeouts, including ones later recovered by a retry)
+// over the trailing window.
+func (d *Deployment) ErrorRate(window float64) float64 {
+	now := d.cl.Eng.Now()
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	if now <= from {
+		return 0
+	}
+	return float64(d.errors.Count(from, now)) / (now - from)
+}
+
 // TrimTelemetry drops telemetry older than before to bound memory in long
 // runs.
 func (d *Deployment) TrimTelemetry(before float64) {
 	d.cpuWork.Trim(before)
 	d.selfLat.Trim(before)
 	d.arrivals.Trim(before)
+	d.errors.Trim(before)
 }
 
 // E2ELatencyQuantile returns the q-quantile of end-to-end latency (seconds)
@@ -657,14 +718,23 @@ func (c *Cluster) Submit(api string, onDone func(latency float64)) {
 	c.nextTraceID++
 	tid := c.nextTraceID
 	start := c.Eng.Now()
-	c.apiArrivals[api].Add(start, 1)
+	c.recordArrival(api, start)
 	tr := &trace.Trace{ID: tid, API: api}
 	c.inFlight++
 	c.execCall(ap.Root, api, tid, "", tr, func() {
 		lat := c.Eng.Now() - start
-		c.e2e[api].Add(c.Eng.Now(), lat)
-		c.e2eAll.Add(c.Eng.Now(), lat)
-		c.traces.Collect(*tr)
+		if c.frontendTelemetryOn() {
+			c.e2e[api].Add(c.Eng.Now(), lat)
+			c.e2eAll.Add(c.Eng.Now(), lat)
+		}
+		if c.traceDropP > 0 && c.Eng.Rand().Float64() < c.traceDropP {
+			c.droppedTraces++
+		} else {
+			c.traces.Collect(*tr)
+		}
+		if tr.Errors > 0 {
+			c.failedReqs++
+		}
 		c.inFlight--
 		if onDone != nil {
 			onDone(lat)
@@ -675,8 +745,29 @@ func (c *Cluster) Submit(api string, onDone func(latency float64)) {
 	})
 }
 
+// recordArrival stamps one frontend arrival, subject to the telemetry
+// fault taps: a full blackhole window drops it, and arrival sampling keeps
+// only a deterministic arrivalKeep fraction.
+func (c *Cluster) recordArrival(api string, at float64) {
+	if !c.frontendTelemetryOn() {
+		return
+	}
+	if c.arrivalKeep < 1 {
+		c.arrivalAcc += c.arrivalKeep
+		if c.arrivalAcc < 1 {
+			return
+		}
+		c.arrivalAcc--
+	}
+	c.apiArrivals[api].Add(at, 1)
+}
+
 // execCall runs one Call node: Times() sequential repetitions of
-// (queue → service → stages), then done.
+// (queue → service → stages), then done. Each repetition is one RPC at the
+// call layer: a job lost to a crashed instance, or stuck queued past the
+// queue timeout, is retried with exponential backoff up to Cfg.MaxRetries
+// times; exhausted retries fail the call and the request continues
+// degraded (the caller swallows the error), annotated on the trace.
 func (c *Cluster) execCall(call *app.Call, api string, tid int64, parent string, tr *trace.Trace, done func()) {
 	d := c.Deployment(call.Service)
 	reps := call.Times()
@@ -687,14 +778,39 @@ func (c *Cluster) execCall(call *app.Call, api string, tid int64, parent string,
 			return
 		}
 		enq := c.Eng.Now()
-		d.enqueue(&job{
-			enqueuedAt: enq,
-			exec: func(in *instance, queued float64) {
+		var attempt func(try int)
+		// retryOrFail runs after a failed attempt: backoff-retry while
+		// budget remains, otherwise fail the call. Each attempt fails at
+		// most once (the queue-timeout and crash paths are mutually
+		// exclusive via job.started), so a completed request is never
+		// duplicated by a retry.
+		retryOrFail := func(try int) {
+			d.errors.Add(c.Eng.Now(), 1)
+			if try < c.Cfg.MaxRetries {
+				backoff := c.Cfg.RetryBaseS * math.Pow(2, float64(try))
+				c.Eng.After(backoff, func() { attempt(try + 1) })
+				return
+			}
+			c.failedCalls++
+			tr.Errors++
+			runRep(rep + 1)
+		}
+		attempt = func(try int) {
+			j := &job{enqueuedAt: c.Eng.Now()}
+			j.exec = func(in *instance, queued float64) {
 				svcS, cpuS := d.sampleServiceTime()
 				c.Eng.After(svcS, func() {
+					if in.crashed {
+						// The instance died under the request: its work
+						// and telemetry are lost.
+						retryOrFail(try)
+						return
+					}
 					now := c.Eng.Now()
-					d.cpuWork.Add(now, cpuS)
-					d.selfLat.Add(now, queued+svcS)
+					if d.telemetryOn() {
+						d.cpuWork.Add(now, cpuS)
+						d.selfLat.Add(now, queued+svcS)
+					}
 					d.release(in)
 					// Service work done; run stages, then record span.
 					c.runStages(call, 0, api, tid, tr, func() {
@@ -706,8 +822,20 @@ func (c *Cluster) execCall(call *app.Call, api string, tid int64, parent string,
 						runRep(rep + 1)
 					})
 				})
-			},
-		})
+			}
+			if c.Cfg.QueueTimeoutS > 0 {
+				jj := j
+				c.Eng.After(c.Cfg.QueueTimeoutS, func() {
+					if jj.started || jj.dead {
+						return
+					}
+					jj.dead = true
+					retryOrFail(try)
+				})
+			}
+			d.enqueue(j)
+		}
+		attempt(0)
 	}
 	runRep(0)
 }
@@ -764,4 +892,177 @@ func (d *Deployment) Contention() float64 {
 		return 1
 	}
 	return d.contention
+}
+
+// --- Fault injection (the substrate hooks internal/chaos drives) -----------
+
+// KillInstances abruptly terminates up to n instances of the deployment — a
+// crash, not a graceful condemnation. Busy instances lose their in-flight
+// job (the call layer retries it with backoff), and the deployment
+// immediately starts replacement instances to meet its desired quota,
+// paying the Figure-1 startup delay. Returns how many were killed.
+func (d *Deployment) KillInstances(n int) int {
+	killed := 0
+	// Prefer ready instances: a correlated failure takes out running pods
+	// first. Fall back to still-starting ones.
+	for _, pred := range []func(*instance) bool{
+		func(in *instance) bool { return in.ready },
+		func(in *instance) bool { return true },
+	} {
+		for _, in := range d.instances {
+			if killed == n {
+				break
+			}
+			if in.crashed || in.condemned || !pred(in) {
+				continue
+			}
+			in.crashed = true
+			in.ready = false
+			killed++
+		}
+	}
+	if killed == 0 {
+		return 0
+	}
+	d.cl.killedTotal += killed
+	kept := d.instances[:0]
+	for _, in := range d.instances {
+		if in.crashed {
+			continue
+		}
+		kept = append(kept, in)
+	}
+	d.instances = kept
+	// Replace the lost capacity, like a ReplicaSet restoring its desired
+	// count: the restart pays the full startup latency.
+	want := int(math.Ceil(d.quota / d.cl.Cfg.CPUUnit))
+	if want < 1 {
+		want = 1
+	}
+	if missing := want - d.Replicas(); missing > 0 {
+		d.createBatch(missing)
+	}
+	d.recordCounts()
+	d.dispatch()
+	return killed
+}
+
+// SuppressTelemetry black-holes the deployment's telemetry for duration
+// seconds: CPU, self-latency and arrival observations are dropped, so
+// trailing-window reads go empty or stale — a dead metrics agent.
+func (d *Deployment) SuppressTelemetry(duration float64) {
+	until := d.cl.Eng.Now() + duration
+	if until > d.suppressUntil {
+		d.suppressUntil = until
+	}
+}
+
+func (d *Deployment) telemetryOn() bool { return d.cl.Eng.Now() >= d.suppressUntil }
+
+// KillInstances kills up to n instances of the named service.
+func (c *Cluster) KillInstances(svc string, n int) int {
+	return c.Deployment(svc).KillInstances(n)
+}
+
+// CrashFraction kills ceil(frac × replicas) instances of every deployment —
+// a correlated failure such as a node loss or an availability-zone outage.
+// Returns the total number of instances killed.
+func (c *Cluster) CrashFraction(frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	total := 0
+	for _, name := range c.names {
+		d := c.deps[name]
+		total += d.KillInstances(int(math.Ceil(frac * float64(d.Replicas()))))
+	}
+	return total
+}
+
+// SuppressFrontendTelemetry black-holes the frontend's arrival and
+// end-to-end latency windows for duration seconds: every signal the
+// proactive controller reads goes silent while requests keep flowing.
+func (c *Cluster) SuppressFrontendTelemetry(duration float64) {
+	until := c.Eng.Now() + duration
+	if until > c.frontSuppressUntil {
+		c.frontSuppressUntil = until
+	}
+}
+
+func (c *Cluster) frontendTelemetryOn() bool { return c.Eng.Now() >= c.frontSuppressUntil }
+
+// SetArrivalSampling keeps only fraction keep (0..1) of frontend arrival
+// observations, on a deterministic pattern — a telemetry pipeline that
+// samples or drops the workload signal, so rate reads under-report by
+// 1/keep. 1 restores full fidelity.
+func (c *Cluster) SetArrivalSampling(keep float64) {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > 1 {
+		keep = 1
+	}
+	c.arrivalKeep = keep
+	c.arrivalAcc = 0
+}
+
+// SetTraceDrop makes each completed trace vanish before reaching the
+// collector with probability p (0 restores lossless collection).
+func (c *Cluster) SetTraceDrop(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.traceDropP = p
+}
+
+// KilledTotal returns the cumulative number of instances killed by fault
+// injection.
+func (c *Cluster) KilledTotal() int { return c.killedTotal }
+
+// FailedCalls returns how many calls exhausted their retries.
+func (c *Cluster) FailedCalls() int { return c.failedCalls }
+
+// FailedRequests returns how many requests completed with at least one
+// failed call (a degraded response).
+func (c *Cluster) FailedRequests() int { return c.failedReqs }
+
+// DroppedTraces returns how many traces were lost before the collector.
+func (c *Cluster) DroppedTraces() int { return c.droppedTraces }
+
+// LastArrivalAt returns the timestamp of the most recent recorded frontend
+// arrival across all APIs, and whether any exists — the freshness signal a
+// stale-telemetry detector compares against the clock.
+func (c *Cluster) LastArrivalAt() (float64, bool) {
+	best, any := 0.0, false
+	for _, w := range c.apiArrivals {
+		if at, ok := w.LastAt(); ok && (!any || at > best) {
+			best, any = at, true
+		}
+	}
+	return best, any
+}
+
+// LastDeploymentTelemetryAt returns the timestamp of the most recent
+// deployment-level telemetry observation (arrivals or CPU samples) across
+// all deployments, and whether any exists. A controller seeing the frontend
+// signal go dark uses this as corroborating evidence that the cluster is
+// still serving traffic — a frontend blackhole leaves deployment telemetry
+// flowing, while a genuine traffic stop silences both.
+func (c *Cluster) LastDeploymentTelemetryAt() (float64, bool) {
+	best, any := 0.0, false
+	for _, d := range c.deps {
+		if at, ok := d.arrivals.LastAt(); ok && (!any || at > best) {
+			best, any = at, true
+		}
+		if at, ok := d.cpuWork.LastAt(); ok && (!any || at > best) {
+			best, any = at, true
+		}
+	}
+	return best, any
 }

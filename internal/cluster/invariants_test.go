@@ -162,6 +162,147 @@ func TestPendingInstances(t *testing.T) {
 	}
 }
 
+// Conservation under fault injection: with instance kills, retries and
+// queue timeouts in play, every submitted request still completes exactly
+// once (a retried call must never complete twice, a crashed one never
+// strand), and in-flight accounting returns to zero.
+func TestRequestConservationUnderKillsProperty(t *testing.T) {
+	f := func(seed int64, rateRaw, killRaw uint8) bool {
+		rate := 10 + float64(rateRaw%50)
+		cfg := DefaultConfig()
+		cfg.QueueTimeoutS = 8 // bound the wait behind dead capacity
+		eng := sim.NewEngine(seed)
+		cl := New(eng, app.OnlineBoutique(), cfg)
+		for _, name := range cl.App.ServiceNames() {
+			cl.Deployment(name).SetReplicas(2)
+		}
+		eng.RunUntil(60)
+		submitted, completed := 0, 0
+		base := eng.Now()
+		for i := 0; i < 150; i++ {
+			at := base + float64(i)/rate
+			eng.At(at, func() {
+				submitted++
+				cl.Submit("cart", func(float64) { completed++ })
+			})
+		}
+		// Kill churn while requests are in flight: single-service kills and
+		// correlated crashes.
+		for i := 0; i < 4; i++ {
+			at := base + float64(i+1)*150/rate/5
+			n := 1 + int(killRaw)%2
+			eng.At(at, func() {
+				cl.KillInstances("cart", n)
+				if n > 1 {
+					cl.CrashFraction(0.3)
+				}
+			})
+		}
+		eng.Run()
+		return submitted == 150 && completed == 150 && cl.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(80))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Crashed instances are removed immediately and condemned ones are never
+// handed new work: at every instant, no instance in any deployment's slice
+// is crashed, in-flight never goes negative, and replica counts recover to
+// the quota-implied target after the fault.
+func TestKilledInstancesNeverDispatched(t *testing.T) {
+	eng := sim.NewEngine(13)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	for _, name := range cl.App.ServiceNames() {
+		cl.Deployment(name).SetReplicas(3)
+	}
+	eng.RunUntil(60)
+	for i := 0; i < 1500; i++ {
+		at := 60 + float64(i)/25
+		eng.At(at, func() { cl.Submit("catalogue", nil) })
+	}
+	for i := 0; i < 6; i++ {
+		at := 65 + float64(i)*8
+		eng.At(at, func() {
+			cl.KillInstances("catalogue", 1)
+			cl.KillInstances("web", 1)
+		})
+	}
+	stop := eng.Ticker(61, 0.5, func() {
+		if cl.InFlight() < 0 {
+			t.Fatalf("negative in-flight %d at t=%v", cl.InFlight(), eng.Now())
+		}
+		for _, name := range cl.App.ServiceNames() {
+			d := cl.Deployment(name)
+			for _, in := range d.instances {
+				if in.crashed {
+					t.Fatalf("%s still lists crashed instance %d at t=%v", name, in.id, eng.Now())
+				}
+				if in.condemned && !in.busy {
+					t.Fatalf("%s keeps idle condemned instance %d at t=%v", name, in.id, eng.Now())
+				}
+			}
+		}
+	})
+	eng.RunUntil(125)
+	stop()
+	eng.Run()
+	if cl.KilledTotal() == 0 {
+		t.Fatal("no kills happened")
+	}
+	if cl.InFlight() != 0 {
+		t.Errorf("%d requests stranded after drain", cl.InFlight())
+	}
+	for _, name := range cl.App.ServiceNames() {
+		d := cl.Deployment(name)
+		if d.ReadyReplicas() == 0 {
+			t.Errorf("%s never recovered after kills", name)
+		}
+	}
+}
+
+// Telemetry windows stay monotone through suppression faults: the newest
+// observation timestamp never decreases and never runs ahead of the clock,
+// even as blackholes start and end.
+func TestTelemetryMonotoneUnderSuppression(t *testing.T) {
+	eng := sim.NewEngine(14)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	for _, name := range cl.App.ServiceNames() {
+		cl.Deployment(name).SetReplicas(3)
+	}
+	eng.RunUntil(30)
+	for i := 0; i < 2400; i++ {
+		at := 30 + float64(i)/20
+		eng.At(at, func() { cl.Submit("catalogue", nil) })
+	}
+	eng.At(50, func() { cl.SuppressFrontendTelemetry(20) })
+	eng.At(55, func() { cl.Deployment("web").SuppressTelemetry(15) })
+	eng.At(90, func() { cl.SetArrivalSampling(0.2) })
+	eng.At(110, func() { cl.SetArrivalSampling(1) })
+	prevFront, prevDep := -1.0, -1.0
+	stop := eng.Ticker(31, 1, func() {
+		now := eng.Now()
+		if at, ok := cl.LastArrivalAt(); ok {
+			if at < prevFront || at > now+1e-9 {
+				t.Fatalf("frontend LastArrivalAt went %v → %v at t=%v", prevFront, at, now)
+			}
+			prevFront = at
+		}
+		if at, ok := cl.LastDeploymentTelemetryAt(); ok {
+			if at < prevDep || at > now+1e-9 {
+				t.Fatalf("deployment telemetry went %v → %v at t=%v", prevDep, at, now)
+			}
+			prevDep = at
+		}
+	})
+	eng.RunUntil(150)
+	stop()
+	eng.Run()
+	if prevFront < 0 || prevDep < 0 {
+		t.Fatal("no telemetry observed at all")
+	}
+}
+
 func TestCPUPerRequestMS(t *testing.T) {
 	eng := sim.NewEngine(12)
 	cl := New(eng, app.RobotShop(), DefaultConfig())

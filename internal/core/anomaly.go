@@ -41,14 +41,15 @@ type AnomalyMitigator struct {
 	Cluster *cluster.Cluster
 	Cfg     AnomalyMitigatorConfig
 
-	extra map[string]float64 // quota added by the mitigator per service
-	fired int
-	stop  func()
+	extra    map[string]float64 // quota added by the mitigator per service
+	preBoost map[string]float64 // quota observed before the first boost
+	fired    int
+	stop     func()
 }
 
 // NewAnomalyMitigator returns a mitigator for every microservice of c.
 func NewAnomalyMitigator(c *cluster.Cluster, cfg AnomalyMitigatorConfig) *AnomalyMitigator {
-	return &AnomalyMitigator{Cluster: c, Cfg: cfg, extra: map[string]float64{}}
+	return &AnomalyMitigator{Cluster: c, Cfg: cfg, extra: map[string]float64{}, preBoost: map[string]float64{}}
 }
 
 // Start begins the check loop.
@@ -87,17 +88,25 @@ func (m *AnomalyMitigator) Step() {
 		spiking := short > long*m.Cfg.SpikeFactor && rateShift <= m.Cfg.RateTol
 		switch {
 		case spiking && m.extra[name] < m.Cfg.MaxBoost:
+			if m.extra[name] == 0 {
+				m.preBoost[name] = d.Quota()
+			}
 			m.extra[name] += m.Cfg.BoostQuota
 			m.fired++
 			d.SetQuota(d.Quota() + m.Cfg.BoostQuota)
 		case !spiking && m.extra[name] > 0 && short <= long*1.1:
-			// Spike cleared: return the borrowed quota.
+			// Spike cleared: return the borrowed quota. Never restore below
+			// the quota the service held before the first boost — the
+			// controller may have re-solved meanwhile, but a restore that
+			// undercuts the pre-boost baseline would starve the service on
+			// a signal the mitigator itself distorted.
 			give := m.extra[name]
 			m.extra[name] = 0
 			q := d.Quota() - give
-			if q < m.Cfg.BoostQuota {
-				q = m.Cfg.BoostQuota
+			if q < m.preBoost[name] {
+				q = m.preBoost[name]
 			}
+			delete(m.preBoost, name)
 			d.SetQuota(q)
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"graf/internal/cluster"
 )
 
@@ -62,7 +64,90 @@ type ControllerConfig struct {
 	// fixed point. 1 (or 0) disables it.
 	ViolationBoost float64
 
+	// BoostCap ceilings the ViolationBoost compounding: under a
+	// persistent violation repeated boosts multiply the last quotas
+	// without bound, so each boosted quota is clamped to
+	// BoostCap × Bounds.Hi for its service. 0 disables the cap.
+	BoostCap float64
+
+	// --- Graceful degradation (chaos hardening) ---------------------
+
+	// StaleRateCollapse treats a one-interval collapse of the observed
+	// front-end rate below this fraction of the last solved-for rate —
+	// while requests are still in flight — as a telemetry fault rather
+	// than a real traffic drop: the controller holds the last-known-good
+	// configuration instead of solving on the bogus signal. 0 disables
+	// the detector.
+	StaleRateCollapse float64
+
+	// StaleHoldMaxS bounds how long the stale-telemetry hold lasts. A
+	// collapsed signal persisting longer is accepted as a real traffic
+	// drop and the proactive path resumes on it.
+	StaleHoldMaxS float64
+
+	// BreakerBand opens the model circuit breaker when a solve is
+	// untrustworthy: a NaN/non-positive prediction trips it immediately,
+	// a measured p99 more than BreakerBand× the model's prediction trips
+	// it (the model grossly underestimates — the dangerous direction),
+	// and repeated non-converged solves that also miss the SLO trip it.
+	// While open the controller allocates with the demand-floor heuristic
+	// instead of the model and keeps shadow-solving every interval;
+	// BreakerClose consecutive healthy shadow solves close it again.
+	// 0 disables the breaker.
+	BreakerBand  float64
+	BreakerClose int
+
+	// MaxStepUp and MaxStepDown rate-limit the applied configuration per
+	// decision interval: each service's new quota is clamped to
+	// [old × MaxStepDown, old × MaxStepUp]. This stops flapping on noisy
+	// or faulted signals. Zero disables a direction.
+	MaxStepUp   float64
+	MaxStepDown float64
+
 	Solver SolverConfig
+}
+
+// HealthState enumerates the controller's degraded-mode state machine.
+type HealthState int
+
+const (
+	// Healthy: the proactive model-driven path is in control.
+	Healthy HealthState = iota
+	// DegradedTelemetry: the workload signal looks stale or black-holed;
+	// the controller is holding the last-known-good configuration.
+	DegradedTelemetry
+	// FallbackHeuristic: the model circuit breaker is open; allocations
+	// come from the demand-floor heuristic.
+	FallbackHeuristic
+	// Boosting: a measured SLO violation has engaged the reactive boost
+	// guardrail.
+	Boosting
+)
+
+// String names the health state.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "Healthy"
+	case DegradedTelemetry:
+		return "DegradedTelemetry"
+	case FallbackHeuristic:
+		return "FallbackHeuristic"
+	case Boosting:
+		return "Boosting"
+	}
+	return "Unknown"
+}
+
+// HealthStats counts degraded-mode activity.
+type HealthStats struct {
+	StaleHolds     int // decisions held on suspected-stale telemetry
+	BreakerTrips   int // model circuit breaker openings
+	BreakerCloses  int // breaker closings after healthy streaks
+	FallbackSolves int // decisions served by the heuristic allocator
+	RateLimited    int // applied configurations clamped by the step limiter
+	Boosts         int // reactive boost firings
+	Transitions    int // health-state transitions
 }
 
 // DefaultControllerConfig returns the loop settings used in the evaluation.
@@ -76,8 +161,31 @@ func DefaultControllerConfig(slo float64) ControllerConfig {
 		MinTotalRate:    1,
 		DemandFloorUtil: 0.85,
 		ViolationBoost:  1.5,
-		Solver:          DefaultSolverConfig(),
+		BoostCap:        4,
+
+		StaleRateCollapse: 0.35,
+		StaleHoldMaxS:     60,
+		BreakerBand:       12,
+		BreakerClose:      3,
+		MaxStepUp:         6,
+		MaxStepDown:       0.5,
+
+		Solver: DefaultSolverConfig(),
 	}
+}
+
+// VanillaControllerConfig returns the loop settings with every
+// graceful-degradation guardrail disabled — the controller exactly as the
+// paper describes it. The chaos benchmarks compare this against the
+// hardened default.
+func VanillaControllerConfig(slo float64) ControllerConfig {
+	cfg := DefaultControllerConfig(slo)
+	cfg.BoostCap = 0
+	cfg.StaleRateCollapse = 0
+	cfg.BreakerBand = 0
+	cfg.MaxStepUp = 0
+	cfg.MaxStepDown = 0
+	return cfg
 }
 
 // Controller is GRAF's runtime: every interval it reads the front-end
@@ -93,19 +201,32 @@ type Controller struct {
 	Cfg      ControllerConfig
 
 	lastRate   float64
+	lastRateAt float64 // simulated time lastRate was observed
 	lastSLO    float64
 	lastQuotas map[string]float64
 	solves     int
 	boosts     int
 	stop       func()
 
+	// Degraded-mode state.
+	health       HealthState
+	stats        HealthStats
+	staleSince   float64 // simulated time the suspect signal first appeared; -1 = none
+	breakerOpen  bool
+	healthStreak int // consecutive healthy solves while the breaker is open
+	unconverged  int // consecutive non-converged solves
+
 	// OnDecision, if set, observes every applied configuration.
 	OnDecision func(t float64, totalRate float64, sol Solution)
+
+	// OnHealth, if set, observes every transition of the degraded-mode
+	// state machine.
+	OnHealth func(t float64, from, to HealthState)
 }
 
 // NewController wires a controller. The bounds come from Algorithm 1.
 func NewController(cl *cluster.Cluster, m LatencyModel, an *Analyzer, b Bounds, cfg ControllerConfig) *Controller {
-	return &Controller{Cluster: cl, Model: m, Analyzer: an, Bounds: b, Cfg: cfg}
+	return &Controller{Cluster: cl, Model: m, Analyzer: an, Bounds: b, Cfg: cfg, staleSince: -1}
 }
 
 // Solves returns how many times the solver has run.
@@ -113,6 +234,24 @@ func (c *Controller) Solves() int { return c.solves }
 
 // Boosts returns how many times the SLO-violation guardrail fired.
 func (c *Controller) Boosts() int { return c.boosts }
+
+// Health returns the controller's current degraded-mode state.
+func (c *Controller) Health() HealthState { return c.health }
+
+// Stats returns the degraded-mode activity counters.
+func (c *Controller) Stats() HealthStats { return c.stats }
+
+func (c *Controller) setHealth(s HealthState) {
+	if s == c.health {
+		return
+	}
+	from := c.health
+	c.health = s
+	c.stats.Transitions++
+	if c.OnHealth != nil {
+		c.OnHealth(c.Cluster.Eng.Now(), from, s)
+	}
+}
 
 // Start begins the control loop at the current simulated time.
 func (c *Controller) Start() {
@@ -146,10 +285,18 @@ func (c *Controller) Step() {
 				c.lastQuotas = c.Cluster.Quotas()
 			}
 			for k := range c.lastQuotas {
-				c.lastQuotas[k] *= c.Cfg.ViolationBoost
+				q := c.lastQuotas[k] * c.Cfg.ViolationBoost
+				if c.Cfg.BoostCap > 0 {
+					if cap := c.hiFor(k) * c.Cfg.BoostCap; cap > 0 && q > cap {
+						q = cap
+					}
+				}
+				c.lastQuotas[k] = q
 			}
 			c.Cluster.ApplyQuotas(c.lastQuotas)
 			c.boosts++
+			c.stats.Boosts++
+			c.setHealth(Boosting)
 			return
 		}
 	}
@@ -158,6 +305,60 @@ func (c *Controller) Step() {
 	for _, r := range rates {
 		total += r
 	}
+
+	// Stale-telemetry detection: a collapse of the observed rate while the
+	// cluster is demonstrably still serving traffic is a telemetry fault
+	// (black-holed or sampled-down pipeline), not a traffic drop. Hold the
+	// last-known-good configuration instead of solving on it — but only
+	// for StaleHoldMaxS; a collapse that persists longer is accepted as
+	// real. Two signatures are recognized:
+	//   - gap: no new frontend arrival has been recorded for a full
+	//     decision interval (a dead pipeline), while the rate reads below
+	//     its reference — catches blackholes at the fault edge, before
+	//     the trailing window has fully decayed;
+	//   - collapse: the rate reads below StaleRateCollapse× the reference
+	//     — catches lossy sampling, where observations keep trickling in.
+	// Either needs corroborating activity evidence: requests in flight, or
+	// deployment-level telemetry (which a frontend fault leaves intact)
+	// within the last interval. The reference rate is only trusted once at
+	// least one decision interval has elapsed — observations right at
+	// simulation start divide by near-zero elapsed time and can be wildly
+	// inflated.
+	now := c.Cluster.Eng.Now()
+	collapsed := false
+	if c.Cfg.StaleRateCollapse > 0 && c.lastRate > 0 && c.lastRateAt >= c.Cfg.IntervalS {
+		evidence := c.Cluster.InFlight() > 0
+		if !evidence {
+			if at, ok := c.Cluster.LastDeploymentTelemetryAt(); ok && now-at <= c.Cfg.IntervalS {
+				evidence = true
+			}
+		}
+		if evidence {
+			if total < c.lastRate*c.Cfg.StaleRateCollapse {
+				collapsed = true
+			} else if total < c.lastRate {
+				if at, ok := c.Cluster.LastArrivalAt(); !ok || now-at >= c.Cfg.IntervalS {
+					collapsed = true
+				}
+			}
+		}
+	}
+	if collapsed {
+		if c.staleSince < 0 {
+			c.staleSince = now
+		}
+		if c.Cfg.StaleHoldMaxS <= 0 || now-c.staleSince <= c.Cfg.StaleHoldMaxS {
+			c.stats.StaleHolds++
+			c.setHealth(DegradedTelemetry)
+			return
+		}
+		// Hold expired: fall through and treat the signal as genuine.
+		// staleSince is kept so the hold does not re-arm until the signal
+		// actually recovers.
+	} else {
+		c.staleSince = -1
+	}
+
 	if total < c.Cfg.MinTotalRate {
 		return
 	}
@@ -166,11 +367,18 @@ func (c *Controller) Step() {
 		if rel < 0 {
 			rel = -rel
 		}
-		if rel < c.Cfg.Hysteresis {
+		// While the breaker is open, keep solving every interval even on a
+		// stable rate: the shadow solves are what lets it close again.
+		if rel < c.Cfg.Hysteresis && !c.breakerOpen {
+			// Signal recovered and stable: the telemetry degradation, if
+			// any, is over.
+			if c.health == DegradedTelemetry {
+				c.setHealth(Healthy)
+			}
 			return
 		}
 	}
-	c.lastRate, c.lastSLO = total, c.Cfg.SLO
+	c.lastRate, c.lastRateAt, c.lastSLO = total, now, c.Cfg.SLO
 
 	// Workload scaling (§3.6): solve inside the trained region, scale the
 	// configuration back proportionally in either direction.
@@ -213,13 +421,145 @@ func (c *Controller) Step() {
 	sol := Solve(c.Model, load, c.Cfg.SLO, lo, hi, c.Cfg.Solver)
 	c.solves++
 
-	quotas := make(map[string]float64, len(sol.Quotas))
-	for i, name := range c.Cluster.App.ServiceNames() {
-		quotas[name] = sol.Quotas[i] * scale
+	// Model circuit breaker: decide whether this solve can be trusted.
+	if c.Cfg.BreakerBand > 0 {
+		c.evalBreaker(sol)
 	}
+
+	var quotas map[string]float64
+	if c.breakerOpen {
+		// Fallback: allocate from measured CPU demand instead of the model.
+		quotas = c.heuristicQuotas(load, scale)
+		c.stats.FallbackSolves++
+		c.setHealth(FallbackHeuristic)
+	} else {
+		quotas = make(map[string]float64, len(sol.Quotas))
+		for i, name := range c.Cluster.App.ServiceNames() {
+			quotas[name] = sol.Quotas[i] * scale
+		}
+		c.setHealth(Healthy)
+	}
+	quotas = c.limitStep(quotas)
 	c.Cluster.ApplyQuotas(quotas)
 	c.lastQuotas = quotas
 	if c.OnDecision != nil {
 		c.OnDecision(c.Cluster.Eng.Now(), total, sol)
 	}
+}
+
+// evalBreaker updates the model circuit breaker from one solve. A closed
+// breaker trips on an untrustworthy solution; an open one closes after
+// BreakerClose consecutive healthy shadow solves.
+func (c *Controller) evalBreaker(sol Solution) {
+	// Non-convergence alone is routine (the calm-EMA criterion is strict);
+	// it only signals trouble when the solution also misses the objective —
+	// the penalty solver ran out of iterations without finding a feasible
+	// configuration.
+	if !sol.Converged && sol.Predicted > c.Cfg.SLO*1.05 {
+		c.unconverged++
+	} else {
+		c.unconverged = 0
+	}
+	healthy := !math.IsNaN(sol.Predicted) && !math.IsInf(sol.Predicted, 0) && sol.Predicted > 0
+	if healthy && c.unconverged >= 2 {
+		healthy = false
+	}
+	if healthy {
+		// Gross underestimation is the dangerous direction: the model says
+		// the configuration is fine while measured tail latency screams. An
+		// overestimating model merely over-provisions.
+		measured := c.Cluster.E2ELatencyQuantile(0.99, c.Cfg.RateWindowS*3)
+		if measured > sol.Predicted*c.Cfg.BreakerBand {
+			healthy = false
+		}
+	}
+	if !c.breakerOpen {
+		if !healthy {
+			c.breakerOpen = true
+			c.healthStreak = 0
+			c.stats.BreakerTrips++
+		}
+		return
+	}
+	if healthy {
+		c.healthStreak++
+		if c.healthStreak >= c.Cfg.BreakerClose {
+			c.breakerOpen = false
+			c.stats.BreakerCloses++
+		}
+	} else {
+		c.healthStreak = 0
+	}
+}
+
+// heuristicQuotas is the demand-floor allocator used while the model circuit
+// breaker is open: quota_i = load_i × measured-CPU-per-request / target
+// utilization, clamped to the solver bounds. It cannot shave latency like
+// the model can, but it never starves a service of raw CPU demand.
+func (c *Controller) heuristicQuotas(load []float64, scale float64) map[string]float64 {
+	util := c.Cfg.DemandFloorUtil
+	if util <= 0 {
+		util = 0.85
+	}
+	out := make(map[string]float64, len(load))
+	for i, name := range c.Cluster.App.ServiceNames() {
+		cpuMS := c.Cluster.Deployment(name).CPUPerRequestMS(c.Cfg.RateWindowS * 3)
+		if cpuMS <= 0 {
+			// No telemetry either (e.g. black-holed): fall back to the
+			// application model's nominal work per request.
+			cpuMS = c.Cluster.App.Services[i].WorkMS
+		}
+		q := load[i] * cpuMS / util
+		if q < c.Bounds.Lo[i] {
+			q = c.Bounds.Lo[i]
+		}
+		if q > c.Bounds.Hi[i] {
+			q = c.Bounds.Hi[i]
+		}
+		out[name] = q * scale
+	}
+	return out
+}
+
+// limitStep rate-limits the applied configuration against the previously
+// applied one: each quota may grow at most MaxStepUp× and shrink at most to
+// MaxStepDown× per decision.
+func (c *Controller) limitStep(quotas map[string]float64) map[string]float64 {
+	if c.lastQuotas == nil || (c.Cfg.MaxStepUp <= 0 && c.Cfg.MaxStepDown <= 0) {
+		return quotas
+	}
+	limited := false
+	for k, v := range quotas {
+		old, ok := c.lastQuotas[k]
+		if !ok || old <= 0 {
+			continue
+		}
+		if c.Cfg.MaxStepUp > 0 && v > old*c.Cfg.MaxStepUp {
+			v = old * c.Cfg.MaxStepUp
+			limited = true
+		}
+		if c.Cfg.MaxStepDown > 0 && v < old*c.Cfg.MaxStepDown {
+			v = old * c.Cfg.MaxStepDown
+			limited = true
+		}
+		quotas[k] = v
+	}
+	if limited {
+		c.stats.RateLimited++
+	}
+	return quotas
+}
+
+// hiFor returns the upper solver bound for the named service, or 0 when
+// unknown.
+func (c *Controller) hiFor(name string) float64 {
+	for i, n := range c.Cluster.App.ServiceNames() {
+		if n == name {
+			if i < len(c.Bounds.Hi) {
+				return c.Bounds.Hi[i]
+			}
+			return 0
+		}
+	}
+	return 0
 }

@@ -273,9 +273,12 @@ func TestControllerWorkloadScaling(t *testing.T) {
 	h := hyperbola{a: []float64{2, 2}, c: 0.005}
 	an := NewAnalyzer(a)
 	b := Bounds{Lo: []float64{100, 100}, Hi: []float64{3000, 3000}}
-	cfg := DefaultControllerConfig(0.1)
+	// This test checks the scaling arithmetic only: use the paper-exact
+	// configuration so no guardrail (boost, breaker, step limiter) can
+	// reshape the applied quotas.
+	cfg := VanillaControllerConfig(0.1)
 	cfg.TrainedMaxRate = 50
-	cfg.ViolationBoost = 1 // this test checks the scaling arithmetic only
+	cfg.ViolationBoost = 1
 	ctl := NewController(cl, h, an, b, cfg)
 	var solvedTotal float64
 	ctl.OnDecision = func(tm, total float64, sol Solution) { solvedTotal = sol.TotalQuota }

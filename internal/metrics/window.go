@@ -34,6 +34,15 @@ func (w *Window) Trim(before float64) {
 	}
 }
 
+// LastAt returns the timestamp of the most recent observation and whether
+// the window holds any.
+func (w *Window) LastAt() (float64, bool) {
+	if len(w.buf) == 0 {
+		return 0, false
+	}
+	return w.buf[len(w.buf)-1].at, true
+}
+
 // Since returns the observations with timestamp in [from, to].
 func (w *Window) Since(from, to float64) []float64 {
 	lo := sort.Search(len(w.buf), func(i int) bool { return w.buf[i].at >= from })

@@ -31,6 +31,10 @@ type Trace struct {
 	ID    int64
 	API   string
 	Spans []Span
+
+	// Errors counts calls within the request that exhausted their retries
+	// and returned a failure to their caller (Jaeger's error tag).
+	Errors int
 }
 
 // EndToEnd returns the end-to-end latency in seconds: the root span's

@@ -3,6 +3,7 @@ package graf
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"time"
 )
 
@@ -36,6 +37,23 @@ func decodeTrained(blob []byte) (*TrainedModel, error) {
 	var m Model
 	if err := m.UnmarshalBinary(p.ModelBlob); err != nil {
 		return nil, err
+	}
+	// Internal consistency: a file that decodes but disagrees with itself
+	// (truncated bounds, corrupt header) must not reach the controller.
+	if m.Cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("graf: persisted model has %d nodes", m.Cfg.Nodes)
+	}
+	if len(p.Lo) != m.Cfg.Nodes || len(p.Hi) != m.Cfg.Nodes {
+		return nil, fmt.Errorf("graf: persisted bounds cover %d/%d services, model has %d nodes",
+			len(p.Lo), len(p.Hi), m.Cfg.Nodes)
+	}
+	for i := range p.Lo {
+		if p.Lo[i] > p.Hi[i] {
+			return nil, fmt.Errorf("graf: persisted bounds inverted at service %d: lo %v > hi %v", i, p.Lo[i], p.Hi[i])
+		}
+	}
+	if p.MinRate > p.MaxRate {
+		return nil, fmt.Errorf("graf: persisted rate range inverted: min %v > max %v", p.MinRate, p.MaxRate)
 	}
 	return &TrainedModel{
 		Model: &m, Bounds: Bounds{Lo: p.Lo, Hi: p.Hi},
