@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench ci
+.PHONY: all build vet test test-race bench obs-demo ci
 
 all: build vet test
 
@@ -19,5 +19,11 @@ test-race:
 # Reproduce the paper's evaluation tables (see EXPERIMENTS.md).
 bench:
 	$(GO) run ./cmd/grafbench -scale quick
+
+# Observability smoke demo: train a quick model, run the controller with the
+# telemetry endpoints up, self-scrape /metrics, then hold the endpoints for
+# 10 s of manual curl time (see README "Observability").
+obs-demo:
+	$(GO) run ./cmd/grafd -train -dur 120 -obs 127.0.0.1:9090 -smoke -hold 10
 
 ci: build vet test-race

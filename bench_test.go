@@ -19,6 +19,7 @@ import (
 	"graf/internal/cluster"
 	"graf/internal/core"
 	"graf/internal/gnn"
+	"graf/internal/obs"
 	"graf/internal/sim"
 	"graf/internal/workload"
 )
@@ -173,6 +174,49 @@ func BenchmarkClusterSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkControllerObsOverhead measures the cost the telemetry subsystem
+// adds to one full controller decision (collect→analyze→solve→actuate).
+// Disabled is the nil-hook path (one nil check per instrumentation point);
+// Enabled records metrics, spans, and audit records to a memory-capped
+// flight recorder. The acceptance budget is Enabled ≤ Disabled + 5%.
+func BenchmarkControllerObsOverhead(b *testing.B) {
+	run := func(b *testing.B, enabled bool) {
+		a := app.OnlineBoutique()
+		eng := sim.NewEngine(11)
+		cl := cluster.New(eng, a, cluster.DefaultConfig())
+		cl.ApplyQuotas(map[string]float64{
+			"frontend": 1000, "cart": 500, "currency": 750,
+			"productcatalog": 1000, "recommendation": 1250, "shipping": 750,
+		})
+		m := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(1)))
+		bounds := core.Bounds{
+			Lo: []float64{100, 100, 100, 100, 100, 100},
+			Hi: []float64{6000, 6000, 6000, 6000, 6000, 6000},
+		}
+		cfg := core.DefaultControllerConfig(0.250)
+		// Defeat hysteresis so every Step takes the full decision path —
+		// the path the overhead budget is about.
+		cfg.Hysteresis = 0
+		ctl := core.NewController(cl, m, core.NewAnalyzer(a), bounds, cfg)
+		if enabled {
+			tel := obs.New(obs.Options{AuditMemory: 256})
+			cl.Obs = obs.NewClusterObs(tel)
+			ctl.Obs = obs.NewControllerObs(tel)
+		}
+		g := workload.NewOpenLoop(cl, workload.ConstRate(150))
+		g.Start()
+		eng.RunUntil(eng.Now() + 60) // build telemetry windows
+		ctl.Step()                   // warm caches and first-registration costs
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.Step()
+		}
+	}
+	b.Run("Disabled", func(b *testing.B) { run(b, false) })
+	b.Run("Enabled", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkAlgorithm1 measures Algorithm 1's search-space reduction with
 // the analytic measurer.
 func BenchmarkAlgorithm1(b *testing.B) {
@@ -194,3 +238,8 @@ func BenchmarkAblationPartition(b *testing.B) { runExperiment(b, bench.AblationP
 // --- Robustness benchmark (chaos injection, DESIGN.md §3c) ------------------
 
 func BenchmarkChaosRobustness(b *testing.B) { runExperiment(b, bench.ChaosRobustness) }
+
+// --- Observability experiments (flight recorder, DESIGN.md §3d) -------------
+
+func BenchmarkObsReplay(b *testing.B)   { runExperiment(b, bench.ObsReplay) }
+func BenchmarkObsOverhead(b *testing.B) { runExperiment(b, bench.ObsOverhead) }

@@ -50,6 +50,8 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"scalability":   bench.Scalability,
 	"abl-partition": bench.AblationPartition,
 	"chaos":         bench.ChaosRobustness,
+	"replay":        bench.ObsReplay,
+	"obs-overhead":  bench.ObsOverhead,
 }
 
 // order runs cheap observation experiments first and groups the ones that
@@ -61,7 +63,7 @@ var order = []string{
 	"tab03", "fig19", "fig20", "fig21", "fig22",
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
-	"chaos",
+	"chaos", "replay", "obs-overhead",
 }
 
 func main() {

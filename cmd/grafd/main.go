@@ -11,12 +11,27 @@
 //	grafd -model boutique.graf -shape surge    # 50→300 rps at t=120s
 //	grafd -model boutique.graf -shape azure    # trace replay
 //	grafd -train                               # train a quick model first
+//
+// Observability:
+//
+//	grafd -train -obs 127.0.0.1:9090           # /metrics, /debug/vars, /debug/pprof/*
+//	grafd -train -audit run.jsonl              # flight-recorder audit log
+//	grafd -model m.graf -replay run.jsonl      # verify a recorded log replays bit-identically
+//
+// grafd shuts down gracefully on SIGINT/SIGTERM: the control loop stops, the
+// audit log is flushed with a final summary record, and the degraded-mode
+// statistics are printed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"graf"
@@ -32,6 +47,11 @@ func main() {
 	sloMS := flag.Int("slo", 250, "latency SLO (ms)")
 	durS := flag.Int("dur", 600, "simulated duration (s)")
 	seed := flag.Int64("seed", 1, "random seed")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof/* on this address (e.g. 127.0.0.1:9090)")
+	auditPath := flag.String("audit", "", "write the flight-recorder audit log (JSONL) to this file")
+	replayPath := flag.String("replay", "", "replay a recorded audit log against the model and verify bit-identical decisions (no simulation)")
+	holdS := flag.Int("hold", 0, "keep serving -obs endpoints this many wall-clock seconds after the run")
+	smoke := flag.Bool("smoke", false, "self-scrape -obs /metrics after the run and verify expected families (CI smoke test)")
 	flag.Parse()
 
 	a := graf.OnlineBoutique()
@@ -56,7 +76,42 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *replayPath != "" {
+		os.Exit(replay(tr, *replayPath))
+	}
+
 	s := graf.NewSimulation(a, *seed)
+
+	// Observability: attach the telemetry bundle before the controller
+	// starts so the header record and every decision land in the log.
+	var audit *os.File
+	needObs := *obsAddr != "" || *auditPath != ""
+	var tel *graf.Observability
+	if needObs {
+		cfg := graf.ObservabilityConfig{}
+		if *auditPath != "" {
+			var err error
+			audit, err = os.Create(*auditPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "audit log: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.AuditW = audit
+			cfg.AuditMemory = 4096
+		}
+		tel = s.EnableObservability(cfg)
+	}
+	var srv *http.Server
+	if *obsAddr != "" {
+		var err error
+		srv, err = tel.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability: http://%s/metrics /debug/vars /debug/pprof/\n", srv.Addr)
+	}
+
 	slo := time.Duration(*sloMS) * time.Millisecond
 	ctl, err := s.StartGRAF(tr, slo)
 	if err != nil {
@@ -66,6 +121,9 @@ func main() {
 	ctl.OnDecision = func(t float64, total float64, sol graf.Solution) {
 		fmt.Printf("[%6.0fs] solve: frontend %.0f rps → total quota %.0f mc (predicted p99 %.0f ms, %d iters)\n",
 			t, total, sol.TotalQuota, sol.Predicted*1000, sol.Iterations)
+	}
+	ctl.OnHealth = func(t float64, from, to graf.HealthState) {
+		fmt.Printf("[%6.0fs] health: %s → %s\n", t, from, to)
 	}
 
 	var gen interface{ Start() }
@@ -83,10 +141,122 @@ func main() {
 	}
 	gen.Start()
 
+	// Graceful shutdown: SIGINT/SIGTERM interrupts the chunked run loop
+	// between 30-second chunks, then falls through to the same flush path a
+	// natural end of run takes.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+
+run:
 	for t := 30; t <= *durS; t += 30 {
+		select {
+		case sig := <-sigC:
+			fmt.Printf("\n%v: shutting down gracefully\n", sig)
+			break run
+		default:
+		}
 		s.RunFor(30 * time.Second)
 		fmt.Printf("[%6.0fs] status: %3d instances, %6.0f mc, p99 %6.1f ms (SLO %d ms)\n",
 			s.Engine.Now(), s.Cluster.TotalInstances(), s.Cluster.TotalRealizedQuota(),
 			float64(s.P99(30*time.Second))/float64(time.Millisecond), *sloMS)
 	}
+
+	// Stop the loop and flush telemetry: final Stats summary on stdout, a
+	// summary record closing the audit log, and a clean file sync.
+	ctl.Stop()
+	st := ctl.Stats()
+	fmt.Printf("final: health=%s solves=%d boosts=%d staleHolds=%d breakerTrips=%d fallbackSolves=%d rateLimited=%d transitions=%d\n",
+		ctl.Health(), ctl.Solves(), st.Boosts, st.StaleHolds, st.BreakerTrips, st.FallbackSolves, st.RateLimited, st.Transitions)
+	if tel != nil {
+		tel.Flight.Record(graf.AuditRecord{
+			Type: "summary", At: s.Engine.Now(),
+			Summary: map[string]float64{
+				"solves":          float64(ctl.Solves()),
+				"boosts":          float64(st.Boosts),
+				"stale_holds":     float64(st.StaleHolds),
+				"breaker_trips":   float64(st.BreakerTrips),
+				"fallback_solves": float64(st.FallbackSolves),
+				"rate_limited":    float64(st.RateLimited),
+				"transitions":     float64(st.Transitions),
+			},
+		})
+		if err := tel.Flight.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "audit flush: %v\n", err)
+		}
+	}
+	if audit != nil {
+		if err := audit.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "audit close: %v\n", err)
+		}
+		fmt.Printf("audit log written to %s\n", *auditPath)
+	}
+
+	if srv != nil {
+		if *smoke {
+			if err := selfScrape(srv.Addr); err != nil {
+				fmt.Fprintf(os.Stderr, "smoke scrape: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("smoke scrape: /metrics OK")
+		}
+		if *holdS > 0 {
+			fmt.Printf("holding observability endpoints for %ds (ctrl-c to stop)\n", *holdS)
+			select {
+			case <-time.After(time.Duration(*holdS) * time.Second):
+			case <-sigC:
+			}
+		}
+		srv.Close()
+	}
+}
+
+// replay verifies a recorded audit log against the model: every model-path
+// decision must reproduce bit-identically. Returns a process exit code.
+func replay(tr *graf.TrainedModel, path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	log, err := graf.ReadAuditLog(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		return 1
+	}
+	rep := graf.ReplayAudit(tr, log)
+	fmt.Println(rep)
+	if !rep.OK() {
+		for _, m := range rep.Mismatches {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		return 1
+	}
+	return 0
+}
+
+// selfScrape fetches /metrics from the daemon's own endpoint and verifies
+// the families the controller must have produced are present and parseable.
+func selfScrape(addr string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE graf_decisions_total counter",
+		"# TYPE graf_decision_stage_seconds histogram",
+		"graf_decision_stage_seconds_bucket",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("missing %q in /metrics output", want)
+		}
+	}
+	return nil
 }

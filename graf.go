@@ -27,6 +27,7 @@ package graf
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -38,6 +39,7 @@ import (
 	"graf/internal/cluster"
 	"graf/internal/core"
 	"graf/internal/gnn"
+	"graf/internal/obs"
 	"graf/internal/sim"
 	"graf/internal/workload"
 )
@@ -175,6 +177,48 @@ func ChaosContention(at time.Duration, svc string, factor float64, duration time
 	return chaos.Contend(at.Seconds(), svc, factor, duration.Seconds())
 }
 
+// Observability building blocks (see internal/obs and DESIGN.md §3d).
+type (
+	// Observability bundles the flight-recorder telemetry planes: the
+	// metrics registry behind /metrics, the span ring, and the JSONL audit
+	// log. Obtain one with Simulation.EnableObservability.
+	Observability = obs.Telemetry
+	// AuditRecord is one line of the flight-recorder audit log.
+	AuditRecord = obs.Record
+	// ObsSpan is one timed unit of control-plane work in the span ring.
+	ObsSpan = obs.Span
+	// ReplayReport summarizes an audit-log replay (see ReplayAudit).
+	ReplayReport = core.ReplayReport
+)
+
+// ObservabilityConfig parameterizes Simulation.EnableObservability.
+type ObservabilityConfig struct {
+	// SpanRing bounds the in-memory span buffer (default 4096).
+	SpanRing int
+
+	// AuditW, if non-nil, receives the JSONL audit-log stream (e.g. a
+	// file). The in-memory record buffer works either way.
+	AuditW io.Writer
+
+	// AuditMemory bounds the in-memory audit records (0 = keep all, which
+	// in-process replay wants; long-running daemons writing to a file set
+	// a cap).
+	AuditMemory int
+}
+
+// ReadAuditLog parses a JSONL audit log previously written through
+// ObservabilityConfig.AuditW.
+func ReadAuditLog(r io.Reader) ([]AuditRecord, error) { return obs.ReadLog(r) }
+
+// ReplayAudit re-runs every model-path decision of a recorded audit log
+// through the trained model's solver and verifies each reproduces
+// bit-identically (same quotas, prediction, iteration count, convergence).
+// The model must be the one the recording ran with — Save/LoadModel
+// round-trips weights exactly, so a saved model replays its own logs.
+func ReplayAudit(t *TrainedModel, log []AuditRecord) ReplayReport {
+	return core.ReplayAudit(t.Model, log)
+}
+
 // Simulation bundles a deterministic discrete-event engine with a cluster
 // running one application.
 type Simulation struct {
@@ -182,7 +226,27 @@ type Simulation struct {
 	Cluster *cluster.Cluster
 
 	chaosInj *ChaosInjector
+	obs      *Observability
 }
+
+// EnableObservability attaches a flight-recorder telemetry bundle to the
+// simulation: cluster scale events and instance churn, chaos firings, and —
+// for controllers started after this call — per-decision spans, metrics and
+// audit records. Returns the bundle; serve its Handler (or call Serve) to
+// expose /metrics, /debug/vars and /debug/pprof/*. Calling it again replaces
+// the bundle.
+func (s *Simulation) EnableObservability(cfg ObservabilityConfig) *Observability {
+	t := obs.New(obs.Options{SpanRing: cfg.SpanRing, AuditW: cfg.AuditW, AuditMemory: cfg.AuditMemory})
+	s.obs = t
+	s.Cluster.Obs = obs.NewClusterObs(t)
+	if s.chaosInj != nil {
+		s.chaosInj.Obs = obs.NewChaosObs(t)
+	}
+	return t
+}
+
+// Observability returns the bundle attached by EnableObservability, or nil.
+func (s *Simulation) Observability() *Observability { return s.obs }
 
 // NewSimulation deploys a on a fresh simulated cluster (one warm instance
 // per microservice) with the default Kubernetes-like configuration.
@@ -225,6 +289,7 @@ func (s *Simulation) ClosedLoop(users func(float64) int) *ClosedLoop {
 func (s *Simulation) Chaos() *ChaosInjector {
 	if s.chaosInj == nil {
 		s.chaosInj = chaos.New(s.Cluster)
+		s.chaosInj.Obs = obs.NewChaosObs(s.obs)
 	}
 	return s.chaosInj
 }
@@ -264,6 +329,19 @@ func (s *Simulation) StartGRAFWith(t *TrainedModel, cfg ControllerConfig) (*Cont
 	cfg.TrainedMinRate = t.MinRate
 	cfg.TrainedMaxRate = t.MaxRate
 	ctl := core.NewController(s.Cluster, t.Model, an, t.Bounds, cfg)
+	if s.obs != nil {
+		ctl.Obs = obs.NewControllerObs(s.obs)
+		// The header record carries everything a replay needs to
+		// reconstruct the solver calls: the SLO and solver configuration.
+		s.obs.Flight.Record(obs.Record{
+			Type:     "header",
+			At:       s.Engine.Now(),
+			App:      s.Cluster.App.Name,
+			SLO:      cfg.SLO,
+			Services: s.Cluster.App.ServiceNames(),
+			Solver:   core.SolverConfigMap(cfg.Solver),
+		})
+	}
 	ctl.Start()
 	return ctl, nil
 }
@@ -289,6 +367,10 @@ type TrainOptions struct {
 	// measurement instead of the calibrated analytic fast path. Slower
 	// but exact.
 	SimulatorLabels bool
+
+	// Obs, if set, streams the learning curve and per-batch timing into
+	// the telemetry bundle's registry and span ring during training.
+	Obs *Observability
 
 	Seed int64
 }
@@ -343,6 +425,7 @@ func Train(a *App, o TrainOptions) *TrainedModel {
 	tc := gnn.DefaultTrainConfig()
 	tc.Iterations, tc.Batch, tc.Seed = o.Iterations, o.Batch, o.Seed+60
 	tc.LR = 2e-3
+	tc.Obs = obs.NewTrainObs(o.Obs)
 	model.Train(samples, tc)
 	return &TrainedModel{Model: model, Bounds: b, MinRate: o.MinRate, MaxRate: o.MaxRate, SLO: o.SLO}
 }

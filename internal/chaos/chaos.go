@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"graf/internal/cluster"
+	"graf/internal/obs"
 )
 
 // Kind enumerates the injectable fault types.
@@ -134,6 +135,11 @@ func (f Fired) String() string {
 type Injector struct {
 	cl  *cluster.Cluster
 	log []Fired
+
+	// Obs, if set, records every firing: a counter per fault kind, a span,
+	// a flight-recorder entry, and an active-fault window so controller
+	// decisions disturbed by the fault carry its label.
+	Obs *obs.ChaosObs
 }
 
 // New returns an injector for cl.
@@ -175,6 +181,18 @@ func (in *Injector) apply(ev Event) {
 		detail = fmt.Sprintf("%s ×%.1f for %.0fs", ev.Service, ev.Factor, ev.Duration)
 	}
 	in.log = append(in.log, Fired{At: in.cl.Eng.Now(), Event: ev, Detail: detail})
+	if in.Obs != nil {
+		// Windowed faults stay "active" for their duration; instantaneous
+		// ones (kills, crashes) linger for a recovery-scale window so the
+		// decisions they disturb — which come after the instant — are still
+		// annotated in the audit log.
+		now := in.cl.Eng.Now()
+		until := now + ev.Duration
+		if ev.Duration <= 0 {
+			until = now + 30
+		}
+		in.Obs.Fired(now, ev.Kind.String(), detail, until)
+	}
 }
 
 // Log returns the faults fired so far, in firing order.

@@ -32,6 +32,7 @@ import (
 
 	"graf/internal/app"
 	"graf/internal/metrics"
+	"graf/internal/obs"
 	"graf/internal/sim"
 	"graf/internal/trace"
 )
@@ -159,6 +160,10 @@ type Cluster struct {
 	failedCalls   int // calls that exhausted their retries
 	failedReqs    int // requests completing with ≥1 failed call
 	droppedTraces int
+
+	// Obs, if set, observes scale events and instance churn. Nil disables
+	// the instrumentation.
+	Obs *obs.ClusterObs
 }
 
 // New builds a cluster for application a on engine eng. Every deployment
@@ -344,6 +349,9 @@ func (d *Deployment) SetReplicas(n int) {
 		d.condemn(cur - n)
 	}
 	d.recordCounts()
+	if d.cl.Obs != nil && n != cur {
+		d.cl.Obs.Scale(d.cl.Eng.Now(), d.Service.Name, cur, n)
+	}
 	d.dispatch()
 }
 
@@ -361,14 +369,21 @@ func (d *Deployment) createBatch(k int) {
 			}
 			in.ready = true
 			d.recordCounts()
+			if d.cl.Obs != nil {
+				d.cl.Obs.Churn(d.Service.Name, 0, 0, 0, d.ReadyReplicas())
+			}
 			d.dispatch()
 		})
+	}
+	if d.cl.Obs != nil && k > 0 {
+		d.cl.Obs.Churn(d.Service.Name, k, 0, 0, d.ReadyReplicas())
 	}
 }
 
 // condemn marks k instances for removal, preferring not-yet-ready ones, then
 // idle ready ones, then busy ones (which retire after their current job).
 func (d *Deployment) condemn(k int) {
+	want := k
 	mark := func(pred func(*instance) bool) {
 		for i := len(d.instances) - 1; i >= 0 && k > 0; i-- {
 			in := d.instances[i]
@@ -382,6 +397,9 @@ func (d *Deployment) condemn(k int) {
 	mark(func(in *instance) bool { return in.ready && !in.busy })
 	mark(func(in *instance) bool { return true })
 	d.gc()
+	if d.cl.Obs != nil && want-k > 0 {
+		d.cl.Obs.Churn(d.Service.Name, 0, want-k, 0, d.ReadyReplicas())
+	}
 }
 
 // gc drops condemned idle instances from the slice.
@@ -943,6 +961,9 @@ func (d *Deployment) KillInstances(n int) int {
 		d.createBatch(missing)
 	}
 	d.recordCounts()
+	if d.cl.Obs != nil {
+		d.cl.Obs.Churn(d.Service.Name, 0, 0, killed, d.ReadyReplicas())
+	}
 	d.dispatch()
 	return killed
 }

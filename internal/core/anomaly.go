@@ -2,6 +2,7 @@ package core
 
 import (
 	"graf/internal/cluster"
+	"graf/internal/obs"
 )
 
 // AnomalyMitigator implements the paper's §6 direction of "actively
@@ -40,6 +41,9 @@ func DefaultAnomalyMitigatorConfig() AnomalyMitigatorConfig {
 type AnomalyMitigator struct {
 	Cluster *cluster.Cluster
 	Cfg     AnomalyMitigatorConfig
+
+	// Obs, if set, counts every boost firing per service.
+	Obs *obs.ControllerObs
 
 	extra    map[string]float64 // quota added by the mitigator per service
 	preBoost map[string]float64 // quota observed before the first boost
@@ -94,6 +98,7 @@ func (m *AnomalyMitigator) Step() {
 			m.extra[name] += m.Cfg.BoostQuota
 			m.fired++
 			d.SetQuota(d.Quota() + m.Cfg.BoostQuota)
+			m.Obs.Boost(m.Cluster.Eng.Now(), name)
 		case !spiking && m.extra[name] > 0 && short <= long*1.1:
 			// Spike cleared: return the borrowed quota. Never restore below
 			// the quota the service held before the first boost — the

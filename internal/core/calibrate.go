@@ -15,6 +15,11 @@ import (
 // is exactly where the solver operates.
 type Calibration struct {
 	A, B float64
+
+	// Probes is how many probe configurations survived the saturation filter
+	// and entered the fit (0 for the identity calibration) — surfaced so
+	// observability can report calibration quality.
+	Probes int
 }
 
 // Identity is the no-op calibration.
@@ -83,7 +88,7 @@ func Calibrate(a *app.App, b Bounds, rateLo, rateHi, maxLat float64, probes int,
 		bHat = 2.5
 	}
 	aHat := (sy - bHat*sx) / n
-	return Calibration{A: aHat, B: bHat}
+	return Calibration{A: aHat, B: bHat, Probes: len(xs)}
 }
 
 // CalibratedMeasurer applies a Calibration to an AnalyticMeasurer's

@@ -2,8 +2,11 @@ package core
 
 import (
 	"math"
+	"sort"
+	"time"
 
 	"graf/internal/cluster"
+	"graf/internal/obs"
 )
 
 // ControllerConfig parameterizes the end-to-end GRAF control loop (§3.6,
@@ -222,6 +225,13 @@ type Controller struct {
 	// OnHealth, if set, observes every transition of the degraded-mode
 	// state machine.
 	OnHealth func(t float64, from, to HealthState)
+
+	// Obs, if set, receives flight-recorder telemetry for every decision:
+	// per-stage wall timings, solver convergence, outcome kind, and the
+	// complete solver inputs/outputs needed to replay the decision
+	// bit-identically. Nil disables all instrumentation at the cost of one
+	// nil check per site.
+	Obs *obs.ControllerObs
 }
 
 // NewController wires a controller. The bounds come from Algorithm 1.
@@ -251,6 +261,24 @@ func (c *Controller) setHealth(s HealthState) {
 	if c.OnHealth != nil {
 		c.OnHealth(c.Cluster.Eng.Now(), from, s)
 	}
+	c.Obs.Health(c.Cluster.Eng.Now(), from.String(), s.String(), int(s))
+}
+
+// wallStart returns the wall clock only when instrumentation is on, so the
+// disabled path never calls time.Now.
+func (c *Controller) wallStart() time.Time {
+	if c.Obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stage records one timed decision stage when instrumentation is on.
+func (c *Controller) stage(name string, t0 time.Time, attrs map[string]float64) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Stage(name, c.Cluster.Eng.Now(), time.Since(t0).Nanoseconds(), attrs)
 }
 
 // Start begins the control loop at the current simulated time.
@@ -268,6 +296,21 @@ func (c *Controller) Stop() {
 // Step executes one decision: observe → analyze → solve → apply. Exposed so
 // experiments can drive decisions at exact instants.
 func (c *Controller) Step() {
+	if c.Obs == nil {
+		c.step(nil)
+		return
+	}
+	rec := &obs.Record{At: c.Cluster.Eng.Now(), Health: c.health.String()}
+	t0 := time.Now()
+	c.step(rec)
+	c.stage("step", t0, nil)
+	c.Obs.Decision(*rec)
+}
+
+// step is the decision body. rec is non-nil only when instrumentation is on;
+// every exit path labels rec.Kind and records the inputs and outputs that
+// path used, which is what makes the audit log replayable.
+func (c *Controller) step(rec *obs.Record) {
 	// Reactive guardrail: under a measured SLO violation the arrival rate
 	// under-reports demand (closed-loop throttling), so grow the current
 	// configuration instead of re-solving on a starved signal.
@@ -279,6 +322,9 @@ func (c *Controller) Step() {
 			// boosting faster than instances start compounds into huge
 			// overshoot.
 			if c.Cluster.PendingInstances() > 0 {
+				if rec != nil {
+					rec.Kind = "boost-wait"
+				}
 				return
 			}
 			if c.lastQuotas == nil {
@@ -297,13 +343,32 @@ func (c *Controller) Step() {
 			c.boosts++
 			c.stats.Boosts++
 			c.setHealth(Boosting)
+			if rec != nil {
+				rec.Kind = "boost"
+				rec.Applied = copyQuotas(c.lastQuotas)
+			}
 			return
 		}
 	}
+	tCollect := c.wallStart()
 	rates := c.Cluster.APIArrivalRates(c.Cfg.RateWindowS)
+	// Sum in sorted key order: map iteration order is randomized, and float
+	// addition is not associative, so an unordered sum can differ by an ULP
+	// between otherwise identical runs — enough to break the flight
+	// recorder's byte-identical same-seed replay contract.
+	apis := make([]string, 0, len(rates))
+	for api := range rates {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
 	total := 0.0
-	for _, r := range rates {
-		total += r
+	for _, api := range apis {
+		total += rates[api]
+	}
+	c.stage("collect", tCollect, map[string]float64{"total_rate": total})
+	if rec != nil {
+		rec.Rates = rates
+		rec.Total = total
 	}
 
 	// Stale-telemetry detection: a collapse of the observed rate while the
@@ -350,6 +415,9 @@ func (c *Controller) Step() {
 		if c.Cfg.StaleHoldMaxS <= 0 || now-c.staleSince <= c.Cfg.StaleHoldMaxS {
 			c.stats.StaleHolds++
 			c.setHealth(DegradedTelemetry)
+			if rec != nil {
+				rec.Kind = "hold"
+			}
 			return
 		}
 		// Hold expired: fall through and treat the signal as genuine.
@@ -360,6 +428,9 @@ func (c *Controller) Step() {
 	}
 
 	if total < c.Cfg.MinTotalRate {
+		if rec != nil {
+			rec.Kind = "idle"
+		}
 		return
 	}
 	if c.lastRate > 0 && c.lastSLO == c.Cfg.SLO {
@@ -374,6 +445,9 @@ func (c *Controller) Step() {
 			// any, is over.
 			if c.health == DegradedTelemetry {
 				c.setHealth(Healthy)
+			}
+			if rec != nil {
+				rec.Kind = "hysteresis"
 			}
 			return
 		}
@@ -397,8 +471,10 @@ func (c *Controller) Step() {
 		rates = scaled
 	}
 
+	tAnalyze := c.wallStart()
 	c.Analyzer.Refresh(c.Cluster.Traces())
 	load := c.Analyzer.Distribute(rates)
+	c.stage("analyze", tAnalyze, nil)
 
 	// Capacity guardrail: never solve below measured CPU demand.
 	lo := c.Bounds.Lo
@@ -418,8 +494,26 @@ func (c *Controller) Step() {
 			}
 		}
 	}
+	tSolve := c.wallStart()
 	sol := Solve(c.Model, load, c.Cfg.SLO, lo, hi, c.Cfg.Solver)
 	c.solves++
+	if c.Obs != nil {
+		wallNS := time.Since(tSolve).Nanoseconds()
+		c.stage("solve", tSolve, map[string]float64{"predicted": sol.Predicted})
+		c.Obs.Solver(c.Cluster.Eng.Now(), sol.Iterations, sol.Converged, wallNS)
+	}
+	if rec != nil {
+		// The complete solver inputs and raw outputs: with the header's SLO
+		// and solver configuration these replay the solve bit-identically.
+		rec.Load = append([]float64(nil), load...)
+		rec.Lo = append([]float64(nil), lo...)
+		rec.Hi = append([]float64(nil), hi...)
+		rec.Scale = scale
+		rec.Raw = append([]float64(nil), sol.Quotas...)
+		rec.Predicted = sol.Predicted
+		rec.Iters = sol.Iterations
+		rec.Converged = sol.Converged
+	}
 
 	// Model circuit breaker: decide whether this solve can be trusted.
 	if c.Cfg.BreakerBand > 0 {
@@ -432,19 +526,40 @@ func (c *Controller) Step() {
 		quotas = c.heuristicQuotas(load, scale)
 		c.stats.FallbackSolves++
 		c.setHealth(FallbackHeuristic)
+		if rec != nil {
+			rec.Kind = "fallback"
+		}
 	} else {
 		quotas = make(map[string]float64, len(sol.Quotas))
 		for i, name := range c.Cluster.App.ServiceNames() {
 			quotas[name] = sol.Quotas[i] * scale
 		}
 		c.setHealth(Healthy)
+		if rec != nil {
+			rec.Kind = "solve"
+		}
 	}
 	quotas = c.limitStep(quotas)
+	tActuate := c.wallStart()
 	c.Cluster.ApplyQuotas(quotas)
+	c.stage("actuate", tActuate, nil)
 	c.lastQuotas = quotas
+	if rec != nil {
+		rec.Applied = copyQuotas(quotas)
+	}
 	if c.OnDecision != nil {
 		c.OnDecision(c.Cluster.Eng.Now(), total, sol)
 	}
+}
+
+// copyQuotas snapshots a quota map for the flight recorder — the live map
+// keeps mutating (boost compounding, later decisions).
+func copyQuotas(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // evalBreaker updates the model circuit breaker from one solve. A closed

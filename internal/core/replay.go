@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"graf/internal/obs"
+)
+
+// ReplayReport summarizes one audit-log replay: how many recorded decisions
+// were re-executed and how many reproduced bit-identically.
+type ReplayReport struct {
+	Decisions  int // decision records in the log
+	Solves     int // decisions taken on the model path and re-solved
+	Matched    int // re-solved decisions whose outputs matched bit-for-bit
+	Mismatches []string
+}
+
+// OK reports whether every re-solved decision reproduced exactly.
+func (r ReplayReport) OK() bool { return len(r.Mismatches) == 0 }
+
+// String renders a one-line summary.
+func (r ReplayReport) String() string {
+	return fmt.Sprintf("replay: %d decisions, %d solves re-run, %d matched, %d mismatches",
+		r.Decisions, r.Solves, r.Matched, len(r.Mismatches))
+}
+
+// ReplayAudit re-executes the solver over a recorded flight-recorder log and
+// verifies each model-path decision reproduces bit-identically: same quotas,
+// same predicted latency, same iteration count, same convergence flag.
+//
+// Decision records carry the exact solver inputs (distributed load vector and
+// the effective bounds after the demand floor); the header record carries the
+// SLO and solver configuration. Solve is deterministic — pure float64
+// arithmetic, no randomness, no wall-clock reads — and encoding/json
+// round-trips float64 exactly, so any mismatch means either a different
+// model than the recording used or a behavior change in the solver. Only
+// Kind=="solve" and Kind=="fallback" decisions carry solver inputs; the
+// reactive paths (boost, hold, hysteresis, idle) made no model call and are
+// counted but not re-run.
+func ReplayAudit(m LatencyModel, log []obs.Record) ReplayReport {
+	var rep ReplayReport
+	var hdr *obs.Record
+	for i := range log {
+		if log[i].Type == "header" {
+			hdr = &log[i]
+			break
+		}
+	}
+	for i := range log {
+		rec := &log[i]
+		if rec.Type != "decision" {
+			continue
+		}
+		rep.Decisions++
+		if len(rec.Load) == 0 || len(rec.Raw) == 0 {
+			continue // reactive path: no solve to reproduce
+		}
+		rep.Solves++
+		if hdr == nil {
+			rep.Mismatches = append(rep.Mismatches,
+				fmt.Sprintf("seq %d: no header record; cannot reconstruct solver config", rec.Seq))
+			continue
+		}
+		cfg := SolverConfig{
+			Rho:           hdr.Solver["rho"],
+			LR:            hdr.Solver["lr"],
+			MaxIters:      int(hdr.Solver["max_iters"]),
+			Tolerance:     hdr.Solver["tolerance"],
+			PatienceIters: int(hdr.Solver["patience_iters"]),
+		}
+		sol := Solve(m, rec.Load, hdr.SLO, rec.Lo, rec.Hi, cfg)
+		ok := sol.Iterations == rec.Iters && sol.Converged == rec.Converged &&
+			sol.Predicted == rec.Predicted && len(sol.Quotas) == len(rec.Raw)
+		if ok {
+			for i, q := range sol.Quotas {
+				if q != rec.Raw[i] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			rep.Matched++
+		} else {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf(
+				"seq %d (t=%.1fs): got iters=%d conv=%v pred=%v, recorded iters=%d conv=%v pred=%v",
+				rec.Seq, rec.At, sol.Iterations, sol.Converged, sol.Predicted,
+				rec.Iters, rec.Converged, rec.Predicted))
+		}
+	}
+	return rep
+}
+
+// SolverConfigMap flattens a SolverConfig for the audit-log header record.
+func SolverConfigMap(cfg SolverConfig) map[string]float64 {
+	return map[string]float64{
+		"rho":            cfg.Rho,
+		"lr":             cfg.LR,
+		"max_iters":      float64(cfg.MaxIters),
+		"tolerance":      cfg.Tolerance,
+		"patience_iters": float64(cfg.PatienceIters),
+	}
+}

@@ -3,8 +3,10 @@ package gnn
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"graf/internal/nn"
+	"graf/internal/obs"
 )
 
 // TrainConfig parameterizes supervised training (§3.4, Table 1). The
@@ -22,6 +24,11 @@ type TrainConfig struct {
 	// EvalEvery controls how often train/validation losses are recorded
 	// into the learning curve (0 = every 50 iterations).
 	EvalEvery int
+
+	// Obs, if set, streams the learning curve and per-batch wall timing to
+	// the telemetry subsystem. Nil disables the instrumentation and the
+	// wall-clock reads that feed it.
+	Obs *obs.TrainObs
 }
 
 // DefaultTrainConfig returns the paper's hyperparameters (Table 1) with an
@@ -93,6 +100,10 @@ func (m *Model) Train(samples []Sample, tc TrainConfig) TrainResult {
 	}
 
 	for iter := 0; iter < tc.Iterations; iter++ {
+		var tBatch time.Time
+		if tc.Obs != nil {
+			tBatch = time.Now()
+		}
 		m.zeroGrad()
 		batchLoss := 0.0
 		for b := 0; b < tc.Batch; b++ {
@@ -103,6 +114,11 @@ func (m *Model) Train(samples []Sample, tc TrainConfig) TrainResult {
 			m.backward(st, d)
 		}
 		opt.Step(m.params(), float64(tc.Batch))
+		var batchNS int64
+		if tc.Obs != nil {
+			batchNS = time.Since(tBatch).Nanoseconds()
+			tc.Obs.Batch(batchNS)
+		}
 
 		if iter%tc.EvalEvery == 0 || iter == tc.Iterations-1 {
 			v := evalSet(val)
@@ -111,6 +127,7 @@ func (m *Model) Train(samples []Sample, tc TrainConfig) TrainResult {
 				Train:     batchLoss / float64(tc.Batch),
 				Val:       v,
 			})
+			tc.Obs.Eval(iter, batchLoss/float64(tc.Batch), v, batchNS)
 			if len(val) > 0 && (res.BestVal < 0 || v < res.BestVal) {
 				res.BestVal = v
 				bestSnap = m.snapshotWeights()

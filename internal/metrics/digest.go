@@ -15,6 +15,13 @@ import (
 // exactly (by sorting retained samples). Sample volumes in the simulator are
 // modest (at most a few million per experiment), so exact retention is both
 // affordable and removes approximation error from the reproduction.
+//
+// Digest is the exact, sample-retaining counterpart of the streaming
+// P2Digest. Every paper-facing percentile (cluster latency windows, bench
+// tables) uses Digest; the always-on observability histograms in
+// internal/obs use P2Digest, whose memory stays O(1) under unbounded
+// streams. See P2Digest for the full consumer map and the small-n agreement
+// guarantee between the two.
 type Digest struct {
 	samples []float64
 	sorted  bool

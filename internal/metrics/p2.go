@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// P2Digest estimates a single quantile of a stream in O(1) memory with the
+// P² algorithm (Jain & Chlamtac, CACM 1985): five markers whose heights are
+// nudged toward the target quantile with parabolic interpolation as
+// observations arrive. Unlike Digest it never retains samples, which is what
+// makes it safe inside always-on telemetry (the internal/obs histograms use
+// it for their quantile summaries) where a Digest's retained-sample growth
+// would be a slow leak.
+//
+// Small-n semantics: the P² marker machinery only exists from the 6th
+// observation on. Below that the digest holds the raw observations and
+// answers exactly, with the same nearest-rank convention as Digest — so the
+// two digests agree bit-for-bit until the stream outgrows the marker buffer,
+// instead of silently diverging at small n. TestP2CrossValidation pins the
+// approximation error of the streaming phase against Digest on known
+// distributions.
+//
+// Consumer map (who uses which digest):
+//   - Digest (sorted-sample, exact): cluster latency/CPU windows, the bench
+//     harness tables, and every paper-facing percentile — anywhere a number
+//     is compared against the paper, approximation error is unacceptable.
+//   - P2Digest (streaming, approximate): internal/obs histograms' quantile
+//     summaries, where bounded memory under unbounded observation streams
+//     matters more than the last percent of accuracy.
+type P2Digest struct {
+	p     float64    // target quantile in (0, 1)
+	q     [5]float64 // marker heights
+	n     [5]float64 // marker positions (1-based)
+	np    [5]float64 // desired marker positions
+	dn    [5]float64 // desired position increments
+	count int
+	init  [5]float64 // first observations, sorted, while count < 5
+}
+
+// NewP2Digest returns a streaming estimator for quantile p (0 < p < 1).
+func NewP2Digest(p float64) *P2Digest {
+	if p <= 0 || p >= 1 {
+		panic("metrics: P2Digest quantile must be in (0, 1)")
+	}
+	return &P2Digest{p: p}
+}
+
+// Count returns the number of observations recorded.
+func (d *P2Digest) Count() int { return d.count }
+
+// Add records one observation. NaN observations panic, matching Digest.
+func (d *P2Digest) Add(v float64) {
+	if math.IsNaN(v) {
+		panic("metrics: NaN observation")
+	}
+	if d.count < 5 {
+		d.init[d.count] = v
+		d.count++
+		sort.Float64s(d.init[:d.count])
+		if d.count == 5 {
+			// Initialize markers from the first five order statistics.
+			d.q = d.init
+			d.n = [5]float64{1, 2, 3, 4, 5}
+			d.np = [5]float64{1, 1 + 2*d.p, 1 + 4*d.p, 3 + 2*d.p, 5}
+			d.dn = [5]float64{0, d.p / 2, d.p, (1 + d.p) / 2, 1}
+		}
+		return
+	}
+	d.count++
+
+	// Find the cell k the observation falls into, extending the extremes.
+	var k int
+	switch {
+	case v < d.q[0]:
+		d.q[0] = v
+		k = 0
+	case v >= d.q[4]:
+		d.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < d.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		d.n[i]++
+	}
+	for i := range d.np {
+		d.np[i] += d.dn[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		delta := d.np[i] - d.n[i]
+		if (delta >= 1 && d.n[i+1]-d.n[i] > 1) || (delta <= -1 && d.n[i-1]-d.n[i] < -1) {
+			sign := 1.0
+			if delta < 0 {
+				sign = -1
+			}
+			// Parabolic (P²) prediction of the marker height one position
+			// over; fall back to linear when it would break monotonicity.
+			qp := d.parabolic(i, sign)
+			if d.q[i-1] < qp && qp < d.q[i+1] {
+				d.q[i] = qp
+			} else {
+				d.q[i] = d.linear(i, sign)
+			}
+			d.n[i] += sign
+		}
+	}
+}
+
+func (d *P2Digest) parabolic(i int, s float64) float64 {
+	return d.q[i] + s/(d.n[i+1]-d.n[i-1])*
+		((d.n[i]-d.n[i-1]+s)*(d.q[i+1]-d.q[i])/(d.n[i+1]-d.n[i])+
+			(d.n[i+1]-d.n[i]-s)*(d.q[i]-d.q[i-1])/(d.n[i]-d.n[i-1]))
+}
+
+func (d *P2Digest) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return d.q[i] + s*(d.q[j]-d.q[i])/(d.n[j]-d.n[i])
+}
+
+// Quantile returns the current estimate of the target quantile. While fewer
+// than five observations have arrived it is exact (nearest-rank over the
+// retained buffer, identical to Digest); afterwards it is the P² estimate.
+// It returns 0 for an empty digest.
+func (d *P2Digest) Quantile() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if d.count < 5 {
+		rank := int(math.Ceil(d.p * float64(d.count)))
+		if rank <= 0 {
+			rank = 1
+		}
+		return d.init[rank-1]
+	}
+	return d.q[2]
+}
+
+// Min and Max return the stream extremes seen so far (0 when empty).
+func (d *P2Digest) Min() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if d.count < 5 {
+		return d.init[0]
+	}
+	return d.q[0]
+}
+
+// Max returns the largest observation seen so far (0 when empty).
+func (d *P2Digest) Max() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if d.count < 5 {
+		return d.init[d.count-1]
+	}
+	return d.q[4]
+}

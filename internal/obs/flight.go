@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Record is one line of the flight-recorder audit log. A single flat struct
+// with a type discriminator keeps the JSONL format trivially parseable by
+// jq and by ReadLog; unused fields are omitted per record type.
+//
+// Record types:
+//   - "header": run metadata — application, SLO, solver configuration —
+//     written once when a controller attaches. Replay needs it to re-run
+//     solves with the exact configuration the recording used.
+//   - "decision": one controller step, with its complete inputs (per-API
+//     rates, distributed load vector, effective solver bounds after the
+//     demand floor, workload scale, health state, chaos events active) and
+//     outputs (raw solver quotas, prediction, iterations, applied quotas).
+//     Kind says which path the step took: "solve", "fallback", "boost",
+//     "boost-wait", "hold", "hysteresis", or "idle".
+//   - "health": a degraded-mode state transition.
+//   - "chaos": a fault firing.
+//   - "summary": final counters, written at graceful shutdown.
+//
+// Float64 values round-trip bit-identically through encoding/json (shortest
+// round-trippable decimal), which is what makes bit-exact replay possible
+// from a file on disk.
+type Record struct {
+	Type string  `json:"type"`
+	At   float64 `json:"at"`
+	Seq  int     `json:"seq,omitempty"`
+
+	// Header fields.
+	App      string             `json:"app,omitempty"`
+	SLO      float64            `json:"slo,omitempty"`
+	Services []string           `json:"services,omitempty"`
+	Solver   map[string]float64 `json:"solver,omitempty"`
+
+	// Decision fields.
+	Kind      string             `json:"kind,omitempty"`
+	Health    string             `json:"health,omitempty"`
+	Rates     map[string]float64 `json:"rates,omitempty"`
+	Total     float64            `json:"total,omitempty"`
+	Load      []float64          `json:"load,omitempty"`
+	Lo        []float64          `json:"lo,omitempty"`
+	Hi        []float64          `json:"hi,omitempty"`
+	Scale     float64            `json:"scale,omitempty"`
+	Raw       []float64          `json:"raw,omitempty"` // solver output before scaling/limiting
+	Predicted float64            `json:"predicted,omitempty"`
+	Iters     int                `json:"iters,omitempty"`
+	Converged bool               `json:"converged,omitempty"`
+	Applied   map[string]float64 `json:"applied,omitempty"`
+	Chaos     []string           `json:"chaos,omitempty"`
+
+	// Health-transition fields.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Chaos / summary fields.
+	Detail  string             `json:"detail,omitempty"`
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// FlightRecorder appends Records to an optional JSONL sink and retains the
+// most recent ones in memory (for in-process replay and inspection without
+// any file). Safe for concurrent use.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	mem  []Record
+	cap  int // max retained records; <= 0 means unbounded
+	seq  int
+	err  error
+	drop int // records evicted from memory
+}
+
+// NewFlightRecorder returns a recorder writing JSONL to w (nil = memory
+// only). memCap bounds the in-memory record buffer; 0 keeps everything —
+// callers that replay in-process want the full log, long-running daemons
+// set a cap and rely on the file.
+func NewFlightRecorder(w io.Writer, memCap int) *FlightRecorder {
+	f := &FlightRecorder{cap: memCap}
+	if w != nil {
+		f.w = bufio.NewWriter(w)
+	}
+	return f
+}
+
+// Record appends one record, stamping its sequence number.
+func (f *FlightRecorder) Record(rec Record) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	rec.Seq = f.seq
+	if f.cap > 0 && len(f.mem) >= f.cap {
+		n := copy(f.mem, f.mem[1:])
+		f.mem = f.mem[:n]
+		f.drop++
+	}
+	f.mem = append(f.mem, rec)
+	if f.w != nil && f.err == nil {
+		b, err := json.Marshal(rec)
+		if err == nil {
+			_, err = f.w.Write(append(b, '\n'))
+		}
+		f.err = err
+	}
+}
+
+// Records returns a copy of the retained in-memory records.
+func (f *FlightRecorder) Records() []Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Record(nil), f.mem...)
+}
+
+// Dropped returns how many records were evicted from the memory buffer.
+func (f *FlightRecorder) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drop
+}
+
+// Flush forces buffered JSONL output to the underlying writer and returns
+// the first write error encountered, if any.
+func (f *FlightRecorder) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.w != nil {
+		if err := f.w.Flush(); err != nil && f.err == nil {
+			f.err = err
+		}
+	}
+	return f.err
+}
+
+// ReadLog parses a JSONL audit log previously written by a FlightRecorder.
+func ReadLog(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: audit log line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixtureRegistry populates a registry with one family of every kind,
+// labeled and unlabeled children, and label values that need escaping.
+func buildFixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("graf_decisions_total", "Controller decisions by outcome kind.", Labels{"kind": "solve"}).Add(12)
+	r.Counter("graf_decisions_total", "Controller decisions by outcome kind.", Labels{"kind": "fallback"}).Add(3)
+	r.Gauge("graf_health_state", "Current controller health state.", nil).Set(2)
+	r.Gauge("graf_quota_millicores", "CPU quota per service.", Labels{"service": `front"end\v1` + "\n"}).Set(1.75)
+	h := r.Histogram("graf_decision_stage_seconds", "Wall-clock cost of each decision stage.",
+		[]float64{0.001, 0.01, 0.1}, Labels{"stage": "solve"})
+	for _, v := range []float64{0.0005, 0.002, 0.003, 0.05, 0.7} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestExposeGolden pins the full Prometheus text exposition — HELP/TYPE
+// lines, label escaping, bucket rendering — against a golden file.
+func TestExposeGolden(t *testing.T) {
+	got := buildFixtureRegistry().Expose()
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExposeFormat checks structural invariants of the exposition
+// independent of the golden file: exactly one HELP and TYPE line per family,
+// escaped label values, cumulative buckets ending in +Inf == _count.
+func TestExposeFormat(t *testing.T) {
+	out := buildFixtureRegistry().Expose()
+
+	for _, fam := range []string{"graf_decisions_total", "graf_health_state", "graf_quota_millicores", "graf_decision_stage_seconds"} {
+		if n := strings.Count(out, "# HELP "+fam+" "); n != 1 {
+			t.Errorf("family %s: %d HELP lines, want 1", fam, n)
+		}
+		if n := strings.Count(out, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s: %d TYPE lines, want 1", fam, n)
+		}
+	}
+	if !strings.Contains(out, `service="front\"end\\v1\n"`) {
+		t.Errorf("label value not escaped per text format; output:\n%s", out)
+	}
+
+	// Bucket cumulativity: each le count must be >= the previous, and the
+	// +Inf bucket must equal _count.
+	var prev float64 = -1
+	var inf, count float64
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "graf_decision_stage_seconds_bucket"):
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not cumulative: %v after %v in %q", v, prev, line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, "graf_decision_stage_seconds_count"):
+			count, _ = strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		}
+	}
+	if inf != count || count != 5 {
+		t.Errorf("+Inf bucket %v, _count %v; want both 5", inf, count)
+	}
+}
+
+// TestRegistryKindMismatchPanics pins that re-registering a name as a
+// different kind is a programming error, not a silent aliasing bug.
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("graf_x_total", "x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("graf_x_total", "x", nil)
+}
+
+// TestRegistryConcurrent hammers the registry from many goroutines while a
+// reader renders expositions — run under -race this is the thread-safety
+// proof for the sim-goroutine-writes / scraper-goroutine-reads split.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := Labels{"worker": fmt.Sprint(w % 4)}
+			for i := 0; i < iters; i++ {
+				r.Counter("graf_ops_total", "ops", lbl).Inc()
+				r.Gauge("graf_level", "level", lbl).Set(float64(i))
+				r.Histogram("graf_cost_seconds", "cost", nil, lbl).Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.Expose()
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	var total float64
+	for w := 0; w < 4; w++ {
+		total += r.Counter("graf_ops_total", "ops", Labels{"worker": fmt.Sprint(w)}).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("lost increments: total %v, want %v", total, workers*iters)
+	}
+}
+
+// TestFlightRoundTrip pins that a flight record survives JSONL encode/decode
+// bit-identically, including awkward float64s — the property replay rests on.
+func TestFlightRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlightRecorder(&buf, 0)
+	rec := Record{
+		Type: "decision", At: 130.5, Kind: "solve", Health: "healthy",
+		Rates: map[string]float64{"checkout": 1.0 / 3.0, "search": 0.1},
+		Load:  []float64{0.1, 1e-17, 123456.789012345678},
+		Lo:    []float64{0.5, 0.5, 0.5},
+		Hi:    []float64{8, 8, 8},
+		Raw:   []float64{1.2345678901234567, 2.7182818284590455, 0.30000000000000004},
+		Scale: 1.25, Predicted: 0.19999999999999998, Iters: 137, Converged: true,
+		Applied: map[string]float64{"checkout": 2.5},
+	}
+	f.Record(rec)
+	f.Record(Record{Type: "health", At: 140, From: "healthy", To: "boosting"})
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	d := got[0]
+	for i, v := range rec.Raw {
+		if d.Raw[i] != v {
+			t.Errorf("Raw[%d] = %v, want bit-identical %v", i, d.Raw[i], v)
+		}
+	}
+	for i, v := range rec.Load {
+		if d.Load[i] != v {
+			t.Errorf("Load[%d] = %v, want bit-identical %v", i, d.Load[i], v)
+		}
+	}
+	if d.Rates["checkout"] != rec.Rates["checkout"] || d.Predicted != rec.Predicted {
+		t.Error("float fields did not round-trip bit-identically")
+	}
+	if d.Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("sequence numbers %d,%d, want 1,2", d.Seq, got[1].Seq)
+	}
+}
+
+// TestFlightMemoryCap pins bounded-memory eviction semantics.
+func TestFlightMemoryCap(t *testing.T) {
+	f := NewFlightRecorder(nil, 3)
+	for i := 0; i < 10; i++ {
+		f.Record(Record{Type: "decision", At: float64(i)})
+	}
+	recs := f.Records()
+	if len(recs) != 3 || f.Dropped() != 7 {
+		t.Fatalf("retained %d dropped %d, want 3 and 7", len(recs), f.Dropped())
+	}
+	if recs[0].At != 7 || recs[2].At != 9 || recs[2].Seq != 10 {
+		t.Errorf("wrong records retained: %+v", recs)
+	}
+}
+
+// TestSpanRingWrap pins overwrite order and total accounting.
+func TestSpanRingWrap(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Span{Name: "s", At: float64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 || r.Total() != 10 {
+		t.Fatalf("len %d total %d, want 4 and 10", len(snap), r.Total())
+	}
+	for i, s := range snap {
+		if s.At != float64(6+i) {
+			t.Errorf("snapshot[%d].At = %v, want %v (oldest-first)", i, s.At, 6+i)
+		}
+	}
+}
+
+// TestActiveChaos pins window registration, pruning and sorted labels.
+func TestActiveChaos(t *testing.T) {
+	tel := New(Options{})
+	tel.ChaosActive("kill", 130)
+	tel.ChaosActive("cpu-stress", 200)
+	got := tel.ActiveChaos(120)
+	if len(got) != 2 || got[0] != "cpu-stress" || got[1] != "kill" {
+		t.Fatalf("ActiveChaos(120) = %v", got)
+	}
+	got = tel.ActiveChaos(150)
+	if len(got) != 1 || got[0] != "cpu-stress" {
+		t.Fatalf("ActiveChaos(150) = %v, want [cpu-stress] after pruning", got)
+	}
+}
+
+// TestHandlerMetrics smoke-tests the /metrics endpoint content type wiring
+// via the handler directly (no network).
+func TestHandlerMetrics(t *testing.T) {
+	tel := New(Options{})
+	tel.Reg.Counter("graf_decisions_total", "d", Labels{"kind": "solve"}).Inc()
+	rec := httptest.NewRecorder()
+	tel.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `graf_decisions_total{kind="solve"} 1`) {
+		t.Errorf("missing sample in body:\n%s", rec.Body.String())
+	}
+}
+
+// TestNilHooksAreNoOps pins the nil-receiver contract every instrumented
+// call site relies on.
+func TestNilHooksAreNoOps(t *testing.T) {
+	var c *ControllerObs
+	c.Stage("solve", 0, 1, nil)
+	c.Solver(0, 1, true, 1)
+	c.Decision(Record{Kind: "solve"})
+	c.Health(0, "a", "b", 1)
+	c.Boost(0, "svc")
+	if c.Telemetry() != nil {
+		t.Error("nil hook returned non-nil telemetry")
+	}
+	var cl *ClusterObs
+	cl.Scale(0, "svc", 1, 2)
+	cl.Churn("svc", 1, 1, 1, 1)
+	var ch *ChaosObs
+	ch.Fired(0, "kill", "", 0)
+	var tr *TrainObs
+	tr.Eval(0, 1, 1, 1)
+	tr.Batch(1)
+	if NewControllerObs(nil) != nil || NewClusterObs(nil) != nil ||
+		NewChaosObs(nil) != nil || NewTrainObs(nil) != nil {
+		t.Error("constructors must return nil for nil telemetry")
+	}
+}

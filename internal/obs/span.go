@@ -1,0 +1,68 @@
+package obs
+
+import "sync"
+
+// Span is one timed unit of control-plane work: a controller decision
+// stage, one solver run, a training epoch, a chaos firing. At is the
+// simulated time the work ran at; WallNS is the wall-clock cost of the
+// stage, which is what the hot-path timing dashboards care about — the
+// simulated clock does not advance inside a decision.
+type Span struct {
+	Name   string             `json:"name"`
+	At     float64            `json:"at"`                // simulated time (s)
+	WallNS int64              `json:"wall_ns,omitempty"` // wall-clock duration
+	Attrs  map[string]float64 `json:"attrs,omitempty"`
+	Note   string             `json:"note,omitempty"`
+}
+
+// SpanRing is a bounded in-memory span buffer: the newest spans overwrite
+// the oldest, so memory stays constant over unbounded runs while the most
+// recent control-loop history is always inspectable. Safe for concurrent
+// use.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewSpanRing returns a ring retaining the last n spans (n ≥ 1).
+func NewSpanRing(n int) *SpanRing {
+	if n < 1 {
+		n = 1
+	}
+	return &SpanRing{buf: make([]Span, 0, n)}
+}
+
+// Add records one span.
+func (r *SpanRing) Add(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns how many spans have ever been recorded (including ones the
+// ring has since overwritten).
+func (r *SpanRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (r *SpanRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}

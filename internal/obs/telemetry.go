@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Telemetry bundles the three observability planes — the metrics registry,
+// the span ring, and the flight recorder — plus the shared state they need
+// (which chaos events are currently active). One Telemetry instance
+// observes one simulation.
+type Telemetry struct {
+	Reg    *Registry
+	Spans  *SpanRing
+	Flight *FlightRecorder
+
+	mu     sync.Mutex
+	active []chaosWindow
+}
+
+type chaosWindow struct {
+	label string
+	until float64
+}
+
+// Options parameterizes New.
+type Options struct {
+	// SpanRing bounds the in-memory span buffer (default 4096).
+	SpanRing int
+	// AuditW receives the JSONL flight-recorder stream (nil = memory only).
+	AuditW io.Writer
+	// AuditMemory bounds retained in-memory audit records (0 = unbounded,
+	// which in-process replay wants; daemons writing to a file set a cap).
+	AuditMemory int
+}
+
+// New builds a Telemetry bundle.
+func New(o Options) *Telemetry {
+	if o.SpanRing <= 0 {
+		o.SpanRing = 4096
+	}
+	t := &Telemetry{
+		Reg:    NewRegistry(),
+		Spans:  NewSpanRing(o.SpanRing),
+		Flight: NewFlightRecorder(o.AuditW, o.AuditMemory),
+	}
+	publishExpvar(t)
+	return t
+}
+
+// ChaosActive registers a fault as active until the given simulated time;
+// decision records list the labels of every window covering their instant.
+// Instantaneous faults (kills, crashes) pass a small linger window so the
+// decisions they disturb still carry the annotation.
+func (t *Telemetry) ChaosActive(label string, until float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active = append(t.active, chaosWindow{label: label, until: until})
+}
+
+// ActiveChaos returns the labels of fault windows covering simulated time
+// now, pruning expired ones.
+func (t *Telemetry) ActiveChaos(now float64) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.active[:0]
+	var out []string
+	for _, w := range t.active {
+		if w.until >= now {
+			kept = append(kept, w)
+			out = append(out, w.label)
+		}
+	}
+	t.active = kept
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the observability HTTP mux: Prometheus text exposition at
+// /metrics, expvar at /debug/vars, and the full pprof suite under
+// /debug/pprof/ — the cAdvisor/Prometheus/pprof surface of the paper's
+// deployment, for the control plane itself.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, t.Reg.Expose())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Handler on addr and returns it once the
+// listener is bound (so scrapes racing the return cannot miss). Shut it
+// down with srv.Close or srv.Shutdown.
+func (t *Telemetry) Serve(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: t.Handler()}
+	go srv.Serve(ln)
+	return srv, nil
+}
+
+// current holds the most recently constructed Telemetry for the process-wide
+// expvar publication: expvar names are global and re-publishing panics, so
+// the "graf" var indirects through this pointer.
+var (
+	current     atomic.Pointer[Telemetry]
+	expvarOnce  sync.Once
+)
+
+func publishExpvar(t *Telemetry) {
+	current.Store(t)
+	expvarOnce.Do(func() {
+		expvar.Publish("graf", expvar.Func(func() any {
+			if cur := current.Load(); cur != nil {
+				return cur.Reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
