@@ -243,3 +243,7 @@ func BenchmarkChaosRobustness(b *testing.B) { runExperiment(b, bench.ChaosRobust
 
 func BenchmarkObsReplay(b *testing.B)   { runExperiment(b, bench.ObsReplay) }
 func BenchmarkObsOverhead(b *testing.B) { runExperiment(b, bench.ObsOverhead) }
+
+// --- Crash recovery (checkpoint + supervised warm restart, DESIGN.md §3e) ---
+
+func BenchmarkRecovery(b *testing.B) { runExperiment(b, bench.Recovery) }

@@ -50,6 +50,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"scalability":   bench.Scalability,
 	"abl-partition": bench.AblationPartition,
 	"chaos":         bench.ChaosRobustness,
+	"recovery":      bench.Recovery,
 	"replay":        bench.ObsReplay,
 	"obs-overhead":  bench.ObsOverhead,
 }
@@ -63,7 +64,7 @@ var order = []string{
 	"tab03", "fig19", "fig20", "fig21", "fig22",
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
-	"chaos", "replay", "obs-overhead",
+	"chaos", "recovery", "replay", "obs-overhead",
 }
 
 func main() {

@@ -18,6 +18,14 @@
 //	grafd -train -audit run.jsonl              # flight-recorder audit log
 //	grafd -model m.graf -replay run.jsonl      # verify a recorded log replays bit-identically
 //
+// Crash recovery:
+//
+//	grafd -model m.graf -ckpt state            # supervised: checkpoint every 20 s of sim time
+//	grafd -model m.graf -ckpt state -crash-at 100   # die abruptly at t=100s (exit 42)
+//	grafd -model m.graf -ckpt state -audit run.jsonl -assert-restore
+//	                                           # restart: warm-restore from the latest
+//	                                           # snapshot + audit tail, assert state survived
+//
 // grafd shuts down gracefully on SIGINT/SIGTERM: the control loop stops, the
 // audit log is flushed with a final summary record, and the degraded-mode
 // statistics are printed.
@@ -52,6 +60,11 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a recorded audit log against the model and verify bit-identical decisions (no simulation)")
 	holdS := flag.Int("hold", 0, "keep serving -obs endpoints this many wall-clock seconds after the run")
 	smoke := flag.Bool("smoke", false, "self-scrape -obs /metrics after the run and verify expected families (CI smoke test)")
+	ckptDir := flag.String("ckpt", "", "run supervised with crash-safe checkpoints in this directory; resumes from the latest valid snapshot")
+	ckptEveryS := flag.Float64("ckpt-every", 20, "checkpoint cadence in simulated seconds (with -ckpt)")
+	cold := flag.Bool("cold", false, "with -ckpt: ignore existing snapshots and restart the controller cold")
+	crashAt := flag.Float64("crash-at", 0, "die abruptly (exit 42) at this simulated time — leaves a torn audit tail for the recovery smoke test")
+	assertRestore := flag.Bool("assert-restore", false, "with -ckpt: exit non-zero unless the boot warm-restored controller state and quotas from a snapshot")
 	flag.Parse()
 
 	a := graf.OnlineBoutique()
@@ -82,6 +95,28 @@ func main() {
 
 	s := graf.NewSimulation(a, *seed)
 
+	// Crash recovery: before the audit file is re-opened, salvage the
+	// previous process's decision tail — the records after its last
+	// checkpoint. A crash mid-append leaves a torn final line;
+	// RepairAuditLog returns the valid prefix and truncates the tear off
+	// the file, so the append that follows keeps the log parseable across
+	// any number of crash/restart cycles.
+	var priorAudit []graf.AuditRecord
+	if *ckptDir != "" && !*cold && *auditPath != "" {
+		if _, err := os.Stat(*auditPath); err == nil {
+			recs, repaired, rerr := graf.RepairAuditLog(*auditPath)
+			switch {
+			case rerr != nil:
+				fmt.Fprintf(os.Stderr, "prior audit log unusable (%v); warm restore will use the snapshot alone\n", rerr)
+			case repaired:
+				fmt.Printf("prior audit log ended in a torn record (crash mid-append); recovered %d records\n", len(recs))
+				priorAudit = recs
+			default:
+				priorAudit = recs
+			}
+		}
+	}
+
 	// Observability: attach the telemetry bundle before the controller
 	// starts so the header record and every decision land in the log.
 	var audit *os.File
@@ -91,7 +126,13 @@ func main() {
 		cfg := graf.ObservabilityConfig{}
 		if *auditPath != "" {
 			var err error
-			audit, err = os.Create(*auditPath)
+			if *ckptDir != "" {
+				// A supervised daemon appends across restarts: the audit log
+				// is one continuous recording of the run, crashes included.
+				audit, err = os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			} else {
+				audit, err = os.Create(*auditPath)
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "audit log: %v\n", err)
 				os.Exit(1)
@@ -113,17 +154,82 @@ func main() {
 	}
 
 	slo := time.Duration(*sloMS) * time.Millisecond
-	ctl, err := s.StartGRAF(tr, slo)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	tune := func(ctl *graf.Controller) {
+		ctl.OnDecision = func(t float64, total float64, sol graf.Solution) {
+			fmt.Printf("[%6.0fs] solve: frontend %.0f rps → total quota %.0f mc (predicted p99 %.0f ms, %d iters)\n",
+				t, total, sol.TotalQuota, sol.Predicted*1000, sol.Iterations)
+		}
+		ctl.OnHealth = func(t float64, from, to graf.HealthState) {
+			fmt.Printf("[%6.0fs] health: %s → %s\n", t, from, to)
+		}
 	}
-	ctl.OnDecision = func(t float64, total float64, sol graf.Solution) {
-		fmt.Printf("[%6.0fs] solve: frontend %.0f rps → total quota %.0f mc (predicted p99 %.0f ms, %d iters)\n",
-			t, total, sol.TotalQuota, sol.Predicted*1000, sol.Iterations)
+	var ctl *graf.Controller
+	var sup *graf.Supervisor
+	if *ckptDir != "" {
+		// Supervised mode: resume the previous process's run from the
+		// latest valid snapshot (simulated clock, cluster scaling state),
+		// then boot the controller under the supervisor, which restores its
+		// decision state from the same snapshot and folds the salvaged
+		// audit tail on top.
+		if !*cold {
+			resumed, err := s.ResumeFromCheckpoint(*ckptDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resume from checkpoint: %v\n", err)
+				os.Exit(1)
+			}
+			if resumed {
+				fmt.Printf("resumed cluster state from checkpoint at t=%.0fs (%d instances, %.0f mc)\n",
+					s.Engine.Now(), s.Cluster.TotalInstances(), s.Cluster.TotalQuota())
+			}
+		}
+		var err error
+		sup, err = s.StartGRAFSupervised(tr, graf.DefaultControllerConfig(slo), graf.SupervisorOptions{
+			Dir:             *ckptDir,
+			CheckpointEvery: time.Duration(*ckptEveryS * float64(time.Second)),
+			Cold:            *cold,
+			PriorAudit:      priorAudit,
+			Tune:            tune,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctl = sup.Controller()
+		fmt.Printf("supervised control plane up: restore=%s health=%s\n",
+			sup.LastRestoreMode(), ctl.Health())
+		if *assertRestore {
+			if err := checkRestore(s, sup); err != nil {
+				fmt.Fprintf(os.Stderr, "assert-restore: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("assert-restore OK: mode=warm health=%s totalQuota=%.0f mc\n",
+				ctl.Health(), s.Cluster.TotalQuota())
+		}
+	} else {
+		var err error
+		ctl, err = s.StartGRAF(tr, slo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tune(ctl)
 	}
-	ctl.OnHealth = func(t float64, from, to graf.HealthState) {
-		fmt.Printf("[%6.0fs] health: %s → %s\n", t, from, to)
+
+	if *crashAt > 0 {
+		// An abrupt controller death for the recovery smoke test: flush what
+		// the OS would plausibly have persisted, append a torn half-record
+		// (a crash mid-append), and exit without any graceful-shutdown path.
+		s.Engine.At(*crashAt, func() {
+			fmt.Printf("[%6.0fs] simulated crash: exiting abruptly\n", s.Engine.Now())
+			if tel != nil {
+				tel.Flight.Flush()
+			}
+			if audit != nil {
+				fmt.Fprintf(audit, `{"type":"decision","at":%.3f,"kind":"solve","tot`, s.Engine.Now())
+				audit.Sync()
+			}
+			os.Exit(42)
+		})
 	}
 
 	var gen interface{ Start() }
@@ -163,7 +269,19 @@ run:
 
 	// Stop the loop and flush telemetry: final Stats summary on stdout, a
 	// summary record closing the audit log, and a clean file sync.
-	ctl.Stop()
+	if sup != nil {
+		// Restarts replace the controller instance; report the live one. A
+		// final checkpoint preserves the end-of-run state for a successor.
+		if live := sup.Controller(); live != nil {
+			ctl = live
+			if _, err := sup.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+			}
+		}
+		sup.Stop()
+	} else {
+		ctl.Stop()
+	}
 	st := ctl.Stats()
 	fmt.Printf("final: health=%s solves=%d boosts=%d staleHolds=%d breakerTrips=%d fallbackSolves=%d rateLimited=%d transitions=%d\n",
 		ctl.Health(), ctl.Solves(), st.Boosts, st.StaleHolds, st.BreakerTrips, st.FallbackSolves, st.RateLimited, st.Transitions)
@@ -208,6 +326,28 @@ run:
 		}
 		srv.Close()
 	}
+}
+
+// checkRestore verifies a supervised boot actually resumed state: warm
+// restore mode, and cluster quotas above the fresh-boot default (one CPU
+// unit per service) — i.e. the scale the previous process had reached
+// survived its death.
+func checkRestore(s *graf.Simulation, sup *graf.Supervisor) error {
+	if mode := sup.LastRestoreMode(); mode != "warm" {
+		return fmt.Errorf("boot restore mode is %q, want \"warm\" (no valid snapshot?)", mode)
+	}
+	freshDefault := float64(len(s.Cluster.App.Services)) * 250
+	if q := s.Cluster.TotalQuota(); q <= freshDefault {
+		return fmt.Errorf("total quota %.0f mc is at or below the fresh-boot default %.0f mc: quotas did not survive", q, freshDefault)
+	}
+	ctl := sup.Controller()
+	if ctl == nil {
+		return fmt.Errorf("controller not running after supervised boot")
+	}
+	if ctl.Solves() == 0 && ctl.Health() == graf.Healthy {
+		return fmt.Errorf("controller state is empty after warm restore (0 solves, default health)")
+	}
+	return nil
 }
 
 // replay verifies a recorded audit log against the model: every model-path

@@ -26,6 +26,7 @@
 package graf
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -36,6 +37,7 @@ import (
 	"graf/internal/app"
 	"graf/internal/autoscale"
 	"graf/internal/chaos"
+	"graf/internal/ckpt"
 	"graf/internal/cluster"
 	"graf/internal/core"
 	"graf/internal/gnn"
@@ -177,6 +179,95 @@ func ChaosContention(at time.Duration, svc string, factor float64, duration time
 	return chaos.Contend(at.Seconds(), svc, factor, duration.Seconds())
 }
 
+// ChaosControllerCrash kills the control plane itself at the given offset;
+// the supervisor restarts it after restartAfter, warm (checkpoint +
+// audit-tail restore) or cold. Requires a controller started with
+// StartGRAFSupervised — against a plain StartGRAF controller the event is a
+// logged no-op.
+func ChaosControllerCrash(at, restartAfter time.Duration, warm bool) ChaosEvent {
+	return chaos.CrashController(at.Seconds(), restartAfter.Seconds(), warm)
+}
+
+// Crash-recovery building blocks (see internal/ckpt and DESIGN.md §3e).
+type (
+	// CheckpointStore persists generations of control-plane snapshots with
+	// corruption quarantine and previous-generation fallback.
+	CheckpointStore = ckpt.Store
+	// Supervisor runs the GRAF controller under panic protection with
+	// periodic checkpointing and warm restart.
+	Supervisor = ckpt.Supervisor
+)
+
+// ErrCorruptFile matches (via errors.Is) every corruption error raised by
+// checkpoint and model files: bad magic, wrong version, truncation, or
+// checksum mismatch.
+var ErrCorruptFile = ckpt.ErrCorrupt
+
+// NewCheckpointStore opens (creating if needed) a snapshot store rooted at
+// dir.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) { return ckpt.NewStore(dir) }
+
+// SupervisorOptions parameterizes StartGRAFSupervised.
+type SupervisorOptions struct {
+	// Dir is the checkpoint directory (required).
+	Dir string
+
+	// CheckpointEvery is the snapshot cadence in simulated time
+	// (default 20s).
+	CheckpointEvery time.Duration
+
+	// Cold disables warm restore: after a crash the controller restarts
+	// with empty state, as if no checkpoint existed. The recovery
+	// benchmark's baseline.
+	Cold bool
+
+	// MaxRestarts bounds panic-driven restarts (default 8). Chaos-scripted
+	// crashes don't consume the budget.
+	MaxRestarts int
+
+	// BackoffBase is the first panic-restart delay, doubling per restart
+	// (default 1s, capped at 60s).
+	BackoffBase time.Duration
+
+	// PriorAudit supplies audit records recovered from a previous
+	// process's log file (see ReadAuditLog), so a cross-process warm
+	// restore can fold the decisions the dead process made after its last
+	// checkpoint. Records at or before the snapshot time are ignored.
+	PriorAudit []AuditRecord
+
+	// Tune, if set, is called on every controller the supervisor builds
+	// (initial boot and each restart) before it starts — the place to hang
+	// OnDecision/OnHealth callbacks, since restarts replace the controller
+	// instance.
+	Tune func(*Controller)
+}
+
+// ResumeFromCheckpoint prepares a fresh simulation to continue a previous
+// process's run: it loads the latest valid snapshot from dir, fast-forwards
+// the simulated clock to the snapshot instant, and rebuilds the cluster's
+// scaling state (quotas, ready replicas, in-progress startups). Returns
+// false when no valid snapshot exists — the caller proceeds with a cold
+// boot. Call it before starting generators or StartGRAFSupervised (whose
+// warm boot then restores the controller state from the same snapshot).
+func (s *Simulation) ResumeFromCheckpoint(dir string) (bool, error) {
+	store, err := ckpt.NewStore(dir)
+	if err != nil {
+		return false, err
+	}
+	snap, err := store.LoadLatest()
+	if err != nil {
+		if errors.Is(err, ckpt.ErrNoSnapshot) {
+			return false, nil
+		}
+		return false, err
+	}
+	if snap.At > s.Engine.Now() {
+		s.Engine.RunUntil(snap.At)
+	}
+	s.Cluster.RestoreState(snap.Cluster)
+	return true, nil
+}
+
 // Observability building blocks (see internal/obs and DESIGN.md §3d).
 type (
 	// Observability bundles the flight-recorder telemetry planes: the
@@ -207,8 +298,22 @@ type ObservabilityConfig struct {
 }
 
 // ReadAuditLog parses a JSONL audit log previously written through
-// ObservabilityConfig.AuditW.
+// ObservabilityConfig.AuditW. A log whose final line is torn (the writer
+// crashed mid-append) yields the valid prefix plus ErrTruncatedAuditTail.
 func ReadAuditLog(r io.Reader) ([]AuditRecord, error) { return obs.ReadLog(r) }
+
+// RepairAuditLog reads the audit log at path and, when it ends in a
+// crash-torn final record, truncates the file back to its valid prefix so
+// subsequent appends keep the log parseable. It returns the salvaged
+// records and whether a torn tail was removed.
+func RepairAuditLog(path string) (recs []AuditRecord, repaired bool, err error) {
+	return obs.RepairLog(path)
+}
+
+// ErrTruncatedAuditTail matches (via errors.Is) the error ReadAuditLog
+// returns for a log ending in a torn record. The accompanying records are
+// the valid prefix — complete for everything but the interrupted append.
+var ErrTruncatedAuditTail = obs.ErrTruncatedTail
 
 // ReplayAudit re-runs every model-path decision of a recorded audit log
 // through the trained model's solver and verifies each reproduces
@@ -346,6 +451,93 @@ func (s *Simulation) StartGRAFWith(t *TrainedModel, cfg ControllerConfig) (*Cont
 	return ctl, nil
 }
 
+// StartGRAFSupervised runs the GRAF controller under the crash-recovery
+// supervisor: decisions execute inside a panic guard, the control plane's
+// state (controller + cluster scaling state) is checkpointed to o.Dir every
+// o.CheckpointEvery of simulated time, and on death — a panic, or a
+// scripted ChaosControllerCrash — the controller is rebuilt and (unless
+// o.Cold) warm-restored from the latest valid snapshot plus the audit-log
+// tail. The simulation's chaos injector is wired to the supervisor, so
+// ControllerCrash events target it.
+func (s *Simulation) StartGRAFSupervised(t *TrainedModel, cfg ControllerConfig, o SupervisorOptions) (*Supervisor, error) {
+	if err := t.ValidateFor(s.Cluster.App); err != nil {
+		return nil, err
+	}
+	store, err := ckpt.NewStore(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.TrainedMinRate = t.MinRate
+	cfg.TrainedMaxRate = t.MaxRate
+	build := func() *Controller {
+		an := core.NewAnalyzer(s.Cluster.App)
+		ctl := core.NewController(s.Cluster, t.Model, an, t.Bounds, cfg)
+		if s.obs != nil {
+			ctl.Obs = obs.NewControllerObs(s.obs)
+		}
+		if o.Tune != nil {
+			o.Tune(ctl)
+		}
+		return ctl
+	}
+	scfg := ckpt.SupervisorConfig{
+		Store:            store,
+		Build:            build,
+		CheckpointEveryS: 20,
+		Warm:             !o.Cold,
+		MaxRestarts:      o.MaxRestarts,
+	}
+	if o.CheckpointEvery > 0 {
+		scfg.CheckpointEveryS = o.CheckpointEvery.Seconds()
+	}
+	if o.BackoffBase > 0 {
+		scfg.BackoffBaseS = o.BackoffBase.Seconds()
+	}
+	prior := o.PriorAudit
+	if s.obs != nil {
+		scfg.Obs = obs.NewSupervisorObs(s.obs)
+		flight := s.obs.Flight
+		scfg.TailSince = func(at float64) []AuditRecord {
+			var out []AuditRecord
+			for _, r := range prior {
+				if r.At > at {
+					out = append(out, r)
+				}
+			}
+			for _, r := range flight.Records() {
+				if r.At > at {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+		// One header record for the whole supervised run: restarts resume
+		// the same recording rather than opening a new one.
+		s.obs.Flight.Record(obs.Record{
+			Type:     "header",
+			At:       s.Engine.Now(),
+			App:      s.Cluster.App.Name,
+			SLO:      cfg.SLO,
+			Services: s.Cluster.App.ServiceNames(),
+			Solver:   core.SolverConfigMap(cfg.Solver),
+		})
+	} else if len(prior) > 0 {
+		scfg.TailSince = func(at float64) []AuditRecord {
+			var out []AuditRecord
+			for _, r := range prior {
+				if r.At > at {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+	}
+	sup := ckpt.NewSupervisor(s.Engine, s.Cluster, scfg)
+	s.Chaos().Control = sup
+	sup.Start()
+	return sup, nil
+}
+
 // TrainOptions parameterizes offline training (§3.7, §5 "Sample Collection
 // and Training").
 type TrainOptions struct {
@@ -479,16 +671,23 @@ func sameParentSet(a, b []int) bool {
 	return true
 }
 
-// Save persists the trained model and its metadata to path.
+// Save persists the trained model and its metadata to path, crash-safely:
+// the framed (magic/version/CRC32) encoding is written to a temp file,
+// fsynced, and atomically renamed over the target, so an interrupted Save
+// leaves either the previous file or the complete new one — never a torn
+// mixture.
 func (t *TrainedModel) Save(path string) error {
 	blob, err := encodeTrained(t)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, blob, 0o644)
+	return ckpt.WriteFileAtomic(path, blob, 0o644)
 }
 
-// LoadModel restores a model previously written with Save.
+// LoadModel restores a model previously written with Save. It rejects
+// truncated, bit-flipped or wrong-format files with an error identifying
+// what failed validation (errors.Is(err, ErrCorruptFile) distinguishes
+// corruption from I/O trouble).
 func LoadModel(path string) (*TrainedModel, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"graf/internal/chaos"
+	"graf/internal/ckpt"
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/obs"
+	"graf/internal/sim"
+	"graf/internal/workload"
+)
+
+// recoveryOut summarizes one restart mode's run through the crash scenario.
+type recoveryOut struct {
+	violS          float64 // seconds of fault-window samples with p99(10s) > SLO
+	worstP99       float64 // worst sliding p99 during the window (s)
+	reconvergeTick int     // decision ticks from restart to the last violating sample
+	crashes        int     // controller deaths observed by the supervisor
+	mode           string  // restore mode of the last restart
+	stranded       int     // in-flight requests left after full drain (must be 0)
+}
+
+// recoveryScenario is the crash schedule, relative to the injection start:
+// the telemetry pipeline starts lying (5% arrival sampling) at +10 and the
+// control plane is killed at +13 — inside the same decision interval, so
+// the live controller never gets to act on the lying signal — then restarts
+// 15 s later, warm or cold per the flag. The workload surges two seconds
+// after the restart, while the telemetry is still lying: the restarted
+// controller must decide, from whatever state it came back with, whether
+// the ~12 rps it observes is a real traffic drop or a telemetry fault.
+func recoveryScenario(warm bool) chaos.Scenario {
+	return chaos.Scenario{Name: "recovery", Events: []chaos.Event{
+		chaos.SampleArrivals(10, 0.05, 60),
+		chaos.CrashController(13, 15, warm),
+	}}
+}
+
+// runRecovery drives one supervised GRAF control plane through the crash
+// scenario on a warm Online Boutique cluster. The only difference between
+// the two runs is the restart mode: warm restores the last checkpoint and
+// folds the audit tail; cold restarts the controller with empty state. The
+// cold controller trusts the sampled-down arrival rate (its stale-telemetry
+// detector has no reference rate to compare against) and tears capacity
+// down just as the surge lands; the warm one recognizes the collapse
+// against its restored reference rate and holds the last-known-good
+// configuration until the telemetry recovers.
+func runRecovery(tr *Trained, warm bool, slo float64, seed int64) recoveryOut {
+	eng := sim.NewEngine(seed)
+	cl := cluster.New(eng, tr.App, cluster.DefaultConfig())
+	warmStart(eng, cl, EvalRate) // engine now at 60
+
+	dir, err := os.MkdirTemp("", "graf-recovery-ckpt-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := ckpt.NewStore(dir)
+	if err != nil {
+		panic(err)
+	}
+
+	// A memory-only telemetry bundle feeds the audit tail that warm restore
+	// folds on top of the snapshot.
+	tel := obs.New(obs.Options{})
+	cfg := core.DefaultControllerConfig(slo)
+	cfg.TrainedMinRate = tr.RateLo
+	cfg.TrainedMaxRate = tr.RateHi
+	build := func() *core.Controller {
+		an := core.NewAnalyzer(tr.App)
+		ctl := core.NewController(cl, tr.Model, an, tr.Bounds, cfg)
+		ctl.Obs = obs.NewControllerObs(tel)
+		return ctl
+	}
+	sup := ckpt.NewSupervisor(eng, cl, ckpt.SupervisorConfig{
+		Store:            store,
+		Build:            build,
+		CheckpointEveryS: 20,
+		Warm:             warm,
+		TailSince: func(at float64) []obs.Record {
+			var out []obs.Record
+			for _, r := range tel.Flight.Records() {
+				if r.At > at {
+					out = append(out, r)
+				}
+			}
+			return out
+		},
+	})
+	sup.Start()
+
+	// The workload surges 240→300 rps at absolute t=240, two seconds after
+	// the restarted controller comes back at t=238: the restart and the
+	// surge land inside the same lying-telemetry window.
+	g := workload.NewOpenLoop(cl, workload.StepRate(EvalRate, 300, 240))
+	g.Start()
+	settle := eng.Now() + 150
+	eng.RunUntil(settle)
+
+	inj := chaos.New(cl)
+	inj.Control = sup
+	inj.Play(recoveryScenario(warm))
+
+	faultStart := eng.Now()           // 210
+	restartAt := faultStart + 13 + 15 // crash +13, restart delay 15
+	const observeS = 240
+	var out recoveryOut
+	violations := 0
+	lastViolationAt := restartAt
+	stopTick := eng.Ticker(faultStart+2, 2, func() {
+		p99 := cl.E2ELatencyQuantile(0.99, 10)
+		if p99 > out.worstP99 {
+			out.worstP99 = p99
+		}
+		if p99 > slo {
+			violations++
+			lastViolationAt = eng.Now()
+		}
+	})
+	eng.RunUntil(faultStart + observeS)
+	stopTick()
+	g.Stop()
+	sup.Stop()
+	eng.Run() // drain everything, including retries and startups
+
+	out.violS = float64(violations) * 2
+	if lastViolationAt > restartAt {
+		out.reconvergeTick = int(math.Ceil((lastViolationAt - restartAt) / cfg.IntervalS))
+	}
+	out.crashes = sup.Crashes()
+	out.mode = sup.LastRestoreMode()
+	out.stranded = cl.InFlight()
+	return out
+}
+
+// Recovery is the crash-recovery experiment: the same deterministic
+// schedule — a lying telemetry pipeline, a control-plane kill at the onset
+// of a 240→300 rps surge, a 15 s restart delay — against warm
+// (checkpoint + audit-tail) and cold restart. The acceptance bar is strict:
+// warm must log fewer SLO-violation seconds and fewer
+// ticks-to-reconverge than cold under the identical seed and fault script.
+func Recovery(s Scale) Result {
+	tr := BoutiquePipeline(s)
+	slo := tr.SLO
+	res := Result{
+		ID:    "recovery",
+		Title: "Cold vs. warm control-plane restart under a surge (Online Boutique, 240→300 rps, 250 ms SLO)",
+		Header: []string{"restart", "SLO-viol s", "worst p99", "reconverge ticks", "crashes", "restore"},
+	}
+	outs := map[string]recoveryOut{}
+	for _, mode := range []string{"warm", "cold"} {
+		o := runRecovery(tr, mode == "warm", slo, 42)
+		outs[mode] = o
+		res.AddRow(mode,
+			f0(o.violS), ms(o.worstP99), fmt.Sprintf("%d", o.reconvergeTick),
+			fmt.Sprintf("%d", o.crashes), o.mode)
+		if o.stranded != 0 {
+			res.Note("%s stranded %d in-flight requests after drain (BUG)", mode, o.stranded)
+		}
+	}
+	w, c := outs["warm"], outs["cold"]
+	switch {
+	case w.violS < c.violS && w.reconvergeTick < c.reconvergeTick:
+		res.Note("warm restart beats cold on both axes: %.0f vs %.0f violation-seconds, %d vs %d ticks to reconverge",
+			w.violS, c.violS, w.reconvergeTick, c.reconvergeTick)
+	default:
+		res.Note("REGRESSION: warm (%.0f viol-s, %d ticks) does not strictly beat cold (%.0f viol-s, %d ticks)",
+			w.violS, w.reconvergeTick, c.violS, c.reconvergeTick)
+	}
+	res.Note("checkpoint cadence 20 s; telemetry reports 5%% of arrivals from +10 s for 60 s; controller killed at +13 s, restarted after 15 s; workload surges 240→300 rps 2 s after the restart")
+	return res
+}

@@ -40,6 +40,11 @@ const (
 	TraceDrop
 	// Contention multiplies one service's CPU work for a window.
 	Contention
+	// ControllerCrash kills the control plane itself: the supervised
+	// controller dies and is restarted after Duration seconds, warm
+	// (checkpoint + audit-tail restore) or cold per the Warm flag. Fires
+	// as a no-op when the injector has no ControlPlane attached.
+	ControllerCrash
 )
 
 // String names the fault kind.
@@ -59,6 +64,8 @@ func (k Kind) String() string {
 		return "trace-drop"
 	case Contention:
 		return "contention"
+	case ControllerCrash:
+		return "controller-crash"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -72,7 +79,8 @@ type Event struct {
 	N        int     // KillInstances
 	Fraction float64 // CrashFraction kill fraction; ArrivalSampling keep; TraceDrop probability
 	Factor   float64 // Contention work multiplier
-	Duration float64 // windowed faults (blackholes, sampling, drop, contention)
+	Duration float64 // windowed faults (blackholes, sampling, drop, contention); ControllerCrash restart delay
+	Warm     bool    // ControllerCrash: restore from checkpoint on restart
 }
 
 // Kill returns an event killing n instances of svc at time at.
@@ -114,6 +122,13 @@ func Contend(at float64, svc string, factor, duration float64) Event {
 	return Event{At: at, Kind: Contention, Service: svc, Factor: factor, Duration: duration}
 }
 
+// CrashController returns an event killing the control plane at time at,
+// restarting it after restartAfter seconds; warm selects checkpoint restore
+// versus cold start.
+func CrashController(at, restartAfter float64, warm bool) Event {
+	return Event{At: at, Kind: ControllerCrash, Duration: restartAfter, Warm: warm}
+}
+
 // Scenario is a named, deterministic fault schedule.
 type Scenario struct {
 	Name   string
@@ -131,10 +146,21 @@ func (f Fired) String() string {
 	return fmt.Sprintf("t=%.1f %s %s", f.At, f.Event.Kind, f.Detail)
 }
 
+// ControlPlane is the control-plane surface a ControllerCrash event needs:
+// a scripted kill with a scheduled restart. Satisfied by *ckpt.Supervisor;
+// declared here so chaos does not depend on the checkpoint subsystem.
+type ControlPlane interface {
+	Crash(restartAfterS float64, warm bool)
+}
+
 // Injector plays fault scenarios against one cluster on its engine.
 type Injector struct {
 	cl  *cluster.Cluster
 	log []Fired
+
+	// Control, if set, receives ControllerCrash events. Without it those
+	// events fire as no-ops (logged, zero kills).
+	Control ControlPlane
 
 	// Obs, if set, records every firing: a counter per fault kind, a span,
 	// a flight-recorder entry, and an active-fault window so controller
@@ -179,6 +205,17 @@ func (in *Injector) apply(ev Event) {
 	case Contention:
 		in.cl.InjectContention(ev.Service, ev.Factor, ev.Duration)
 		detail = fmt.Sprintf("%s ×%.1f for %.0fs", ev.Service, ev.Factor, ev.Duration)
+	case ControllerCrash:
+		mode := "cold"
+		if ev.Warm {
+			mode = "warm"
+		}
+		if in.Control == nil {
+			detail = "no control plane attached"
+		} else {
+			in.Control.Crash(ev.Duration, ev.Warm)
+			detail = fmt.Sprintf("%s restart in %.0fs", mode, ev.Duration)
+		}
 	}
 	in.log = append(in.log, Fired{At: in.cl.Eng.Now(), Event: ev, Detail: detail})
 	if in.Obs != nil {

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/cluster"
+	"graf/internal/sim"
+)
+
+// fakeControl records the scripted kills a scenario delivers.
+type fakeControl struct {
+	eng   *sim.Engine
+	calls []struct {
+		at, delay float64
+		warm      bool
+	}
+}
+
+func (f *fakeControl) Crash(restartAfterS float64, warm bool) {
+	f.calls = append(f.calls, struct {
+		at, delay float64
+		warm      bool
+	}{f.eng.Now(), restartAfterS, warm})
+}
+
+func TestControllerCrashReachesControlPlane(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, app.RobotShop(), cluster.DefaultConfig())
+	eng.RunUntil(50)
+
+	fc := &fakeControl{eng: eng}
+	inj := New(cl)
+	inj.Control = fc
+	inj.Play(Scenario{Name: "kills", Events: []Event{
+		CrashController(10, 15, true),
+		CrashController(30, 5, false),
+	}})
+	eng.RunUntil(120)
+
+	if len(fc.calls) != 2 {
+		t.Fatalf("control plane saw %d kills, want 2", len(fc.calls))
+	}
+	if c := fc.calls[0]; c.at != 60 || c.delay != 15 || !c.warm {
+		t.Errorf("first kill: %+v, want at=60 delay=15 warm", c)
+	}
+	if c := fc.calls[1]; c.at != 80 || c.delay != 5 || c.warm {
+		t.Errorf("second kill: %+v, want at=80 delay=5 cold", c)
+	}
+	if got := ControllerCrash.String(); got != "controller-crash" {
+		t.Errorf("kind string %q", got)
+	}
+}
+
+func TestControllerCrashWithoutControlPlaneIsNoOp(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, app.RobotShop(), cluster.DefaultConfig())
+	inj := New(cl) // no Control attached
+	inj.Play(Scenario{Name: "orphan", Events: []Event{CrashController(5, 10, true)}})
+	eng.RunUntil(30) // must not panic
+	if n := len(inj.Log()); n != 1 {
+		t.Errorf("event not recorded as fired: %d", n)
+	}
+}

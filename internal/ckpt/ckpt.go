@@ -1,0 +1,167 @@
+// Package ckpt is the GRAF control plane's crash-safe state persistence
+// layer. It has three pieces:
+//
+//   - a framed, checksummed file envelope (Frame/Unframe/WriteFileAtomic)
+//     shared by controller snapshots and trained-model files: any torn
+//     write, truncation or bit flip is detected on load instead of being
+//     deserialized into silently wrong state;
+//   - a generation Store that keeps the last few snapshot files, detects a
+//     corrupt newest generation, quarantines it, and falls back to the
+//     previous valid one;
+//   - a Supervisor that wraps the controller's decision loop with panic
+//     recovery, an exponential-backoff bounded restart budget, periodic
+//     checkpointing, and warm restore (snapshot + audit-log tail fold) so a
+//     restarted control plane resumes from its pre-crash state instead of
+//     re-learning it as a cold reactive scaler.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"graf/internal/cluster"
+	"graf/internal/core"
+)
+
+// SnapshotMagic and ModelMagic identify the two framed file types. Both are
+// exactly 8 bytes.
+const (
+	SnapshotMagic = "GRAFCKP1"
+	ModelMagic    = "GRAFMDL1"
+)
+
+// SnapshotVersion is the current snapshot payload schema version.
+const SnapshotVersion uint32 = 1
+
+// ErrCorrupt reports a framed file that failed validation: wrong magic,
+// unsupported version, truncated payload, or checksum mismatch. Callers use
+// errors.Is to distinguish corruption (quarantine, fall back) from I/O
+// errors.
+var ErrCorrupt = errors.New("ckpt: corrupt file")
+
+// Snapshot is one checkpoint of the control plane: the controller's full
+// decision state and the cluster's authoritative scaling state, taken at the
+// same simulated instant.
+type Snapshot struct {
+	Generation int
+	At         float64
+	Controller core.ControllerState
+	Cluster    cluster.ClusterState
+}
+
+// headerLen is magic[8] + version u32 + payloadLen u64 + crc32 u32.
+const headerLen = 8 + 4 + 8 + 4
+
+// Frame wraps payload in the versioned, CRC-checksummed envelope:
+//
+//	magic[8] | version (u32 BE) | len(payload) (u64 BE) | CRC32-IEEE(payload) (u32 BE) | payload
+//
+// magic must be exactly 8 bytes.
+func Frame(magic string, version uint32, payload []byte) []byte {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("ckpt: magic %q must be 8 bytes", magic))
+	}
+	out := make([]byte, headerLen+len(payload))
+	copy(out, magic)
+	binary.BigEndian.PutUint32(out[8:], version)
+	binary.BigEndian.PutUint64(out[12:], uint64(len(payload)))
+	binary.BigEndian.PutUint32(out[20:], crc32.ChecksumIEEE(payload))
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// Unframe validates the envelope and returns the payload. Every validation
+// failure wraps ErrCorrupt with a description of what was wrong.
+func Unframe(magic string, version uint32, data []byte) ([]byte, error) {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("ckpt: magic %q must be 8 bytes", magic))
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), headerLen)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, data[:8], magic)
+	}
+	if v := binary.BigEndian.Uint32(data[8:]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, version)
+	}
+	n := binary.BigEndian.Uint64(data[12:])
+	if n != uint64(len(data)-headerLen) {
+		return nil, fmt.Errorf("%w: payload truncated: header says %d bytes, file has %d", ErrCorrupt, n, len(data)-headerLen)
+	}
+	payload := data[headerLen:]
+	want := binary.BigEndian.Uint32(data[20:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// WriteFileAtomic writes data to path crash-safely: a temp file in the same
+// directory, fsync, rename over the target, then fsync of the directory. A
+// crash at any point leaves either the old file or the new one — never a
+// torn mixture.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	// Persist the rename itself. Directory fsync is best-effort: some
+	// filesystems refuse it, and the rename is already atomic.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// EncodeSnapshot serializes a snapshot into its framed on-disk form.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return Frame(SnapshotMagic, SnapshotVersion, buf.Bytes()), nil
+}
+
+// DecodeSnapshot validates a framed snapshot file and deserializes it. Gob
+// decode failures of a checksum-valid payload are also reported as
+// ErrCorrupt: the frame proved integrity, so an undecodable payload means
+// the writer and reader disagree on the schema.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	payload, err := Unframe(SnapshotMagic, SnapshotVersion, data)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: undecodable payload: %v", ErrCorrupt, err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,141 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrNoSnapshot reports that no valid snapshot exists in the store: either
+// the directory is empty (first boot) or every generation failed
+// validation. The caller cold-starts.
+var ErrNoSnapshot = errors.New("ckpt: no valid snapshot")
+
+// Store persists snapshot generations in a directory, newest generation
+// wins. File layout: graf-<generation>.ckpt; corrupt files are renamed to
+// <name>.corrupt so they are preserved for inspection but never retried.
+type Store struct {
+	Dir string
+
+	// Keep bounds how many generations are retained (older ones are
+	// pruned after each save). <= 0 keeps DefaultKeep.
+	Keep int
+
+	// OnQuarantine, if set, is told about every corrupt snapshot file
+	// set aside during LoadLatest.
+	OnQuarantine func(file, reason string)
+
+	lastGen int // highest generation ever saved or seen
+}
+
+// DefaultKeep is how many snapshot generations a store retains by default:
+// the current one plus two fallbacks.
+const DefaultKeep = 3
+
+// NewStore returns a store rooted at dir, creating it if needed.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{Dir: dir}
+	if gens, err := s.generations(); err == nil && len(gens) > 0 {
+		s.lastGen = gens[len(gens)-1]
+	}
+	return s, nil
+}
+
+func (s *Store) path(gen int) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("graf-%08d.ckpt", gen))
+}
+
+// generations lists the on-disk generation numbers, ascending.
+func (s *Store) generations() ([]int, error) {
+	ents, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, e := range ents {
+		var g int
+		if _, err := fmt.Sscanf(e.Name(), "graf-%08d.ckpt", &g); err == nil &&
+			e.Name() == fmt.Sprintf("graf-%08d.ckpt", g) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// Save persists snap as the next generation and prunes old ones. It returns
+// the generation number and the encoded size.
+func (s *Store) Save(snap *Snapshot) (gen, size int, err error) {
+	gen = s.lastGen + 1
+	snap.Generation = gen
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := WriteFileAtomic(s.path(gen), data, 0o644); err != nil {
+		return 0, 0, err
+	}
+	s.lastGen = gen
+	s.prune()
+	return gen, len(data), nil
+}
+
+func (s *Store) prune() {
+	keep := s.Keep
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	gens, err := s.generations()
+	if err != nil {
+		return
+	}
+	for len(gens) > keep {
+		os.Remove(s.path(gens[0]))
+		gens = gens[1:]
+	}
+}
+
+// LoadLatest returns the newest snapshot that validates. A generation that
+// fails validation is renamed to <file>.corrupt (reported via OnQuarantine)
+// and the previous generation is tried, so a crash that tore the newest
+// file — or a disk that flipped a bit in it — costs one checkpoint
+// interval of state, not a cold start. ErrNoSnapshot means the caller
+// should cold-start; any other error is an I/O problem worth surfacing.
+func (s *Store) LoadLatest() (*Snapshot, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		p := s.path(gens[i])
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := DecodeSnapshot(data)
+		if err == nil {
+			return snap, nil
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			return nil, err
+		}
+		s.quarantine(p, err)
+	}
+	return nil, ErrNoSnapshot
+}
+
+func (s *Store) quarantine(path string, cause error) {
+	reason := cause.Error()
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Could not set it aside; removing it at least stops retry loops.
+		os.Remove(path)
+	}
+	if s.OnQuarantine != nil {
+		s.OnQuarantine(filepath.Base(path), reason)
+	}
+}

@@ -1,0 +1,140 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapAt(at float64) *Snapshot {
+	s := &Snapshot{At: at}
+	s.Controller.LastRate = at // distinguishable payload per generation
+	return s
+}
+
+func TestStoreSaveLoadPrune(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		gen, size, err := st.Save(snapAt(float64(i * 10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != i || size <= headerLen {
+			t.Fatalf("save %d: gen=%d size=%d", i, gen, size)
+		}
+	}
+	// DefaultKeep=3: generations 1 and 2 must be pruned.
+	gens, err := st.generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 3 || gens[2] != 5 {
+		t.Fatalf("generations after prune: %v", gens)
+	}
+	snap, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 5 || snap.At != 50 {
+		t.Errorf("latest = gen %d at %.0f, want gen 5 at 50", snap.Generation, snap.At)
+	}
+
+	// A new store over the same directory must continue the generation
+	// sequence, not restart it and shadow older snapshots.
+	st2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, err := st2.Save(snapAt(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 6 {
+		t.Errorf("reopened store wrote generation %d, want 6", gen)
+	}
+}
+
+func TestStoreQuarantineAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quarantined []string
+	st.OnQuarantine = func(file, reason string) {
+		quarantined = append(quarantined, file+": "+reason)
+	}
+	if _, _, err := st.Save(snapAt(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Save(snapAt(20)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte in the newest generation: a torn write or disk
+	// corruption. LoadLatest must quarantine it and fall back to gen 1.
+	p2 := st.path(2)
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerLen] ^= 0xFF
+	if err := os.WriteFile(p2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 1 || snap.At != 10 {
+		t.Errorf("fallback loaded gen %d at %.0f, want gen 1 at 10", snap.Generation, snap.At)
+	}
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0], "graf-00000002.ckpt") {
+		t.Errorf("quarantine callback: %v", quarantined)
+	}
+	if _, err := os.Stat(p2 + ".corrupt"); err != nil {
+		t.Errorf("corrupt file not preserved for inspection: %v", err)
+	}
+	if _, err := os.Stat(p2); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt file still in rotation: %v", err)
+	}
+}
+
+func TestStoreNoSnapshot(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadLatest(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty store: err = %v, want ErrNoSnapshot", err)
+	}
+
+	// Every generation corrupt → still ErrNoSnapshot, both set aside.
+	if _, _, err := st.Save(snapAt(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Save(snapAt(20)); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range []int{1, 2} {
+		if err := os.WriteFile(st.path(gen), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.LoadLatest(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("all-corrupt store: err = %v, want ErrNoSnapshot", err)
+	}
+	ents, _ := os.ReadDir(st.Dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".corrupt" {
+			t.Errorf("unquarantined file %q", e.Name())
+		}
+	}
+}

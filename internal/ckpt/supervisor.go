@@ -1,0 +1,278 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/obs"
+	"graf/internal/sim"
+)
+
+// SupervisorConfig parameterizes the control-plane supervisor.
+type SupervisorConfig struct {
+	// Store persists snapshots. Required.
+	Store *Store
+
+	// Build constructs a fresh, not-yet-started controller. The supervisor
+	// calls it once at Start and once per restart; each controller instance
+	// is discarded on crash (its state may be arbitrarily poisoned by
+	// whatever killed it).
+	Build func() *core.Controller
+
+	// CheckpointEveryS is the snapshot cadence in simulated seconds.
+	// <= 0 disables periodic checkpointing (snapshots only on demand).
+	CheckpointEveryS float64
+
+	// Warm selects restore mode after a crash: true restores from the
+	// latest valid snapshot and folds the audit tail; false cold-starts a
+	// fresh controller (the comparison baseline).
+	Warm bool
+
+	// TailSince, if set, returns the audit records written after simulated
+	// time t — the decisions between the last checkpoint and the crash —
+	// for the warm-restore fold. Nil skips the fold.
+	TailSince func(t float64) []obs.Record
+
+	// MaxRestarts bounds how many unplanned (panic-driven) restarts the
+	// supervisor attempts before giving up. <= 0 uses DefaultMaxRestarts.
+	// Chaos-scripted crashes do not consume the budget: they are the
+	// experiment, not the pathology the budget guards against.
+	MaxRestarts int
+
+	// BackoffBaseS is the first unplanned-restart delay in simulated
+	// seconds; each subsequent one doubles, capped at BackoffMaxS.
+	// <= 0 uses DefaultBackoffBaseS.
+	BackoffBaseS float64
+	BackoffMaxS  float64
+
+	// Obs, if set, observes checkpoints, crashes, restarts and
+	// quarantines. Nil disables the instrumentation.
+	Obs *obs.SupervisorObs
+}
+
+// Supervisor defaults.
+const (
+	DefaultMaxRestarts  = 8
+	DefaultBackoffBaseS = 1.0
+	DefaultBackoffMaxS  = 60.0
+)
+
+// Supervisor runs the GRAF controller under crash protection: it owns the
+// decision ticker (each tick runs inside a recover), checkpoints the
+// control plane periodically, and on death — panic or scripted kill —
+// restarts the controller after a backoff, warm-restored from the latest
+// valid snapshot plus the audit-log tail.
+type Supervisor struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	cfg SupervisorConfig
+
+	ctl      *core.Controller
+	alive    bool
+	gaveUp   bool
+	restarts int // unplanned restarts consumed from the budget
+	crashes  int // total deaths observed (panics + scripted)
+	lastMode string
+
+	stopStep func()
+	stopCkpt func()
+}
+
+// NewSupervisor wires a supervisor; call Start to boot the control plane.
+func NewSupervisor(eng *sim.Engine, cl *cluster.Cluster, cfg SupervisorConfig) *Supervisor {
+	if cfg.Store == nil {
+		panic("ckpt: SupervisorConfig.Store is required")
+	}
+	if cfg.Build == nil {
+		panic("ckpt: SupervisorConfig.Build is required")
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = DefaultMaxRestarts
+	}
+	if cfg.BackoffBaseS <= 0 {
+		cfg.BackoffBaseS = DefaultBackoffBaseS
+	}
+	if cfg.BackoffMaxS <= 0 {
+		cfg.BackoffMaxS = DefaultBackoffMaxS
+	}
+	s := &Supervisor{eng: eng, cl: cl, cfg: cfg}
+	cfg.Store.OnQuarantine = func(file, reason string) {
+		s.cfg.Obs.Quarantine(eng.Now(), file, reason)
+	}
+	return s
+}
+
+// Controller returns the currently supervised controller (nil while dead).
+func (s *Supervisor) Controller() *core.Controller {
+	if !s.alive {
+		return nil
+	}
+	return s.ctl
+}
+
+// Alive reports whether the control plane is currently running.
+func (s *Supervisor) Alive() bool { return s.alive }
+
+// GaveUp reports whether the restart budget was exhausted.
+func (s *Supervisor) GaveUp() bool { return s.gaveUp }
+
+// Crashes returns the total controller deaths observed.
+func (s *Supervisor) Crashes() int { return s.crashes }
+
+// Restarts returns how many unplanned restarts consumed the budget.
+func (s *Supervisor) Restarts() int { return s.restarts }
+
+// LastRestoreMode returns "warm", "cold", or "" before any (re)start.
+func (s *Supervisor) LastRestoreMode() string { return s.lastMode }
+
+// Start boots the control plane: builds the controller, warm-restores it if
+// a valid snapshot exists (and cfg.Warm), and begins the decision and
+// checkpoint tickers at the current simulated time.
+func (s *Supervisor) Start() {
+	s.boot(s.cfg.Warm)
+}
+
+// Stop halts the control plane without marking it crashed.
+func (s *Supervisor) Stop() {
+	s.halt()
+}
+
+func (s *Supervisor) halt() {
+	s.alive = false
+	if s.stopStep != nil {
+		s.stopStep()
+		s.stopStep = nil
+	}
+	if s.stopCkpt != nil {
+		s.stopCkpt()
+		s.stopCkpt = nil
+	}
+}
+
+// boot builds and starts a controller, restoring state when warm.
+func (s *Supervisor) boot(warm bool) {
+	s.ctl = s.cfg.Build()
+	now := s.eng.Now()
+	mode, tailN := "cold", 0
+	if warm {
+		snap, err := s.cfg.Store.LoadLatest()
+		switch {
+		case err == nil:
+			st := snap.Controller
+			if s.cfg.TailSince != nil {
+				tail := s.cfg.TailSince(st.At)
+				core.ApplyAuditTail(&st, tail, s.ctl.Cfg)
+				tailN = len(tail)
+			}
+			s.ctl.Restore(st)
+			// Re-assert the last applied configuration on the cluster. The
+			// reconcile is a no-op when the cluster survived the crash with
+			// its scaling state intact; after a full-process restart it
+			// rebuilds the capacity the dead control plane had ordered.
+			if st.LastQuotas != nil {
+				s.cl.ReconcileQuotas(st.LastQuotas)
+			}
+			mode = "warm"
+		case errors.Is(err, ErrNoSnapshot):
+			// First boot, or every generation corrupt: cold start.
+		default:
+			// I/O trouble reading the store: cold start is still better
+			// than staying dead.
+		}
+	}
+	s.lastMode = mode
+	s.alive = true
+	// Same tick phase as Controller.Start, so a restore on the decision
+	// grid resumes the exact decision instants of an uninterrupted run.
+	s.stopStep = s.eng.Ticker(now+0.001, s.ctl.Cfg.IntervalS, s.guardedStep)
+	if s.cfg.CheckpointEveryS > 0 {
+		s.stopCkpt = s.eng.Ticker(now+s.cfg.CheckpointEveryS, s.cfg.CheckpointEveryS, func() { s.Checkpoint() })
+	}
+	s.cfg.Obs.Restart(now, mode, s.crashes, tailN)
+}
+
+// guardedStep runs one controller decision under panic protection. A panic
+// is a controller death: the supervisor schedules an unplanned restart with
+// exponential backoff, drawing down the restart budget.
+func (s *Supervisor) guardedStep() {
+	if !s.alive {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.onDeath(fmt.Sprintf("panic: %v", r), 0, s.cfg.Warm, true)
+		}
+	}()
+	s.ctl.Step()
+}
+
+// Checkpoint snapshots the control plane now and persists it as the next
+// generation. Returns the generation written.
+func (s *Supervisor) Checkpoint() (int, error) {
+	if !s.alive {
+		return 0, errors.New("ckpt: control plane not running")
+	}
+	t0 := time.Now()
+	snap := &Snapshot{
+		At:         s.eng.Now(),
+		Controller: s.ctl.Snapshot(),
+		Cluster:    s.cl.Snapshot(),
+	}
+	gen, size, err := s.cfg.Store.Save(snap)
+	if err != nil {
+		return 0, err
+	}
+	s.cfg.Obs.Checkpoint(snap.At, gen, size, time.Since(t0).Nanoseconds())
+	return gen, nil
+}
+
+// Crash kills the control plane from a chaos script: the controller dies
+// now and is restarted after restartAfterS simulated seconds, warm or cold.
+// Scripted crashes bypass the restart budget — they are the experiment.
+func (s *Supervisor) Crash(restartAfterS float64, warm bool) {
+	if !s.alive {
+		return
+	}
+	s.onDeath("chaos: scripted controller kill", restartAfterS, warm, false)
+}
+
+// onDeath handles one controller death: stop everything, decide the restart
+// delay (scripted delay, or budgeted exponential backoff), and schedule the
+// reboot.
+func (s *Supervisor) onDeath(cause string, delayS float64, warm bool, budgeted bool) {
+	now := s.eng.Now()
+	s.crashes++
+	s.cfg.Obs.Crash(now, cause)
+	s.halt()
+	s.ctl = nil
+	if budgeted {
+		s.restarts++
+		if s.restarts > s.cfg.MaxRestarts {
+			s.gaveUp = true
+			return
+		}
+		backoff := s.cfg.BackoffBaseS
+		for i := 1; i < s.restarts; i++ {
+			backoff *= 2
+			if backoff >= s.cfg.BackoffMaxS {
+				backoff = s.cfg.BackoffMaxS
+				break
+			}
+		}
+		if delayS < backoff {
+			delayS = backoff
+		}
+	}
+	if delayS <= 0 {
+		delayS = 0.001
+	}
+	s.eng.After(delayS, func() {
+		if s.alive || s.gaveUp {
+			return
+		}
+		s.boot(warm)
+	})
+}

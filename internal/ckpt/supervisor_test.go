@@ -1,0 +1,205 @@
+package ckpt
+
+import (
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/obs"
+	"graf/internal/sim"
+	"graf/internal/workload"
+)
+
+// oracle is an analytic latency model (Σ aᵢ·wᵢ/rᵢ + c), the same shape the
+// core solver tests use; it can be told to panic to simulate a poisoned
+// model taking the control loop down with it.
+type oracle struct {
+	a     []float64
+	c     float64
+	panic *bool
+}
+
+func (o oracle) Predict(load, quota []float64) float64 {
+	if o.panic != nil && *o.panic {
+		panic("oracle: poisoned model")
+	}
+	sum := o.c
+	for i := range quota {
+		sum += o.a[i] * load[i] / quota[i]
+	}
+	return sum
+}
+
+func (o oracle) PredictGrad(load, quota []float64) (float64, []float64) {
+	g := make([]float64, len(quota))
+	for i := range quota {
+		g[i] = -o.a[i] * load[i] / (quota[i] * quota[i])
+	}
+	return o.Predict(load, quota), g
+}
+
+// rig wires a pre-provisioned RobotShop cluster under constant load with a
+// supervised control plane; the engine is at t=30 on return and traffic is
+// flowing.
+func rig(t *testing.T, cfg SupervisorConfig, m core.LatencyModel) (*sim.Engine, *cluster.Cluster, *Supervisor) {
+	t.Helper()
+	a := app.RobotShop()
+	eng := sim.NewEngine(11)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	for _, name := range cl.App.ServiceNames() {
+		cl.Deployment(name).SetReplicas(3)
+	}
+	gen := workload.NewOpenLoop(cl, workload.ConstRate(40))
+	gen.Start()
+	eng.RunUntil(30)
+
+	ccfg := core.DefaultControllerConfig(0.25)
+	ccfg.Hysteresis = 0 // solve every interval: the tests need the model hit deterministically
+	tel := obs.New(obs.Options{})
+	if cfg.Store == nil {
+		st, err := NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	cfg.Build = func() *core.Controller {
+		an := core.NewAnalyzer(a)
+		b := core.Bounds{Lo: []float64{100, 100}, Hi: []float64{4000, 4000}}
+		ctl := core.NewController(cl, m, an, b, ccfg)
+		ctl.Obs = obs.NewControllerObs(tel)
+		return ctl
+	}
+	if cfg.TailSince == nil {
+		cfg.TailSince = func(at float64) []obs.Record {
+			var out []obs.Record
+			for _, r := range tel.Flight.Records() {
+				if r.At > at {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+	}
+	return eng, cl, NewSupervisor(eng, cl, cfg)
+}
+
+func TestSupervisorScriptedWarmRestart(t *testing.T) {
+	h := oracle{a: []float64{2, 2}, c: 0.01}
+	eng, cl, sup := rig(t, SupervisorConfig{CheckpointEveryS: 10, Warm: true}, h)
+	sup.Start()
+	eng.RunUntil(90)
+	if !sup.Alive() || sup.LastRestoreMode() != "cold" {
+		t.Fatalf("first boot: alive=%v mode=%q, want alive cold start", sup.Alive(), sup.LastRestoreMode())
+	}
+	before := sup.Controller().Snapshot()
+	if before.Solves == 0 || before.LastRate == 0 {
+		t.Fatalf("control plane made no decisions before the crash: %+v", before)
+	}
+	quotaBefore := cl.TotalQuota()
+
+	sup.Crash(5, true)
+	if sup.Alive() || sup.Controller() != nil {
+		t.Fatal("controller still reachable after a scripted kill")
+	}
+	eng.RunUntil(95.0005) // restart fired at 95; its first decision is at 95.001
+	if !sup.Alive() {
+		t.Fatal("control plane not restarted")
+	}
+	if sup.LastRestoreMode() != "warm" || sup.Crashes() != 1 {
+		t.Errorf("mode=%q crashes=%d, want warm restore after 1 crash", sup.LastRestoreMode(), sup.Crashes())
+	}
+	if sup.Restarts() != 0 {
+		t.Errorf("scripted crash consumed %d of the unplanned-restart budget", sup.Restarts())
+	}
+	after := sup.Controller().Snapshot()
+	if after.LastRate == 0 {
+		t.Error("warm restore lost the hysteresis/stale reference rate")
+	}
+	if after.Solves < before.Solves {
+		t.Errorf("solve counter went backwards: %d before, %d after restore", before.Solves, after.Solves)
+	}
+	// The cluster survived the crash with its scaling state intact, so the
+	// boot-time reconcile must not have churned it.
+	if q := cl.TotalQuota(); q != quotaBefore {
+		t.Errorf("reconcile changed a surviving cluster: quota %v → %v", quotaBefore, q)
+	}
+
+	eng.RunUntil(150)
+	if sup.Controller().Snapshot().Solves <= after.Solves {
+		t.Error("restored control plane stopped making decisions")
+	}
+}
+
+func TestSupervisorScriptedColdRestartLosesState(t *testing.T) {
+	h := oracle{a: []float64{2, 2}, c: 0.01}
+	eng, _, sup := rig(t, SupervisorConfig{CheckpointEveryS: 10, Warm: true}, h)
+	sup.Start()
+	eng.RunUntil(90)
+	before := sup.Controller().Snapshot()
+
+	sup.Crash(5, false)   // scripted cold restart: the baseline mode
+	eng.RunUntil(95.0005) // restarted at 95, before its first decision at 95.001
+	if sup.LastRestoreMode() != "cold" {
+		t.Fatalf("mode=%q, want cold", sup.LastRestoreMode())
+	}
+	after := sup.Controller().Snapshot()
+	if after.LastRate != 0 || after.Solves >= before.Solves {
+		t.Errorf("cold restart kept state: %+v", after)
+	}
+}
+
+func TestSupervisorPanicRestartHeals(t *testing.T) {
+	broken := false
+	h := oracle{a: []float64{2, 2}, c: 0.01, panic: &broken}
+	eng, _, sup := rig(t, SupervisorConfig{
+		CheckpointEveryS: 10, Warm: true, BackoffBaseS: 2,
+	}, h)
+	sup.Start()
+	eng.RunUntil(90)
+
+	// Poison the model for one decision: the step panics, the supervisor
+	// eats it, and the model has healed by the time the restart fires.
+	eng.At(92, func() { broken = true })
+	eng.At(98, func() { broken = false })
+	eng.RunUntil(200)
+	if !sup.Alive() || sup.GaveUp() {
+		t.Fatalf("supervisor did not recover from a transient panic: alive=%v gaveUp=%v",
+			sup.Alive(), sup.GaveUp())
+	}
+	if sup.Crashes() == 0 || sup.Restarts() == 0 {
+		t.Errorf("panic not accounted: crashes=%d restarts=%d", sup.Crashes(), sup.Restarts())
+	}
+	if sup.LastRestoreMode() != "warm" {
+		t.Errorf("unplanned restart mode %q, want warm", sup.LastRestoreMode())
+	}
+}
+
+func TestSupervisorRestartBudgetExhaustion(t *testing.T) {
+	broken := false
+	h := oracle{a: []float64{2, 2}, c: 0.01, panic: &broken}
+	eng, _, sup := rig(t, SupervisorConfig{
+		CheckpointEveryS: 10, Warm: true,
+		MaxRestarts: 2, BackoffBaseS: 0.5, BackoffMaxS: 2,
+	}, h)
+	sup.Start()
+	eng.RunUntil(60)
+	broken = true // permanent: every restarted controller dies on its first solve
+	eng.RunUntil(300)
+
+	if !sup.GaveUp() || sup.Alive() {
+		t.Fatalf("budget not enforced: gaveUp=%v alive=%v crashes=%d",
+			sup.GaveUp(), sup.Alive(), sup.Crashes())
+	}
+	// Initial death + MaxRestarts failed reboots, then no further attempts.
+	if sup.Crashes() != 3 {
+		t.Errorf("crashes=%d, want 3 (initial + 2 budgeted restarts)", sup.Crashes())
+	}
+	if sup.Controller() != nil {
+		t.Error("dead supervisor still exposes a controller")
+	}
+	if _, err := sup.Checkpoint(); err == nil {
+		t.Error("checkpointing a dead control plane must fail")
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// DeploymentState is the authoritative per-service scaling state captured in
+// a checkpoint: the desired quota plus the instance set realizing it, split
+// into ready capacity and instances still paying their Figure-1 startup
+// delay (with their absolute readiness times, so a restore can finish the
+// startups in progress rather than restarting them from zero).
+type DeploymentState struct {
+	Service string
+	Quota   float64
+	Ready   int
+	// PendingReadyAt lists the absolute readiness times of created-but-not-
+	// yet-ready instances, ascending.
+	PendingReadyAt []float64
+}
+
+// ClusterState is the cluster's authoritative scaling state: what the
+// control plane has asked for and what the substrate has materialized so
+// far. Telemetry windows and in-flight requests are deliberately excluded —
+// after a control-plane restart those re-fill from the live cluster within
+// one rate window, whereas quota/replica state would otherwise be lost.
+type ClusterState struct {
+	At          float64
+	Deployments []DeploymentState
+}
+
+// Snapshot captures the current scaling state. Condemned and crashed
+// instances are not part of desired state and are skipped.
+func (c *Cluster) Snapshot() ClusterState {
+	st := ClusterState{At: c.Eng.Now()}
+	for _, name := range c.names {
+		d := c.deps[name]
+		ds := DeploymentState{Service: name, Quota: d.quota}
+		for _, in := range d.instances {
+			if in.condemned || in.crashed {
+				continue
+			}
+			if in.ready {
+				ds.Ready++
+			} else {
+				ds.PendingReadyAt = append(ds.PendingReadyAt, in.readyAt)
+			}
+		}
+		sort.Float64s(ds.PendingReadyAt)
+		st.Deployments = append(st.Deployments, ds)
+	}
+	return st
+}
+
+// RestoreState rebuilds each deployment's scaling state from a snapshot,
+// for a cluster reconstructed after a full-process restart: quotas are set
+// directly (no scaling side effects), ready instances are materialized
+// immediately, and pending instances resume their startups at the later of
+// their recorded readiness time and now. Unknown services in the snapshot
+// are ignored; services missing from it keep their current state.
+func (c *Cluster) RestoreState(st ClusterState) {
+	now := c.Eng.Now()
+	for _, ds := range st.Deployments {
+		d, ok := c.deps[ds.Service]
+		if !ok {
+			continue
+		}
+		d.quota = ds.Quota
+		if d.quota < c.Cfg.MinQuota {
+			d.quota = c.Cfg.MinQuota
+		}
+		d.instances = d.instances[:0]
+		ready := ds.Ready
+		if ready < 1 && len(ds.PendingReadyAt) == 0 {
+			ready = 1 // a deployment never has zero instances
+		}
+		for i := 0; i < ready; i++ {
+			d.instances = append(d.instances, &instance{id: d.nextID, ready: true, readyAt: now})
+			d.nextID++
+		}
+		for _, at := range ds.PendingReadyAt {
+			if at < now {
+				at = now
+			}
+			inst := &instance{id: d.nextID, readyAt: at}
+			d.nextID++
+			d.instances = append(d.instances, inst)
+			in := inst
+			c.Eng.At(at, func() {
+				if in.condemned || in.crashed {
+					return
+				}
+				in.ready = true
+				d.recordCounts()
+				if c.Obs != nil {
+					c.Obs.Churn(d.Service.Name, 0, 0, 0, d.ReadyReplicas())
+				}
+				d.dispatch()
+			})
+		}
+		d.recordCounts()
+		d.dispatch()
+	}
+}
+
+// ReconcileQuotas re-applies a checkpointed quota map through the normal
+// scaling path — the restore used when the cluster itself survived the
+// control-plane crash (the common case: only the controller process died).
+// SetQuota is idempotent against matching state, so deployments already at
+// their desired counts are untouched, while any drift that happened while
+// the control plane was dead is corrected, paying startup latency only for
+// genuinely missing capacity.
+func (c *Cluster) ReconcileQuotas(quotas map[string]float64) {
+	names := make([]string, 0, len(quotas))
+	for n := range quotas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d, ok := c.deps[n]
+		if !ok {
+			continue
+		}
+		q := quotas[n]
+		if q < c.Cfg.MinQuota {
+			q = c.Cfg.MinQuota
+		}
+		// Avoid churn when nothing changed: identical quota and a replica
+		// count already satisfying Eq. 7 need no scaling call.
+		if q == d.quota && d.Replicas() == int(math.Ceil(q/c.Cfg.CPUUnit)) {
+			continue
+		}
+		d.SetQuota(q)
+	}
+}

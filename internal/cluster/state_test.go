@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/sim"
+)
+
+// TestSnapshotRestoreStateRoundTrip rebuilds a cluster from a snapshot in a
+// fresh process (new engine, new cluster) and checks the scaling state —
+// quotas, ready capacity, and in-progress startups — survives the trip.
+func TestSnapshotRestoreStateRoundTrip(t *testing.T) {
+	a := app.RobotShop()
+	eng := sim.NewEngine(5)
+	cl := New(eng, a, DefaultConfig())
+	cl.Deployment("web").SetQuota(1000)
+	cl.Deployment("catalogue").SetQuota(500)
+	eng.RunUntil(40) // instances ready
+	// Scale up just before the snapshot so startups are still in progress.
+	cl.Deployment("web").SetQuota(2000)
+	st := cl.Snapshot()
+	if st.At != 40 {
+		t.Fatalf("snapshot at %.1f, want 40", st.At)
+	}
+	if cl.PendingInstances() == 0 {
+		t.Fatal("test needs in-progress startups at snapshot time")
+	}
+
+	// A fresh process: new engine fast-forwarded to the snapshot instant.
+	eng2 := sim.NewEngine(99)
+	cl2 := New(eng2, app.RobotShop(), DefaultConfig())
+	eng2.RunUntil(st.At)
+	cl2.RestoreState(st)
+
+	for _, name := range cl.App.ServiceNames() {
+		d, d2 := cl.Deployment(name), cl2.Deployment(name)
+		if d2.Quota() != d.Quota() {
+			t.Errorf("%s quota %v, want %v", name, d2.Quota(), d.Quota())
+		}
+		if d2.ReadyReplicas() != d.ReadyReplicas() {
+			t.Errorf("%s ready %d, want %d", name, d2.ReadyReplicas(), d.ReadyReplicas())
+		}
+	}
+	if cl2.PendingInstances() != cl.PendingInstances() {
+		t.Errorf("pending %d, want %d", cl2.PendingInstances(), cl.PendingInstances())
+	}
+
+	// The restored cluster must finish the startups the original had in
+	// flight, at their recorded readiness times.
+	eng.RunUntil(120)
+	eng2.RunUntil(120)
+	if cl2.PendingInstances() != 0 {
+		t.Errorf("%d startups never completed after restore", cl2.PendingInstances())
+	}
+	if got, want := cl2.Deployment("web").ReadyReplicas(), cl.Deployment("web").ReadyReplicas(); got != want {
+		t.Errorf("web ready %d after drain, want %d", got, want)
+	}
+}
+
+// TestRestoreStateFloorsEmptyDeployment pins the no-zero-instances rule: a
+// snapshot claiming zero capacity must still restore to a servable
+// deployment.
+func TestRestoreStateFloorsEmptyDeployment(t *testing.T) {
+	eng := sim.NewEngine(5)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	cl.RestoreState(ClusterState{At: 0, Deployments: []DeploymentState{
+		{Service: "web", Quota: 0, Ready: 0},
+		{Service: "no-such-service", Quota: 700, Ready: 2}, // must be ignored
+	}})
+	d := cl.Deployment("web")
+	if d.ReadyReplicas() < 1 {
+		t.Errorf("web restored with %d ready replicas", d.ReadyReplicas())
+	}
+	if d.Quota() < cl.Cfg.MinQuota {
+		t.Errorf("web quota %v below MinQuota %v", d.Quota(), cl.Cfg.MinQuota)
+	}
+}
+
+// TestReconcileQuotasIdempotent checks the surviving-cluster path: matching
+// state is untouched (no churn, no startup latency paid), drift is corrected
+// through the normal scaling path.
+func TestReconcileQuotasIdempotent(t *testing.T) {
+	eng := sim.NewEngine(5)
+	cl := New(eng, app.RobotShop(), DefaultConfig())
+	want := map[string]float64{"web": 1200, "catalogue": 600}
+	for n, q := range want {
+		cl.Deployment(n).SetQuota(q)
+	}
+	eng.RunUntil(60)
+	created := cl.CreatedTotal()
+
+	cl.ReconcileQuotas(want)
+	if got := cl.CreatedTotal(); got != created {
+		t.Errorf("no-op reconcile created %d instances", got-created)
+	}
+	for n, q := range want {
+		if got := cl.Deployment(n).Quota(); got != q {
+			t.Errorf("%s quota %v, want %v", n, got, q)
+		}
+	}
+
+	// Drift while the control plane was dead: someone moved a quota. The
+	// reconcile must put it back — and tolerate unknown services.
+	cl.Deployment("web").SetQuota(300)
+	eng.RunUntil(90)
+	cl.ReconcileQuotas(map[string]float64{"web": 1200, "ghost-service": 800})
+	if got := cl.Deployment("web").Quota(); got != 1200 {
+		t.Errorf("drifted quota reconciled to %v, want 1200", got)
+	}
+	eng.RunUntil(150)
+	if cl.Deployment("web").ReadyReplicas() != cl.Deployment("web").Replicas() {
+		t.Errorf("reconciled capacity never materialized: %d/%d ready",
+			cl.Deployment("web").ReadyReplicas(), cl.Deployment("web").Replicas())
+	}
+}

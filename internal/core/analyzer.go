@@ -54,6 +54,37 @@ func (an *Analyzer) Refresh(tc *trace.Collector) {
 	}
 }
 
+// SnapshotProfiles deep-copies the learned per-API visit profiles for
+// checkpointing. Returns nil when nothing has been learned yet.
+func (an *Analyzer) SnapshotProfiles() map[string]map[string]float64 {
+	if len(an.profiles) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]float64, len(an.profiles))
+	for api, p := range an.profiles {
+		cp := make(map[string]float64, len(p))
+		for svc, m := range p {
+			cp[svc] = m
+		}
+		out[api] = cp
+	}
+	return out
+}
+
+// RestoreProfiles replaces the learned visit profiles with a checkpointed
+// copy, so a restored analyzer serves the same distributions it had learned
+// before the crash even if the trace window is empty after restart.
+func (an *Analyzer) RestoreProfiles(profiles map[string]map[string]float64) {
+	an.profiles = map[string]map[string]float64{}
+	for api, p := range profiles {
+		cp := make(map[string]float64, len(p))
+		for svc, m := range p {
+			cp[svc] = m
+		}
+		an.profiles[api] = cp
+	}
+}
+
 // visits returns the visit profile for api, preferring traced data.
 func (an *Analyzer) visits(api string) map[string]float64 {
 	if p, ok := an.profiles[api]; ok {

@@ -1,0 +1,196 @@
+package core
+
+import "graf/internal/obs"
+
+// ControllerState is the complete serializable state of a Controller: every
+// field a decision depends on, so that a controller restored from a snapshot
+// resumes producing decisions byte-identical to one that never stopped. It
+// is what internal/ckpt persists across control-plane crashes.
+type ControllerState struct {
+	// At is the simulated time the snapshot was taken.
+	At float64
+
+	// Workload memory: hysteresis reference and stale-telemetry baseline.
+	LastRate   float64
+	LastRateAt float64
+	LastSLO    float64
+
+	// LastQuotas is the most recently applied configuration — the boost
+	// guardrail's base and the step limiter's reference.
+	LastQuotas map[string]float64
+
+	// Counters.
+	Solves int
+	Boosts int
+
+	// Degraded-mode state machine.
+	Health       int
+	Stats        HealthStats
+	StaleSince   float64
+	BreakerOpen  bool
+	HealthStreak int
+	Unconverged  int
+
+	// Profiles preserves the Workload Analyzer's learned per-API visit
+	// multiplicities. Refresh re-derives them from live traces each
+	// decision, but under trace loss the analyzer keeps serving the last
+	// learned profile — state a restore must carry to stay bit-identical.
+	Profiles map[string]map[string]float64
+}
+
+// Snapshot captures the controller's current state. It is a pure read: the
+// running controller is not disturbed.
+func (c *Controller) Snapshot() ControllerState {
+	s := ControllerState{
+		At:           c.Cluster.Eng.Now(),
+		LastRate:     c.lastRate,
+		LastRateAt:   c.lastRateAt,
+		LastSLO:      c.lastSLO,
+		Solves:       c.solves,
+		Boosts:       c.boosts,
+		Health:       int(c.health),
+		Stats:        c.stats,
+		StaleSince:   c.staleSince,
+		BreakerOpen:  c.breakerOpen,
+		HealthStreak: c.healthStreak,
+		Unconverged:  c.unconverged,
+	}
+	if c.lastQuotas != nil {
+		s.LastQuotas = copyQuotas(c.lastQuotas)
+	}
+	if c.Analyzer != nil {
+		s.Profiles = c.Analyzer.SnapshotProfiles()
+	}
+	return s
+}
+
+// Restore overwrites the controller's state from a snapshot, typically on a
+// freshly built controller before Start. It deliberately does not fire
+// OnHealth or record an obs health transition: restoring is resumption, not
+// a state change.
+func (c *Controller) Restore(s ControllerState) {
+	c.lastRate = s.LastRate
+	c.lastRateAt = s.LastRateAt
+	c.lastSLO = s.LastSLO
+	c.lastQuotas = nil
+	if s.LastQuotas != nil {
+		c.lastQuotas = copyQuotas(s.LastQuotas)
+	}
+	c.solves = s.Solves
+	c.boosts = s.Boosts
+	c.health = HealthState(s.Health)
+	c.stats = s.Stats
+	c.staleSince = s.StaleSince
+	c.breakerOpen = s.BreakerOpen
+	c.healthStreak = s.HealthStreak
+	c.unconverged = s.Unconverged
+	if c.Analyzer != nil && s.Profiles != nil {
+		c.Analyzer.RestoreProfiles(s.Profiles)
+	}
+}
+
+// parseHealthState inverts HealthState.String for audit-log records.
+func parseHealthState(s string) (HealthState, bool) {
+	switch s {
+	case "Healthy":
+		return Healthy, true
+	case "DegradedTelemetry":
+		return DegradedTelemetry, true
+	case "FallbackHeuristic":
+		return FallbackHeuristic, true
+	case "Boosting":
+		return Boosting, true
+	}
+	return Healthy, false
+}
+
+// ApplyAuditTail rolls a restored ControllerState forward through the
+// audit-log records written after the snapshot was taken — the decisions a
+// crashed controller made between its last checkpoint and its death. Each
+// decision record carries the applied quotas and the observed total rate, so
+// the fold re-derives exactly the state mutations the live step performed:
+// a warm restart resumes as if the snapshot had been taken at the crash
+// instant.
+//
+// Two breaker-internal counters cannot be read back from records alone and
+// are reconstructed conservatively: Unconverged is re-derived from each
+// recorded solve's convergence flag and prediction (exact), while
+// HealthStreak — the count of healthy shadow solves while the breaker is
+// open — needs the measured p99 at the recorded instant, which the log does
+// not carry. A tail containing open-breaker shadow solves therefore resets
+// the streak, which can only delay the breaker's close by at most the
+// checkpoint cadence. Records at or before st.At and non-decision records
+// other than health transitions are ignored.
+func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig) {
+	for i := range tail {
+		rec := &tail[i]
+		if rec.At <= st.At {
+			continue
+		}
+		switch rec.Type {
+		case "health":
+			if h, ok := parseHealthState(rec.To); ok {
+				st.Health = int(h)
+				st.Stats.Transitions++
+			}
+			continue
+		case "decision":
+		default:
+			continue
+		}
+		switch rec.Kind {
+		case "solve", "fallback":
+			st.LastRate = rec.Total
+			st.LastRateAt = rec.At
+			st.LastSLO = cfg.SLO
+			st.Solves++
+			st.StaleSince = -1
+			if rec.Applied != nil {
+				st.LastQuotas = copyQuotas(rec.Applied)
+			}
+			if cfg.BreakerBand > 0 {
+				if !rec.Converged && rec.Predicted > cfg.SLO*1.05 {
+					st.Unconverged++
+				} else {
+					st.Unconverged = 0
+				}
+			}
+			if rec.Kind == "fallback" {
+				if !st.BreakerOpen {
+					st.Stats.BreakerTrips++
+					st.HealthStreak = 0
+				}
+				st.BreakerOpen = true
+				st.Stats.FallbackSolves++
+			} else {
+				if st.BreakerOpen {
+					st.Stats.BreakerCloses++
+				}
+				st.BreakerOpen = false
+				st.HealthStreak = 0
+			}
+			if rec.Limited {
+				st.Stats.RateLimited++
+			}
+		case "boost":
+			// The live boost path zeroes the hysteresis reference so the
+			// next clear interval forces a fresh solve.
+			st.LastRate = 0
+			st.Boosts++
+			st.Stats.Boosts++
+			if rec.Applied != nil {
+				st.LastQuotas = copyQuotas(rec.Applied)
+			}
+		case "boost-wait":
+			st.LastRate = 0
+		case "hold":
+			st.Stats.StaleHolds++
+			if st.StaleSince < 0 {
+				st.StaleSince = rec.At
+			}
+		case "hysteresis", "idle":
+			st.StaleSince = -1
+		}
+		st.At = rec.At
+	}
+}

@@ -539,13 +539,14 @@ func (c *Controller) step(rec *obs.Record) {
 			rec.Kind = "solve"
 		}
 	}
-	quotas = c.limitStep(quotas)
+	quotas, limited := c.limitStep(quotas)
 	tActuate := c.wallStart()
 	c.Cluster.ApplyQuotas(quotas)
 	c.stage("actuate", tActuate, nil)
 	c.lastQuotas = quotas
 	if rec != nil {
 		rec.Applied = copyQuotas(quotas)
+		rec.Limited = limited
 	}
 	if c.OnDecision != nil {
 		c.OnDecision(c.Cluster.Eng.Now(), total, sol)
@@ -638,10 +639,12 @@ func (c *Controller) heuristicQuotas(load []float64, scale float64) map[string]f
 
 // limitStep rate-limits the applied configuration against the previously
 // applied one: each quota may grow at most MaxStepUp× and shrink at most to
-// MaxStepDown× per decision.
-func (c *Controller) limitStep(quotas map[string]float64) map[string]float64 {
+// MaxStepDown× per decision. The second return reports whether any quota was
+// clamped, so the audit record carries the fact and a post-crash state fold
+// can rebuild the RateLimited counter exactly.
+func (c *Controller) limitStep(quotas map[string]float64) (map[string]float64, bool) {
 	if c.lastQuotas == nil || (c.Cfg.MaxStepUp <= 0 && c.Cfg.MaxStepDown <= 0) {
-		return quotas
+		return quotas, false
 	}
 	limited := false
 	for k, v := range quotas {
@@ -662,7 +665,7 @@ func (c *Controller) limitStep(quotas map[string]float64) map[string]float64 {
 	if limited {
 		c.stats.RateLimited++
 	}
-	return quotas
+	return quotas, limited
 }
 
 // hiFor returns the upper solver bound for the named service, or 0 when

@@ -2,9 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 )
 
@@ -54,6 +57,7 @@ type Record struct {
 	Iters     int                `json:"iters,omitempty"`
 	Converged bool               `json:"converged,omitempty"`
 	Applied   map[string]float64 `json:"applied,omitempty"`
+	Limited   bool               `json:"limited,omitempty"` // step limiter clamped the applied quotas
 	Chaos     []string           `json:"chaos,omitempty"`
 
 	// Health-transition fields.
@@ -138,25 +142,87 @@ func (f *FlightRecorder) Flush() error {
 	return f.err
 }
 
+// ErrTruncatedTail reports that the final line of an audit log did not parse
+// — the signature of a crash mid-append. ReadLog still returns the valid
+// prefix; callers recovering from a crash treat the error as informational,
+// while callers expecting a cleanly closed log can reject it.
+var ErrTruncatedTail = errors.New("obs: audit log ends in a truncated record")
+
 // ReadLog parses a JSONL audit log previously written by a FlightRecorder.
+//
+// A malformed line anywhere but the end fails the whole log: that is
+// corruption, not crash damage. A malformed (or unterminated) final line is
+// exactly what a crash mid-append leaves behind, so ReadLog returns every
+// record before it together with ErrTruncatedTail, letting warm recovery
+// proceed on the valid prefix.
 func ReadLog(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var out []Record
-	line := 0
+	line, badLine := 0, 0
+	var tailErr error
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
+		if tailErr != nil {
+			// The bad line has records after it: that is corruption, not a
+			// torn final append, so it must not read as ErrTruncatedTail.
+			return nil, fmt.Errorf("obs: audit log line %d: malformed record followed by more records: corrupt log", badLine)
+		}
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("obs: audit log line %d: %w", line, err)
+			badLine = line
+			tailErr = fmt.Errorf("obs: audit log line %d: %w: %v", line, ErrTruncatedTail, err)
+			continue
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if tailErr != nil {
+		return out, tailErr
+	}
 	return out, nil
+}
+
+// RepairLog reads the audit log at path and, if it ends in a crash-torn
+// final record, truncates the file back to its valid prefix so subsequent
+// appends produce a parseable log again. It returns the parsed records and
+// whether a torn tail was removed. Mid-file corruption is returned as an
+// error and the file is left untouched.
+func RepairLog(path string) (recs []Record, repaired bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	recs, err = ReadLog(bytes.NewReader(data))
+	if err == nil {
+		return recs, false, nil
+	}
+	if !errors.Is(err, ErrTruncatedTail) {
+		return nil, false, err
+	}
+	// Valid prefix length: bytes up to the start of the torn final line.
+	// The tail is whatever follows the last newline-terminated record that
+	// parsed; everything before it parsed, so summing those line lengths
+	// (plus their newlines) lands exactly on the torn line's first byte.
+	off := 0
+	for _, ln := range bytes.SplitAfter(data, []byte("\n")) {
+		if len(bytes.TrimSpace(ln)) == 0 { // blank line, or the empty final segment
+			off += len(ln)
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(bytes.TrimSuffix(ln, []byte("\n")), &rec) != nil {
+			break
+		}
+		off += len(ln)
+	}
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return recs, false, err
+	}
+	return recs, true, nil
 }

@@ -5,7 +5,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"time"
+
+	"graf/internal/ckpt"
 )
+
+// modelFileVersion is the current model-file payload schema version.
+const modelFileVersion uint32 = 1
 
 // persistedTrained is the on-disk form of a TrainedModel.
 type persistedTrained struct {
@@ -16,6 +21,10 @@ type persistedTrained struct {
 	SLO       time.Duration
 }
 
+// encodeTrained serializes a trained model into its framed on-disk form:
+// the gob payload wrapped in ckpt's magic/version/CRC32 envelope, so a
+// truncated or bit-flipped file is rejected at load instead of reaching the
+// controller as silently wrong weights.
 func encodeTrained(t *TrainedModel) ([]byte, error) {
 	mb, err := t.Model.MarshalBinary()
 	if err != nil {
@@ -26,13 +35,20 @@ func encodeTrained(t *TrainedModel) ([]byte, error) {
 		ModelBlob: mb, Lo: t.Bounds.Lo, Hi: t.Bounds.Hi,
 		MinRate: t.MinRate, MaxRate: t.MaxRate, SLO: t.SLO,
 	})
-	return buf.Bytes(), err
+	if err != nil {
+		return nil, err
+	}
+	return ckpt.Frame(ckpt.ModelMagic, modelFileVersion, buf.Bytes()), nil
 }
 
 func decodeTrained(blob []byte) (*TrainedModel, error) {
+	payload, err := ckpt.Unframe(ckpt.ModelMagic, modelFileVersion, blob)
+	if err != nil {
+		return nil, fmt.Errorf("graf: model file: %w", err)
+	}
 	var p persistedTrained
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&p); err != nil {
-		return nil, err
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("graf: model file: checksum-valid but undecodable payload (schema mismatch): %w", err)
 	}
 	var m Model
 	if err := m.UnmarshalBinary(p.ModelBlob); err != nil {

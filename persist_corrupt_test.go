@@ -1,0 +1,88 @@
+package graf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadModelRejectsCorruption is the table-driven corruption sweep over
+// the framed model file: truncation, bit flips, wrong magic and wrong
+// version must all surface ErrCorruptFile — never a silently wrong model.
+func TestLoadModelRejectsCorruption(t *testing.T) {
+	tr := trained(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.graf")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"header only prefix", func(b []byte) []byte { return b[:16] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-64] }},
+		{"appended bytes", func(b []byte) []byte { return append(b, 0xAA, 0xBB) }},
+		{"magic flip", func(b []byte) []byte { b[2] ^= 0x20; return b }},
+		{"version bump", func(b []byte) []byte { b[11]++; return b }},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }},
+		{"checksum flip", func(b []byte) []byte { b[21] ^= 0x40; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "-"))
+			if err := os.WriteFile(p, tc.mut(append([]byte(nil), good...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadModel(p)
+			if err == nil {
+				t.Fatal("corrupt model file loaded without error")
+			}
+			if !errors.Is(err, ErrCorruptFile) {
+				t.Errorf("err = %v, want ErrCorruptFile", err)
+			}
+		})
+	}
+
+	// The pristine file must still load after all that.
+	if _, err := LoadModel(path); err != nil {
+		t.Fatalf("pristine model rejected: %v", err)
+	}
+}
+
+// TestSaveIsAtomic checks the crash-safety contract of Save: overwriting an
+// existing model either fully succeeds or leaves the old file, and no temp
+// files are left in the directory.
+func TestSaveIsAtomic(t *testing.T) {
+	tr := trained(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.graf")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Save(path); err != nil { // overwrite in place
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err != nil {
+		t.Fatalf("model unreadable after overwrite: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "model.graf" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory not clean after save: %v", names)
+	}
+}
