@@ -51,6 +51,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"abl-partition": bench.AblationPartition,
 	"chaos":         bench.ChaosRobustness,
 	"recovery":      bench.Recovery,
+	"drift":         bench.Drift,
 	"replay":        bench.ObsReplay,
 	"obs-overhead":  bench.ObsOverhead,
 }
@@ -64,7 +65,7 @@ var order = []string{
 	"tab03", "fig19", "fig20", "fig21", "fig22",
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
-	"chaos", "recovery", "replay", "obs-overhead",
+	"chaos", "recovery", "drift", "replay", "obs-overhead",
 }
 
 func main() {

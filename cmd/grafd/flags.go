@@ -1,0 +1,119 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+// options is the parsed command line, gathered so contradictory flag
+// combinations are rejected before any training, file, or simulation work
+// starts. A daemon that runs 600 simulated seconds and then silently ignores
+// half its flags wastes a CI cycle; failing fast costs nothing.
+type options struct {
+	train bool
+	model string
+
+	shape string
+	rate  float64
+	sloMS int
+	durS  int
+
+	obs   string
+	audit string
+	hold  int
+	smoke bool
+
+	replay string
+
+	ckpt          string
+	ckptEvery     float64
+	cold          bool
+	crashAt       float64
+	assertRestore bool
+
+	lifecycle    bool
+	modelArchive string
+}
+
+// validate returns the first contradiction it finds, phrased so the fix is
+// obvious.
+func (o options) validate() error {
+	if !o.train && o.model == "" {
+		return errors.New("need -model <path> or -train")
+	}
+	if o.train && o.model != "" {
+		return errors.New("-train and -model are mutually exclusive: train in-process or load a file, not both")
+	}
+	switch o.shape {
+	case "const", "surge", "azure":
+	default:
+		return fmt.Errorf("unknown -shape %q (const | surge | azure)", o.shape)
+	}
+	if o.rate <= 0 {
+		return fmt.Errorf("-rate %v must be positive", o.rate)
+	}
+	if o.sloMS <= 0 {
+		return fmt.Errorf("-slo %v ms must be positive", o.sloMS)
+	}
+	if o.durS <= 0 {
+		return fmt.Errorf("-dur %v s must be positive", o.durS)
+	}
+
+	if o.replay != "" {
+		// Replay is an offline verification pass over a recorded log: no
+		// simulation runs, so every live-run flag would be silently dead.
+		for _, c := range []struct {
+			set  bool
+			flag string
+		}{
+			{o.ckpt != "", "-ckpt"},
+			{o.crashAt > 0, "-crash-at"},
+			{o.assertRestore, "-assert-restore"},
+			{o.cold, "-cold"},
+			{o.audit != "", "-audit"},
+			{o.obs != "", "-obs"},
+			{o.smoke, "-smoke"},
+			{o.hold > 0, "-hold"},
+			{o.lifecycle, "-lifecycle"},
+		} {
+			if c.set {
+				return fmt.Errorf("-replay verifies a recorded log without running a simulation; %s has no effect there", c.flag)
+			}
+		}
+	}
+
+	if o.ckpt == "" {
+		for _, c := range []struct {
+			set  bool
+			flag string
+		}{
+			{o.crashAt > 0, "-crash-at"},
+			{o.assertRestore, "-assert-restore"},
+			{o.cold, "-cold"},
+		} {
+			if c.set {
+				return fmt.Errorf("%s requires -ckpt: without a checkpoint store there is nothing to restore", c.flag)
+			}
+		}
+	}
+	if o.ckptEvery <= 0 {
+		return fmt.Errorf("-ckpt-every %v must be positive", o.ckptEvery)
+	}
+	if o.crashAt > 0 && o.crashAt >= float64(o.durS) {
+		return fmt.Errorf("-crash-at %v lands at or after the end of the run (-dur %d)", o.crashAt, o.durS)
+	}
+
+	if o.obs == "" {
+		if o.smoke {
+			return errors.New("-smoke scrapes the daemon's own /metrics endpoint and needs -obs")
+		}
+		if o.hold > 0 {
+			return errors.New("-hold keeps the -obs endpoints alive; it needs -obs")
+		}
+	}
+
+	if o.modelArchive != "" && !o.lifecycle {
+		return errors.New("-model-archive stores lifecycle model generations; it needs -lifecycle")
+	}
+	return nil
+}

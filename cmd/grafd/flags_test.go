@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// base returns a valid live-run flag set; tests mutate one aspect each.
+func base() options {
+	return options{model: "m.graf", shape: "const", rate: 150, sloMS: 250, durS: 600, ckptEvery: 20}
+}
+
+func TestValidateAcceptsCommonInvocations(t *testing.T) {
+	cases := map[string]options{
+		"plain model run": base(),
+		"train run": func() options {
+			o := base()
+			o.model, o.train = "", true
+			return o
+		}(),
+		"replay only": func() options {
+			o := base()
+			o.replay = "run.jsonl"
+			return o
+		}(),
+		"supervised crash rehearsal": func() options {
+			o := base()
+			o.ckpt, o.crashAt, o.audit = "state", 100, "run.jsonl"
+			return o
+		}(),
+		"warm-restart assertion": func() options {
+			o := base()
+			o.ckpt, o.assertRestore, o.audit = "state", true, "run.jsonl"
+			return o
+		}(),
+		"lifecycle with archive": func() options {
+			o := base()
+			o.lifecycle, o.modelArchive = true, "models"
+			return o
+		}(),
+		"lifecycle under supervisor": func() options {
+			o := base()
+			o.lifecycle, o.ckpt = true, "state"
+			return o
+		}(),
+		"obs smoke": func() options {
+			o := base()
+			o.obs, o.smoke, o.hold = "127.0.0.1:0", true, 5
+			return o
+		}(),
+	}
+	for name, o := range cases {
+		if err := o.validate(); err != nil {
+			t.Errorf("%s rejected: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsContradictions(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string // substring of the error
+	}{
+		{"no model source", func(o *options) { o.model = "" }, "-model"},
+		{"train and model", func(o *options) { o.train = true }, "mutually exclusive"},
+		{"bad shape", func(o *options) { o.shape = "sawtooth" }, "shape"},
+		{"negative rate", func(o *options) { o.rate = -1 }, "-rate"},
+		{"zero slo", func(o *options) { o.sloMS = 0 }, "-slo"},
+		{"zero duration", func(o *options) { o.durS = 0 }, "-dur"},
+		{"crash-at without ckpt", func(o *options) { o.crashAt = 100 }, "-crash-at requires -ckpt"},
+		{"assert-restore without ckpt", func(o *options) { o.assertRestore = true }, "-assert-restore requires -ckpt"},
+		{"cold without ckpt", func(o *options) { o.cold = true }, "-cold requires -ckpt"},
+		{"non-positive cadence", func(o *options) { o.ckpt, o.ckptEvery = "state", 0 }, "-ckpt-every"},
+		{"crash after the run ends", func(o *options) { o.ckpt, o.crashAt = "state", 600 }, "-crash-at"},
+		{"replay with ckpt", func(o *options) { o.replay, o.ckpt = "run.jsonl", "state" }, "-ckpt has no effect"},
+		{"replay with crash-at", func(o *options) { o.replay, o.ckpt, o.crashAt = "run.jsonl", "state", 10 }, "-ckpt has no effect"},
+		{"replay with audit", func(o *options) { o.replay, o.audit = "run.jsonl", "out.jsonl" }, "-audit has no effect"},
+		{"replay with obs", func(o *options) { o.replay, o.obs = "run.jsonl", "127.0.0.1:0" }, "-obs has no effect"},
+		{"replay with lifecycle", func(o *options) { o.replay, o.lifecycle = "run.jsonl", true }, "-lifecycle has no effect"},
+		{"smoke without obs", func(o *options) { o.smoke = true }, "-smoke"},
+		{"hold without obs", func(o *options) { o.hold = 30 }, "-hold"},
+		{"archive without lifecycle", func(o *options) { o.modelArchive = "models" }, "-model-archive"},
+	}
+	for _, c := range cases {
+		o := base()
+		c.mut(&o)
+		err := o.validate()
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -65,7 +65,21 @@ func main() {
 	cold := flag.Bool("cold", false, "with -ckpt: ignore existing snapshots and restart the controller cold")
 	crashAt := flag.Float64("crash-at", 0, "die abruptly (exit 42) at this simulated time — leaves a torn audit tail for the recovery smoke test")
 	assertRestore := flag.Bool("assert-restore", false, "with -ckpt: exit non-zero unless the boot warm-restored controller state and quotas from a snapshot")
+	lifecycleOn := flag.Bool("lifecycle", false, "run the model-trust lifecycle: drift detection, heuristic fallback, shadow retraining, gated canary promotion, rollback")
+	modelDir := flag.String("model-archive", "", "with -lifecycle: persist every model generation into this directory as GRAFMDL1 files")
 	flag.Parse()
+
+	if err := (options{
+		train: *train, model: *modelPath, shape: *shape, rate: *rate,
+		sloMS: *sloMS, durS: *durS, obs: *obsAddr, audit: *auditPath,
+		replay: *replayPath, hold: *holdS, smoke: *smoke,
+		ckpt: *ckptDir, ckptEvery: *ckptEveryS, cold: *cold,
+		crashAt: *crashAt, assertRestore: *assertRestore,
+		lifecycle: *lifecycleOn, modelArchive: *modelDir,
+	}).validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)
+		os.Exit(2)
+	}
 
 	a := graf.OnlineBoutique()
 	var tr *graf.TrainedModel
@@ -163,6 +177,21 @@ func main() {
 			fmt.Printf("[%6.0fs] health: %s → %s\n", t, from, to)
 		}
 	}
+	// The model-trust lifecycle watches the predictor's live residuals and
+	// retrains/promotes/rolls back autonomously; grafd narrates its events.
+	var lc *graf.Lifecycle
+	if *lifecycleOn {
+		lc = s.NewLifecycle(tr, graf.LifecycleOptions{
+			Dir: *modelDir,
+			OnEvent: func(at time.Duration, kind, detail string) {
+				fmt.Printf("[%6.0fs] lifecycle %s: %s\n", at.Seconds(), kind, detail)
+			},
+		})
+		if len(tr.Samples) == 0 {
+			fmt.Println("lifecycle: model file carries no training samples; retraining will use live telemetry only")
+		}
+	}
+
 	var ctl *graf.Controller
 	var sup *graf.Supervisor
 	if *ckptDir != "" {
@@ -189,6 +218,7 @@ func main() {
 			Cold:            *cold,
 			PriorAudit:      priorAudit,
 			Tune:            tune,
+			Lifecycle:       lc,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -213,6 +243,10 @@ func main() {
 			os.Exit(1)
 		}
 		tune(ctl)
+		if lc != nil {
+			lc.Attach(ctl)
+			lc.Start()
+		}
 	}
 
 	if *crashAt > 0 {
@@ -281,6 +315,12 @@ run:
 		sup.Stop()
 	} else {
 		ctl.Stop()
+	}
+	if lc != nil {
+		lc.Stop()
+		trips, promos, rolls, rejects, retrains, recovers := lc.Stats()
+		fmt.Printf("lifecycle: phase=%s gen=%d trips=%d retrains=%d promotions=%d rollbacks=%d rejections=%d recoveries=%d\n",
+			lc.Phase(), lc.Generation(), trips, retrains, promos, rolls, rejects, recovers)
 	}
 	st := ctl.Stats()
 	fmt.Printf("final: health=%s solves=%d boosts=%d staleHolds=%d breakerTrips=%d fallbackSolves=%d rateLimited=%d transitions=%d\n",

@@ -41,6 +41,7 @@ import (
 	"graf/internal/cluster"
 	"graf/internal/core"
 	"graf/internal/gnn"
+	"graf/internal/lifecycle"
 	"graf/internal/obs"
 	"graf/internal/sim"
 	"graf/internal/workload"
@@ -179,6 +180,24 @@ func ChaosContention(at time.Duration, svc string, factor float64, duration time
 	return chaos.Contend(at.Seconds(), svc, factor, duration.Seconds())
 }
 
+// ChaosSurfaceDrift permanently multiplies the per-request CPU work of svc
+// ("" = every service) by factor at the given offset — a code regression or
+// dependency upgrade that invalidates the latency surface the model was
+// trained on. Unlike ChaosContention it never expires: only retraining (see
+// NewLifecycle), not patience, recovers the predictor.
+func ChaosSurfaceDrift(at time.Duration, svc string, factor float64) ChaosEvent {
+	return chaos.Drift(at.Seconds(), svc, factor)
+}
+
+// ChaosTelemetryCorrupt injects n bogus end-to-end latency samples of the
+// given magnitude, plus matching phantom arrivals, into the telemetry plane
+// at the offset — a metrics-pipeline glitch. Requests are unaffected; the
+// lifecycle manager's Hampel sanitization should absorb the spike without
+// tripping drift detection.
+func ChaosTelemetryCorrupt(at, lat time.Duration, n int) ChaosEvent {
+	return chaos.CorruptTelemetry(at.Seconds(), lat.Seconds(), n)
+}
+
 // ChaosControllerCrash kills the control plane itself at the given offset;
 // the supervisor restarts it after restartAfter, warm (checkpoint +
 // audit-tail restore) or cold. Requires a controller started with
@@ -240,6 +259,124 @@ type SupervisorOptions struct {
 	// OnDecision/OnHealth callbacks, since restarts replace the controller
 	// instance.
 	Tune func(*Controller)
+
+	// Lifecycle, if set, runs the model-trust subsystem under the
+	// supervisor's crash-safety umbrella: the manager re-attaches to every
+	// rebuilt controller, its full state (phase, monitor, samples, model
+	// archive) rides in every checkpoint, and a warm restore resumes a
+	// mid-canary probation window exactly where it stood. Create it with
+	// NewLifecycle; the supervisor starts its ticker.
+	Lifecycle *Lifecycle
+}
+
+// Model-lifecycle building blocks (see internal/lifecycle and DESIGN.md §3f).
+type (
+	// Lifecycle is the model-trust subsystem: an online drift detector over
+	// the predictor's live residuals, shadow retraining on post-drift
+	// telemetry, gated canary promotion, and automatic rollback within a
+	// probation window. Obtain one with NewLifecycle.
+	Lifecycle = lifecycle.Manager
+	// LifecycleConfig parameterizes the lifecycle manager.
+	LifecycleConfig = lifecycle.Config
+	// LifecyclePhase is the manager's state-machine phase (Trusted,
+	// Drifted, Shadow, Probation).
+	LifecyclePhase = lifecycle.Phase
+	// ModelTrust is the controller's view of the model: trusted,
+	// probation (envelope-clamped), or untrusted (heuristic fallback).
+	ModelTrust = core.ModelTrust
+)
+
+// Lifecycle phases and controller trust levels.
+const (
+	LifecycleTrusted   = lifecycle.PhaseTrusted
+	LifecycleDrifted   = lifecycle.PhaseDrifted
+	LifecycleShadow    = lifecycle.PhaseShadow
+	LifecycleProbation = lifecycle.PhaseProbation
+
+	ModelTrusted   = core.ModelTrusted
+	ModelProbation = core.ModelProbation
+	ModelUntrusted = core.ModelUntrusted
+)
+
+// DefaultLifecycleConfig returns the lifecycle settings used by the
+// evaluation (drift experiment, EXPERIMENTS.md).
+func DefaultLifecycleConfig() LifecycleConfig { return lifecycle.DefaultConfig() }
+
+// LifecycleOptions parameterizes NewLifecycle.
+type LifecycleOptions struct {
+	// Config overrides DefaultLifecycleConfig.
+	Config *LifecycleConfig
+
+	// BaseSamples overrides the offline training set retraining replays
+	// (re-registered onto the drifted surface) so candidates keep global
+	// shape. Defaults to the trained model's own Samples, which Save/
+	// LoadModel round-trip with the weights.
+	BaseSamples []Sample
+
+	// Dir, when non-empty, persists every model generation as a
+	// generation-numbered GRAFMDL1 file (model-00000001.graf, …) readable
+	// with LoadModel.
+	Dir string
+
+	// OnEvent observes lifecycle transitions (trips, retrains, promotions,
+	// rollbacks) for CLI logging.
+	OnEvent func(at time.Duration, kind, detail string)
+}
+
+// NewLifecycle creates the model-trust manager for this simulation around a
+// trained model (generation 0). The manager is not yet watching anything:
+// either pass it to StartGRAFSupervised via SupervisorOptions.Lifecycle, or
+// bind it to a plain controller yourself with Attach + Start:
+//
+//	ctl, _ := sim.StartGRAF(trained, slo)
+//	lc := sim.NewLifecycle(trained, graf.LifecycleOptions{BaseSamples: samples})
+//	lc.Attach(ctl)
+//	lc.Start()
+func (s *Simulation) NewLifecycle(t *TrainedModel, o LifecycleOptions) *Lifecycle {
+	cfg := lifecycle.DefaultConfig()
+	if o.Config != nil {
+		cfg = *o.Config
+	}
+	if len(o.BaseSamples) > 0 {
+		cfg.BaseSamples = o.BaseSamples
+	} else if len(cfg.BaseSamples) == 0 {
+		cfg.BaseSamples = t.Samples
+	}
+	if o.Dir != "" {
+		cfg.Dir = o.Dir
+	}
+	m := lifecycle.NewManager(s.Cluster, t.Model, t.Bounds, t.SLO.Seconds(), cfg)
+	// Generations persist in the same GRAFMDL1 frame as Save/LoadModel, with
+	// the incumbent's metadata, so an archived generation is a loadable
+	// TrainedModel in its own right.
+	m.SaveModel = func(mod *Model, path string) error {
+		tm := &TrainedModel{Model: mod, Bounds: t.Bounds, MinRate: t.MinRate, MaxRate: t.MaxRate, SLO: t.SLO}
+		return tm.Save(path)
+	}
+	m.LoadModel = func(path string) (*Model, error) {
+		tm, err := LoadModel(path)
+		if err != nil {
+			return nil, err
+		}
+		return tm.Model, nil
+	}
+	if s.obs != nil {
+		m.Obs = obs.NewLifecycleObs(s.obs)
+	}
+	if o.OnEvent != nil {
+		ev := o.OnEvent
+		m.OnEvent = func(at float64, kind, detail string) {
+			ev(time.Duration(at*float64(time.Second)), kind, detail)
+		}
+	}
+	if cfg.Dir != "" {
+		// Archive writes report failures through the manager's event stream
+		// rather than failing promotion; creating the directory up front
+		// keeps that path quiet in the common case.
+		_ = os.MkdirAll(cfg.Dir, 0o755)
+		m.PersistIncumbent()
+	}
+	return m
 }
 
 // ResumeFromCheckpoint prepares a fresh simulation to continue a previous
@@ -322,6 +459,20 @@ var ErrTruncatedAuditTail = obs.ErrTruncatedTail
 // round-trips weights exactly, so a saved model replays its own logs.
 func ReplayAudit(t *TrainedModel, log []AuditRecord) ReplayReport {
 	return core.ReplayAudit(t.Model, log)
+}
+
+// LatencyModel is the prediction interface the solver and replay consume; a
+// *Model implements it.
+type LatencyModel = core.LatencyModel
+
+// ReplayAuditManaged re-runs a log whose recording swapped model generations
+// mid-run — a lifecycle promotion or rollback. Each decision record names the
+// generation that produced it and replays through that generation's model.
+// models maps generation → model; a live Lifecycle provides it via Models(),
+// and an archive directory of generation files (LifecycleOptions.Dir) can
+// rebuild it offline with LoadModel.
+func ReplayAuditManaged(models map[int]LatencyModel, log []AuditRecord) ReplayReport {
+	return core.ReplayAuditModels(models, log)
 }
 
 // Simulation bundles a deterministic discrete-event engine with a cluster
@@ -478,6 +629,13 @@ func (s *Simulation) StartGRAFSupervised(t *TrainedModel, cfg ControllerConfig, 
 		if o.Tune != nil {
 			o.Tune(ctl)
 		}
+		if o.Lifecycle != nil {
+			// Restarts replace the controller instance; the manager follows.
+			// The supervisor restores controller state after this, then
+			// RestoreExtra re-applies the restored lifecycle world on top,
+			// so a warm boot ends with the snapshot's generation and trust.
+			o.Lifecycle.Attach(ctl)
+		}
 		return ctl
 	}
 	scfg := ckpt.SupervisorConfig{
@@ -486,6 +644,20 @@ func (s *Simulation) StartGRAFSupervised(t *TrainedModel, cfg ControllerConfig, 
 		CheckpointEveryS: 20,
 		Warm:             !o.Cold,
 		MaxRestarts:      o.MaxRestarts,
+	}
+	if o.Lifecycle != nil {
+		lc := o.Lifecycle
+		scfg.SnapshotExtra = lc.SnapshotState
+		scfg.RestoreExtra = func(blob []byte) {
+			// A snapshot from a pre-lifecycle run carries no blob; the
+			// manager keeps its in-memory state. A corrupt blob is reported
+			// through the manager's own event stream and likewise keeps the
+			// live state — a lifecycle decode problem must not take down an
+			// otherwise healthy warm restore.
+			if err := lc.RestoreState(blob); err != nil && lc.OnEvent != nil {
+				lc.OnEvent(s.Engine.Now(), "restore-error", err.Error())
+			}
+		}
 	}
 	if o.CheckpointEvery > 0 {
 		scfg.CheckpointEveryS = o.CheckpointEvery.Seconds()
@@ -535,6 +707,9 @@ func (s *Simulation) StartGRAFSupervised(t *TrainedModel, cfg ControllerConfig, 
 	sup := ckpt.NewSupervisor(s.Engine, s.Cluster, scfg)
 	s.Chaos().Control = sup
 	sup.Start()
+	if o.Lifecycle != nil {
+		o.Lifecycle.Start()
+	}
 	return sup, nil
 }
 
@@ -575,6 +750,11 @@ type TrainedModel struct {
 	MinRate float64
 	MaxRate float64
 	SLO     time.Duration
+
+	// Samples is the training set the model was fit on. Save persists it
+	// with the model so a loaded model can feed lifecycle retraining
+	// (NewLifecycle's replay set) without re-collecting.
+	Samples []Sample
 }
 
 // Train runs GRAF's offline path for application a: Algorithm 1 search
@@ -619,7 +799,7 @@ func Train(a *App, o TrainOptions) *TrainedModel {
 	tc.LR = 2e-3
 	tc.Obs = obs.NewTrainObs(o.Obs)
 	model.Train(samples, tc)
-	return &TrainedModel{Model: model, Bounds: b, MinRate: o.MinRate, MaxRate: o.MaxRate, SLO: o.SLO}
+	return &TrainedModel{Model: model, Bounds: b, MinRate: o.MinRate, MaxRate: o.MaxRate, SLO: o.SLO, Samples: samples}
 }
 
 // ValidateFor checks that the trained model's shape matches application a:

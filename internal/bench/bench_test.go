@@ -277,3 +277,32 @@ func TestChaosHardenedBeatsVanilla(t *testing.T) {
 		t.Error("vanilla configuration must run with guardrails disabled")
 	}
 }
+
+func TestDriftLifecycleBeatsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift experiment needs a trained pipeline")
+	}
+	tr := BoutiquePipeline(Quick())
+	lc := runDrift(tr, true, tr.SLO, 42, 480)
+	st := runDrift(tr, false, tr.SLO, 42, 480)
+	if lc.violS >= st.violS {
+		t.Errorf("lifecycle viol-s %.0f not strictly below static %.0f\nevents: %v",
+			lc.violS, st.violS, lc.events)
+	}
+	if lc.trips < 1 {
+		t.Errorf("residual monitor never tripped on a ×1.6 surface drift: %v", lc.events)
+	}
+	if lc.promos < 1 {
+		t.Errorf("no retrained candidate was canary-promoted: %v", lc.events)
+	}
+	if lc.gen < 1 {
+		t.Errorf("final incumbent still gen %d after promotion", lc.gen)
+	}
+	if lc.stranded != 0 || st.stranded != 0 {
+		t.Errorf("stranded in-flight requests after drain: lifecycle=%d static=%d",
+			lc.stranded, st.stranded)
+	}
+	if st.trips != 0 || st.promos != 0 {
+		t.Error("static run must not carry a lifecycle manager")
+	}
+}

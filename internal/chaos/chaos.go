@@ -45,6 +45,16 @@ const (
 	// (checkpoint + audit-tail restore) or cold per the Warm flag. Fires
 	// as a no-op when the injector has no ControlPlane attached.
 	ControllerCrash
+	// SurfaceDrift permanently multiplies a service's CPU work per request
+	// (Service == "" drifts every service): the queueing surface the latency
+	// model was trained on no longer exists, and never comes back. The fault
+	// the model-lifecycle drift monitor is built to catch.
+	SurfaceDrift
+	// TelemetryCorrupt injects N bogus observations into the frontend
+	// telemetry at one instant: N end-to-end latency samples of Factor
+	// seconds plus N phantom arrivals per API. A scrape glitch, not a real
+	// latency change — sanitization should swallow it.
+	TelemetryCorrupt
 )
 
 // String names the fault kind.
@@ -66,6 +76,10 @@ func (k Kind) String() string {
 		return "contention"
 	case ControllerCrash:
 		return "controller-crash"
+	case SurfaceDrift:
+		return "surface-drift"
+	case TelemetryCorrupt:
+		return "telemetry-corrupt"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -75,10 +89,10 @@ func (k Kind) String() string {
 type Event struct {
 	At       float64
 	Kind     Kind
-	Service  string  // KillInstances, TelemetryBlackhole, Contention
-	N        int     // KillInstances
+	Service  string  // KillInstances, TelemetryBlackhole, Contention, SurfaceDrift ("" = all)
+	N        int     // KillInstances; TelemetryCorrupt bogus-sample count
 	Fraction float64 // CrashFraction kill fraction; ArrivalSampling keep; TraceDrop probability
-	Factor   float64 // Contention work multiplier
+	Factor   float64 // Contention / SurfaceDrift work multiplier; TelemetryCorrupt bogus latency seconds
 	Duration float64 // windowed faults (blackholes, sampling, drop, contention); ControllerCrash restart delay
 	Warm     bool    // ControllerCrash: restore from checkpoint on restart
 }
@@ -127,6 +141,21 @@ func Contend(at float64, svc string, factor, duration float64) Event {
 // versus cold start.
 func CrashController(at, restartAfter float64, warm bool) Event {
 	return Event{At: at, Kind: ControllerCrash, Duration: restartAfter, Warm: warm}
+}
+
+// Drift returns an event permanently multiplying svc's CPU work per request
+// by factor at time at (svc == "" drifts every service). Unlike Contend it
+// never expires: only a model retrained on post-drift telemetry recovers
+// prediction accuracy.
+func Drift(at float64, svc string, factor float64) Event {
+	return Event{At: at, Kind: SurfaceDrift, Service: svc, Factor: factor}
+}
+
+// CorruptTelemetry returns an event injecting n bogus frontend observations
+// at time at: n end-to-end latency samples of latS seconds and n phantom
+// arrivals per API.
+func CorruptTelemetry(at, latS float64, n int) Event {
+	return Event{At: at, Kind: TelemetryCorrupt, Factor: latS, N: n}
 }
 
 // Scenario is a named, deterministic fault schedule.
@@ -205,6 +234,16 @@ func (in *Injector) apply(ev Event) {
 	case Contention:
 		in.cl.InjectContention(ev.Service, ev.Factor, ev.Duration)
 		detail = fmt.Sprintf("%s ×%.1f for %.0fs", ev.Service, ev.Factor, ev.Duration)
+	case SurfaceDrift:
+		in.cl.InjectSurfaceDrift(ev.Service, ev.Factor)
+		who := ev.Service
+		if who == "" {
+			who = "all services"
+		}
+		detail = fmt.Sprintf("%s ×%.2f permanently", who, ev.Factor)
+	case TelemetryCorrupt:
+		in.cl.CorruptTelemetry(ev.Factor, ev.N)
+		detail = fmt.Sprintf("%d bogus samples @ %.1fs", ev.N, ev.Factor)
 	case ControllerCrash:
 		mode := "cold"
 		if ev.Warm {

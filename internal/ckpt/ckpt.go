@@ -53,6 +53,15 @@ type Snapshot struct {
 	At         float64
 	Controller core.ControllerState
 	Cluster    cluster.ClusterState
+
+	// Lifecycle is the model-lifecycle manager's opaque serialized state
+	// (internal/lifecycle.Manager.SnapshotState): phase, drift-monitor
+	// statistics, rolling retraining samples, and every archived model
+	// generation. Opaque bytes keep ckpt free of a lifecycle dependency —
+	// the supervisor moves the blob via the SnapshotExtra/RestoreExtra
+	// hooks. Empty when no lifecycle manager is attached; gob decodes old
+	// snapshots without the field to an empty slice.
+	Lifecycle []byte
 }
 
 // headerLen is magic[8] + version u32 + payloadLen u64 + crc32 u32.

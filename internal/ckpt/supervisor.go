@@ -48,6 +48,14 @@ type SupervisorConfig struct {
 	BackoffBaseS float64
 	BackoffMaxS  float64
 
+	// SnapshotExtra, if set, contributes the opaque lifecycle blob to every
+	// snapshot (internal/lifecycle.Manager.SnapshotState). RestoreExtra, if
+	// set, receives the blob from the restored snapshot during a warm boot,
+	// after the controller's own state is restored — a manager restored
+	// mid-canary resumes its probation window exactly where it stood.
+	SnapshotExtra func() []byte
+	RestoreExtra  func(blob []byte)
+
 	// Obs, if set, observes checkpoints, crashes, restarts and
 	// quarantines. Nil disables the instrumentation.
 	Obs *obs.SupervisorObs
@@ -175,6 +183,9 @@ func (s *Supervisor) boot(warm bool) {
 			if st.LastQuotas != nil {
 				s.cl.ReconcileQuotas(st.LastQuotas)
 			}
+			if s.cfg.RestoreExtra != nil {
+				s.cfg.RestoreExtra(snap.Lifecycle)
+			}
 			mode = "warm"
 		case errors.Is(err, ErrNoSnapshot):
 			// First boot, or every generation corrupt: cold start.
@@ -220,6 +231,9 @@ func (s *Supervisor) Checkpoint() (int, error) {
 		At:         s.eng.Now(),
 		Controller: s.ctl.Snapshot(),
 		Cluster:    s.cl.Snapshot(),
+	}
+	if s.cfg.SnapshotExtra != nil {
+		snap.Lifecycle = s.cfg.SnapshotExtra()
 	}
 	gen, size, err := s.cfg.Store.Save(snap)
 	if err != nil {

@@ -117,6 +117,13 @@ type Deployment struct {
 	// change in workload or quota.
 	contention float64
 
+	// drift is a persistent work multiplier: a permanent mutation of the
+	// queueing surface (a code regression, a dependency slowdown, a data
+	//-set growth) that invalidates whatever latency model was trained
+	// before it. Unlike contention it never expires — only retraining, not
+	// patience, recovers the model's accuracy. 0 or 1 = none.
+	drift float64
+
 	// Telemetry.
 	readySeries *metrics.Series // ready-instance count over time
 	totalSeries *metrics.Series // created (ready+starting) count over time
@@ -458,6 +465,9 @@ func (d *Deployment) sampleServiceTime() (svcS, cpuS float64) {
 	work := d.Service.WorkMS
 	if d.contention > 1 {
 		work *= d.contention
+	}
+	if d.drift > 0 && d.drift != 1 {
+		work *= d.drift
 	}
 	mean := work * 1000 / q // ms
 	cv := d.Service.CV
@@ -1040,6 +1050,62 @@ func (c *Cluster) SetTraceDrop(p float64) {
 		p = 1
 	}
 	c.traceDropP = p
+}
+
+// InjectSurfaceDrift permanently multiplies the named service's CPU work
+// per request by factor (svc == "" applies it to every service). This is a
+// drift of the queueing surface itself, not a transient anomaly: the
+// latency-vs-quota relationship the GNN learned no longer holds, and stays
+// wrong until a model retrained on post-drift telemetry replaces it.
+// Repeated injections compose multiplicatively.
+func (c *Cluster) InjectSurfaceDrift(svc string, factor float64) {
+	if factor <= 0 {
+		return
+	}
+	apply := func(d *Deployment) {
+		if d.drift <= 0 {
+			d.drift = 1
+		}
+		d.drift *= factor
+	}
+	if svc == "" {
+		for _, name := range c.names {
+			apply(c.deps[name])
+		}
+		return
+	}
+	apply(c.Deployment(svc))
+}
+
+// SurfaceDrift returns the service's current persistent work multiplier
+// (1 = none).
+func (d *Deployment) SurfaceDrift() float64 {
+	if d.drift <= 0 {
+		return 1
+	}
+	return d.drift
+}
+
+// CorruptTelemetry injects n bogus observations into the frontend telemetry
+// at the current instant: n end-to-end latency samples of latS seconds into
+// the e2e window and n phantom arrivals into every API's arrival window — a
+// scrape glitch or a poisoned exporter, not anything the cluster actually
+// served. Downstream consumers that read these windows raw see a latency
+// spike and a rate surge that never happened.
+func (c *Cluster) CorruptTelemetry(latS float64, n int) {
+	now := c.Eng.Now()
+	for i := 0; i < n; i++ {
+		c.e2eAll.Add(now, latS)
+	}
+	for _, api := range c.App.APIs {
+		w, ok := c.apiArrivals[api.Name]
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			w.Add(now, 1)
+		}
+	}
 }
 
 // KilledTotal returns the cumulative number of instances killed by fault

@@ -31,6 +31,13 @@ type ControllerState struct {
 	HealthStreak int
 	Unconverged  int
 
+	// Model-lifecycle state. The model weights themselves are restored by
+	// the lifecycle manager (the snapshot carries them as an opaque blob);
+	// these two keep record numbering and trust gating consistent across a
+	// warm restore even when no lifecycle manager is attached.
+	ModelGen int
+	Trust    int
+
 	// Profiles preserves the Workload Analyzer's learned per-API visit
 	// multiplicities. Refresh re-derives them from live traces each
 	// decision, but under trace loss the analyzer keeps serving the last
@@ -54,6 +61,8 @@ func (c *Controller) Snapshot() ControllerState {
 		BreakerOpen:  c.breakerOpen,
 		HealthStreak: c.healthStreak,
 		Unconverged:  c.unconverged,
+		ModelGen:     c.modelGen,
+		Trust:        int(c.trust),
 	}
 	if c.lastQuotas != nil {
 		s.LastQuotas = copyQuotas(c.lastQuotas)
@@ -84,6 +93,8 @@ func (c *Controller) Restore(s ControllerState) {
 	c.breakerOpen = s.BreakerOpen
 	c.healthStreak = s.HealthStreak
 	c.unconverged = s.Unconverged
+	c.modelGen = s.ModelGen
+	c.trust = ModelTrust(s.Trust)
 	if c.Analyzer != nil && s.Profiles != nil {
 		c.Analyzer.RestoreProfiles(s.Profiles)
 	}
@@ -139,12 +150,13 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 			continue
 		}
 		switch rec.Kind {
-		case "solve", "fallback":
+		case "solve", "fallback", "fallback-model":
 			st.LastRate = rec.Total
 			st.LastRateAt = rec.At
 			st.LastSLO = cfg.SLO
 			st.Solves++
 			st.StaleSince = -1
+			st.ModelGen = rec.ModelGen
 			if rec.Applied != nil {
 				st.LastQuotas = copyQuotas(rec.Applied)
 			}
@@ -155,14 +167,20 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 					st.Unconverged = 0
 				}
 			}
-			if rec.Kind == "fallback" {
+			switch rec.Kind {
+			case "fallback":
 				if !st.BreakerOpen {
 					st.Stats.BreakerTrips++
 					st.HealthStreak = 0
 				}
 				st.BreakerOpen = true
 				st.Stats.FallbackSolves++
-			} else {
+			case "fallback-model":
+				// A lifecycle demotion, not a breaker trip: the heuristic
+				// served the decision but the breaker state is untouched.
+				// Trust itself is restored from the lifecycle snapshot blob.
+				st.Stats.FallbackSolves++
+			default:
 				if st.BreakerOpen {
 					st.Stats.BreakerCloses++
 				}
@@ -171,6 +189,9 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 			}
 			if rec.Limited {
 				st.Stats.RateLimited++
+			}
+			if rec.Enveloped {
+				st.Stats.EnvelopeClamped++
 			}
 		case "boost":
 			// The live boost path zeroes the hysteresis reference so the

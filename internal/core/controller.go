@@ -57,6 +57,16 @@ type ControllerConfig struct {
 	// disables the floor.
 	DemandFloorUtil float64
 
+	// UntrustedUtil is the demand-floor utilization target used while the
+	// lifecycle manager holds the model ModelUntrusted. The regular
+	// DemandFloorUtil (0.85) sizes capacity, not tail latency: running the
+	// heuristic there parks p99 just above a tight SLO for the whole
+	// degraded window. With no trustworthy model, protecting the SLO is
+	// worth over-provisioning, so the untrusted fallback targets a lower
+	// utilization. 0 falls back to DemandFloorUtil (the breaker path is
+	// unchanged either way).
+	UntrustedUtil float64
+
 	// ViolationBoost is a reactive guardrail beyond the paper's design:
 	// when the measured tail latency violates the SLO, the last applied
 	// quotas are multiplied by this factor until the violation clears,
@@ -107,6 +117,12 @@ type ControllerConfig struct {
 	MaxStepUp   float64
 	MaxStepDown float64
 
+	// Envelope clamps quota steps produced by a model on probation (a
+	// freshly promoted canary that has not yet earned full trust). It is
+	// tighter than MaxStepUp/MaxStepDown and only engages while the
+	// lifecycle manager holds the controller in ModelProbation.
+	Envelope Envelope
+
 	Solver SolverConfig
 }
 
@@ -144,13 +160,44 @@ func (h HealthState) String() string {
 
 // HealthStats counts degraded-mode activity.
 type HealthStats struct {
-	StaleHolds     int // decisions held on suspected-stale telemetry
-	BreakerTrips   int // model circuit breaker openings
-	BreakerCloses  int // breaker closings after healthy streaks
-	FallbackSolves int // decisions served by the heuristic allocator
-	RateLimited    int // applied configurations clamped by the step limiter
-	Boosts         int // reactive boost firings
-	Transitions    int // health-state transitions
+	StaleHolds      int // decisions held on suspected-stale telemetry
+	BreakerTrips    int // model circuit breaker openings
+	BreakerCloses   int // breaker closings after healthy streaks
+	FallbackSolves  int // decisions served by the heuristic allocator
+	RateLimited     int // applied configurations clamped by the step limiter
+	EnvelopeClamped int // applied configurations clamped by the probation envelope
+	Boosts          int // reactive boost firings
+	Transitions     int // health-state transitions
+}
+
+// ModelTrust is the lifecycle manager's verdict on the model currently
+// driving the solver. It is orthogonal to the circuit breaker: the breaker
+// reacts to individual untrustworthy solves, trust is set externally by the
+// drift monitor and canary state machine (internal/lifecycle).
+type ModelTrust int
+
+const (
+	// ModelTrusted: the model drives the solver unconstrained.
+	ModelTrusted ModelTrust = iota
+	// ModelProbation: the model drives the solver, but applied quota steps
+	// are clamped by Cfg.Envelope until the probation window passes.
+	ModelProbation
+	// ModelUntrusted: the drift monitor demoted the model; allocations come
+	// from the demand-floor heuristic while solves continue in shadow.
+	ModelUntrusted
+)
+
+// String names the trust level.
+func (m ModelTrust) String() string {
+	switch m {
+	case ModelTrusted:
+		return "Trusted"
+	case ModelProbation:
+		return "Probation"
+	case ModelUntrusted:
+		return "Untrusted"
+	}
+	return "Unknown"
 }
 
 // DefaultControllerConfig returns the loop settings used in the evaluation.
@@ -163,6 +210,7 @@ func DefaultControllerConfig(slo float64) ControllerConfig {
 		Hysteresis:      0.12,
 		MinTotalRate:    1,
 		DemandFloorUtil: 0.85,
+		UntrustedUtil:   0.55,
 		ViolationBoost:  1.5,
 		BoostCap:        4,
 
@@ -172,6 +220,7 @@ func DefaultControllerConfig(slo float64) ControllerConfig {
 		BreakerClose:      3,
 		MaxStepUp:         6,
 		MaxStepDown:       0.5,
+		Envelope:          Envelope{MaxStepUp: 1.5, MaxStepDown: 0.7, MinQuota: 50},
 
 		Solver: DefaultSolverConfig(),
 	}
@@ -219,6 +268,10 @@ type Controller struct {
 	healthStreak int // consecutive healthy solves while the breaker is open
 	unconverged  int // consecutive non-converged solves
 
+	// Model-lifecycle state, driven externally by internal/lifecycle.
+	trust    ModelTrust
+	modelGen int
+
 	// OnDecision, if set, observes every applied configuration.
 	OnDecision func(t float64, totalRate float64, sol Solution)
 
@@ -247,6 +300,39 @@ func (c *Controller) Boosts() int { return c.boosts }
 
 // Health returns the controller's current degraded-mode state.
 func (c *Controller) Health() HealthState { return c.health }
+
+// ModelGen returns the generation number of the model driving the solver.
+func (c *Controller) ModelGen() int { return c.modelGen }
+
+// Trust returns the lifecycle trust level of the current model.
+func (c *Controller) Trust() ModelTrust { return c.trust }
+
+// SetModel swaps the latency model driving the solver (a canary promotion or
+// a rollback) and stamps its generation number into subsequent audit
+// records. Breaker state accumulated against the previous model is cleared —
+// the new model earns its own verdict — and the hysteresis reference is
+// zeroed so the next tick re-solves with the new model instead of coasting.
+func (c *Controller) SetModel(m LatencyModel, gen int) {
+	c.Model = m
+	c.modelGen = gen
+	c.breakerOpen = false
+	c.healthStreak = 0
+	c.unconverged = 0
+	c.lastRate = 0
+}
+
+// SetTrust sets the lifecycle trust level. Demoting to ModelUntrusted zeroes
+// the hysteresis reference so the heuristic fallback takes over at the next
+// tick rather than whenever the rate next moves.
+func (c *Controller) SetTrust(t ModelTrust) {
+	if t == c.trust {
+		return
+	}
+	c.trust = t
+	if t == ModelUntrusted {
+		c.lastRate = 0
+	}
+}
 
 // Stats returns the degraded-mode activity counters.
 func (c *Controller) Stats() HealthStats { return c.stats }
@@ -438,9 +524,11 @@ func (c *Controller) step(rec *obs.Record) {
 		if rel < 0 {
 			rel = -rel
 		}
-		// While the breaker is open, keep solving every interval even on a
-		// stable rate: the shadow solves are what lets it close again.
-		if rel < c.Cfg.Hysteresis && !c.breakerOpen {
+		// While the breaker is open — or the lifecycle manager holds the
+		// model untrusted — keep solving every interval even on a stable
+		// rate: the shadow solves are what lets the breaker close, and the
+		// heuristic fallback must keep tracking measured demand.
+		if rel < c.Cfg.Hysteresis && !c.breakerOpen && c.trust != ModelUntrusted {
 			// Signal recovered and stable: the telemetry degradation, if
 			// any, is over.
 			if c.health == DegradedTelemetry {
@@ -505,6 +593,9 @@ func (c *Controller) step(rec *obs.Record) {
 	if rec != nil {
 		// The complete solver inputs and raw outputs: with the header's SLO
 		// and solver configuration these replay the solve bit-identically.
+		// ModelGen names the model that produced them, so replay of a run
+		// that swapped models mid-flight picks the right archived model.
+		rec.ModelGen = c.modelGen
 		rec.Load = append([]float64(nil), load...)
 		rec.Lo = append([]float64(nil), lo...)
 		rec.Hi = append([]float64(nil), hi...)
@@ -521,18 +612,31 @@ func (c *Controller) step(rec *obs.Record) {
 	}
 
 	var quotas map[string]float64
-	if c.breakerOpen {
+	enveloped := false
+	if c.breakerOpen || c.trust == ModelUntrusted {
 		// Fallback: allocate from measured CPU demand instead of the model.
+		// "fallback" is the breaker's doing, "fallback-model" the lifecycle
+		// manager's — the audit-tail fold must not mistake a drift demotion
+		// for an open breaker.
 		quotas = c.heuristicQuotas(load, scale)
 		c.stats.FallbackSolves++
 		c.setHealth(FallbackHeuristic)
 		if rec != nil {
 			rec.Kind = "fallback"
+			if !c.breakerOpen {
+				rec.Kind = "fallback-model"
+			}
 		}
 	} else {
 		quotas = make(map[string]float64, len(sol.Quotas))
 		for i, name := range c.Cluster.App.ServiceNames() {
 			quotas[name] = sol.Quotas[i] * scale
+		}
+		if c.trust == ModelProbation && c.Cfg.Envelope.Enabled() {
+			quotas, enveloped = c.Cfg.Envelope.Clamp(quotas, c.lastQuotas)
+			if enveloped {
+				c.stats.EnvelopeClamped++
+			}
 		}
 		c.setHealth(Healthy)
 		if rec != nil {
@@ -547,6 +651,7 @@ func (c *Controller) step(rec *obs.Record) {
 	if rec != nil {
 		rec.Applied = copyQuotas(quotas)
 		rec.Limited = limited
+		rec.Enveloped = enveloped
 	}
 	if c.OnDecision != nil {
 		c.OnDecision(c.Cluster.Eng.Now(), total, sol)
@@ -616,6 +721,12 @@ func (c *Controller) heuristicQuotas(load []float64, scale float64) map[string]f
 	util := c.Cfg.DemandFloorUtil
 	if util <= 0 {
 		util = 0.85
+	}
+	// A lifecycle demotion (as opposed to an open breaker) over-provisions:
+	// the SLO is protected with CPU while no model can be trusted to shave
+	// the tail any closer.
+	if c.trust == ModelUntrusted && !c.breakerOpen && c.Cfg.UntrustedUtil > 0 {
+		util = c.Cfg.UntrustedUtil
 	}
 	out := make(map[string]float64, len(load))
 	for i, name := range c.Cluster.App.ServiceNames() {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graf/internal/app"
+)
+
+// randomQuotas draws a quota map over an app's services in [lo, hi).
+func randomQuotas(a *app.App, rng *rand.Rand, lo, hi float64) map[string]float64 {
+	out := make(map[string]float64, len(a.Services))
+	for _, name := range a.ServiceNames() {
+		out[name] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+// TestEnvelopeClampProperties checks the probation envelope's contract over
+// random applications and seeds: every clamped step stays within the
+// per-tick multiplicative bound and never dips below MinQuota.
+func TestEnvelopeClampProperties(t *testing.T) {
+	apps := []*app.App{
+		app.OnlineBoutique(), app.SocialNetwork(), app.RobotShop(),
+		app.Bookinfo(), app.SyntheticChain(4), app.SyntheticChain(9),
+	}
+	env := Envelope{MaxStepUp: 1.5, MaxStepDown: 0.7, MinQuota: 50}
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := apps[rng.Intn(len(apps))]
+		last := randomQuotas(a, rng, 10, 4000)
+		proposed := randomQuotas(a, rng, 1, 8000)
+		// Random membership holes: services the last configuration never
+		// touched must still get the MinQuota floor.
+		for k := range last {
+			if rng.Float64() < 0.15 {
+				delete(last, k)
+			}
+		}
+		got, _ := env.Clamp(proposed, last)
+		if len(got) != len(proposed) {
+			t.Fatalf("seed %d: clamp dropped services: %d != %d", seed, len(got), len(proposed))
+		}
+		for k, v := range got {
+			if v < env.MinQuota-1e-9 {
+				t.Errorf("seed %d: %s clamped to %v below MinQuota %v", seed, k, v, env.MinQuota)
+			}
+			old, ok := last[k]
+			if !ok || old <= 0 {
+				continue
+			}
+			hi := math.Max(old*env.MaxStepUp, env.MinQuota)
+			lo := math.Min(old*env.MaxStepDown, math.Max(proposed[k], env.MinQuota))
+			if v > hi+1e-9 {
+				t.Errorf("seed %d: %s step %v -> %v exceeds up-bound %v", seed, k, old, v, hi)
+			}
+			if v < lo-1e-9 {
+				t.Errorf("seed %d: %s step %v -> %v below down-bound %v", seed, k, old, v, lo)
+			}
+		}
+	}
+}
+
+// TestEnvelopeClampConverges iterates the clamp against a fixed target: the
+// sequence must reach the unclamped solution in finitely many steps — which
+// is what guarantees a model coming off probation converges to the same
+// configuration it would have applied unconstrained.
+func TestEnvelopeClampConverges(t *testing.T) {
+	env := Envelope{MaxStepUp: 1.5, MaxStepDown: 0.7, MinQuota: 50}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := app.SyntheticChain(3 + rng.Intn(8))
+		target := randomQuotas(a, rng, 60, 6000)
+		cur := randomQuotas(a, rng, 60, 6000)
+		converged := false
+		for i := 0; i < 64; i++ {
+			next, clamped := env.Clamp(target, cur)
+			cur = next
+			if !clamped {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			t.Fatalf("seed %d: clamp did not converge to the target in 64 steps", seed)
+		}
+		for k, v := range cur {
+			if v != target[k] {
+				t.Errorf("seed %d: %s converged to %v, want %v", seed, k, v, target[k])
+			}
+		}
+	}
+}
+
+// TestEnvelopeIdentityWhenTrusted: a trusted model bypasses the envelope
+// entirely — the controller only clamps in ModelProbation — and a disabled
+// envelope is the identity even when invoked.
+func TestEnvelopeIdentityWhenTrusted(t *testing.T) {
+	var off Envelope
+	if off.Enabled() {
+		t.Fatal("zero-value envelope reports enabled")
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := app.OnlineBoutique()
+	last := randomQuotas(a, rng, 10, 4000)
+	proposed := randomQuotas(a, rng, 1, 8000)
+	got, clamped := off.Clamp(proposed, last)
+	if clamped {
+		t.Error("disabled envelope reported clamping")
+	}
+	for k, v := range got {
+		if v != proposed[k] {
+			t.Errorf("disabled envelope changed %s: %v != %v", k, v, proposed[k])
+		}
+	}
+}

@@ -12,6 +12,7 @@ type ReplayReport struct {
 	Decisions  int // decision records in the log
 	Solves     int // decisions taken on the model path and re-solved
 	Matched    int // re-solved decisions whose outputs matched bit-for-bit
+	SkippedGen int // solves skipped because no model of their generation was supplied
 	Mismatches []string
 }
 
@@ -20,8 +21,12 @@ func (r ReplayReport) OK() bool { return len(r.Mismatches) == 0 }
 
 // String renders a one-line summary.
 func (r ReplayReport) String() string {
-	return fmt.Sprintf("replay: %d decisions, %d solves re-run, %d matched, %d mismatches",
+	s := fmt.Sprintf("replay: %d decisions, %d solves re-run, %d matched, %d mismatches",
 		r.Decisions, r.Solves, r.Matched, len(r.Mismatches))
+	if r.SkippedGen > 0 {
+		s += fmt.Sprintf(", %d skipped (missing model generation)", r.SkippedGen)
+	}
+	return s
 }
 
 // ReplayAudit re-executes the solver over a recorded flight-recorder log and
@@ -38,6 +43,18 @@ func (r ReplayReport) String() string {
 // reactive paths (boost, hold, hysteresis, idle) made no model call and are
 // counted but not re-run.
 func ReplayAudit(m LatencyModel, log []obs.Record) ReplayReport {
+	return ReplayAuditModels(map[int]LatencyModel{0: m}, log)
+}
+
+// ReplayAuditModels replays a log whose recording swapped models mid-run —
+// a lifecycle promotion or rollback. Each decision record carries the
+// generation number of the model that produced it; models maps generation →
+// model (the initial model is generation 0, archived generations come from
+// the lifecycle manager's model store). Decisions whose generation has no
+// supplied model are counted in SkippedGen rather than failed: a caller
+// replaying with only the initial model still verifies every pre-promotion
+// decision bit-identically.
+func ReplayAuditModels(models map[int]LatencyModel, log []obs.Record) ReplayReport {
 	var rep ReplayReport
 	var hdr *obs.Record
 	for i := range log {
@@ -55,6 +72,11 @@ func ReplayAudit(m LatencyModel, log []obs.Record) ReplayReport {
 		if len(rec.Load) == 0 || len(rec.Raw) == 0 {
 			continue // reactive path: no solve to reproduce
 		}
+		m, ok := models[rec.ModelGen]
+		if !ok || m == nil {
+			rep.SkippedGen++
+			continue
+		}
 		rep.Solves++
 		if hdr == nil {
 			rep.Mismatches = append(rep.Mismatches,
@@ -69,7 +91,7 @@ func ReplayAudit(m LatencyModel, log []obs.Record) ReplayReport {
 			PatienceIters: int(hdr.Solver["patience_iters"]),
 		}
 		sol := Solve(m, rec.Load, hdr.SLO, rec.Lo, rec.Hi, cfg)
-		ok := sol.Iterations == rec.Iters && sol.Converged == rec.Converged &&
+		ok = sol.Iterations == rec.Iters && sol.Converged == rec.Converged &&
 			sol.Predicted == rec.Predicted && len(sol.Quotas) == len(rec.Raw)
 		if ok {
 			for i, q := range sol.Quotas {

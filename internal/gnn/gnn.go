@@ -259,6 +259,15 @@ func (m *Model) restoreWeights(snap [][]float64) {
 	}
 }
 
+// Clone returns a deep copy: same architecture, independent weights. The
+// lifecycle manager retrains clones so a candidate's gradient steps never
+// touch the incumbent serving the solver.
+func (m *Model) Clone() *Model {
+	out := New(m.Cfg, rand.New(rand.NewSource(0)))
+	out.restoreWeights(m.snapshotWeights())
+	return out
+}
+
 // --- Serialization -----------------------------------------------------
 
 type persisted struct {

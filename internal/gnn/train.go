@@ -192,6 +192,33 @@ func (m *Model) Evaluate(set []Sample, regions [][2]float64) (rows []RegionError
 	return rows, overestimate
 }
 
+// DefaultRegions returns the paper's Table 2 latency strata (milliseconds),
+// scaled so the top edge covers maxMS: four bands from fast to tail.
+func DefaultRegions(maxMS float64) [][2]float64 {
+	if maxMS <= 0 {
+		maxMS = 1000
+	}
+	return [][2]float64{
+		{0, maxMS * 0.25},
+		{maxMS * 0.25, maxMS * 0.5},
+		{maxMS * 0.5, maxMS},
+		{maxMS, maxMS * 10},
+	}
+}
+
+// EvaluateRegions is Evaluate over DefaultRegions sized to the set's label
+// range — the probe the lifecycle promotion gate uses to compare a canary
+// candidate against the incumbent stratum by stratum.
+func (m *Model) EvaluateRegions(set []Sample) ([]RegionError, float64) {
+	maxMS := 0.0
+	for _, s := range set {
+		if ms := s.Latency * 1000; ms > maxMS {
+			maxMS = ms
+		}
+	}
+	return m.Evaluate(set, DefaultRegions(maxMS))
+}
+
 // SortSamplesByLatency orders samples ascending by label — convenient for
 // stratified inspection in tests and reports.
 func SortSamplesByLatency(set []Sample) {

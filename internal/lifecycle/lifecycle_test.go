@@ -1,0 +1,368 @@
+package lifecycle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/gnn"
+	"graf/internal/queueing"
+	"graf/internal/sim"
+)
+
+// --- Hampel telemetry sanitization -----------------------------------------
+
+func TestHampelRejectsSpike(t *testing.T) {
+	h := &Hampel{}
+	for i := 0; i < 8; i++ {
+		h.Push(100 + float64(i%3)) // 100..102, a quiet stream
+	}
+	got := h.Push(5000) // a scrape glitch
+	if got > 110 {
+		t.Fatalf("Hampel passed a 50× spike through: got %.1f", got)
+	}
+	// The stream returns to normal; normal values keep passing.
+	if got := h.Push(101); math.Abs(got-101) > 1e-9 {
+		t.Fatalf("normal value after spike was altered: got %.2f", got)
+	}
+}
+
+func TestHampelAdmitsLevelShift(t *testing.T) {
+	h := &Hampel{N: 9}
+	for i := 0; i < 9; i++ {
+		h.Push(100)
+	}
+	// A genuine level shift (real drift) must pass once it persists: after
+	// about half the window the rolling median has moved to the new level.
+	passed := -1
+	for i := 0; i < 9; i++ {
+		if got := h.Push(300); got == 300 {
+			passed = i
+			break
+		}
+	}
+	if passed < 0 {
+		t.Fatal("persistent level shift never passed the Hampel filter")
+	}
+	if passed > 6 {
+		t.Fatalf("level shift took %d pushes to pass; want about half the window", passed+1)
+	}
+}
+
+func TestHampelShortHistoryPassesThrough(t *testing.T) {
+	h := &Hampel{}
+	for _, v := range []float64{10, 9000} {
+		if got := h.Push(v); got != v {
+			t.Fatalf("with <3 observations Push(%.0f) = %.0f; want identity", v, got)
+		}
+	}
+}
+
+// --- Drift monitor ----------------------------------------------------------
+
+func TestMonitorWarmupAndTrip(t *testing.T) {
+	m := NewMonitor(DefaultMonitorConfig())
+	// Large residuals before warmup must not trip.
+	for i := 0; i < m.Cfg.Warmup-1; i++ {
+		m.Observe(0.9)
+	}
+	if m.Tripped() {
+		t.Fatal("monitor tripped before warmup")
+	}
+	// Sustained underestimation keeps accumulating: must trip soon after.
+	tripped := false
+	for i := 0; i < 20; i++ {
+		m.Observe(0.9)
+		if m.Tripped() {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("monitor never tripped on sustained 90% underestimation")
+	}
+	m.Reset()
+	if m.Tripped() {
+		t.Fatal("monitor still tripped after Reset")
+	}
+}
+
+func TestMonitorIgnoresSmallResiduals(t *testing.T) {
+	m := NewMonitor(DefaultMonitorConfig())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		m.Observe(0.05 * rng.NormFloat64()) // well inside the slack band
+		if m.Tripped() {
+			t.Fatalf("monitor tripped at tick %d on noise-level residuals", i)
+		}
+	}
+}
+
+func TestMonitorTripsOnOverestimation(t *testing.T) {
+	m := NewMonitor(DefaultMonitorConfig())
+	tripped := false
+	for i := 0; i < 40; i++ {
+		m.Observe(-0.9) // model predicts far above reality
+		if m.Tripped() {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("monitor never tripped on sustained overestimation")
+	}
+}
+
+// --- Promotion gates ---------------------------------------------------------
+
+// synthSamples draws (load, quota) → p99 labels from the analytic queueing
+// surface, standing in for live cluster measurements.
+func synthSamples(a *app.App, n int, seed int64) []gnn.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	sz := queueing.DefaultSizing()
+	names := a.ServiceNames()
+	var out []gnn.Sample
+	for len(out) < n {
+		total := 20 + rng.Float64()*60
+		rates := a.PerServiceRate(a.MixRates(total))
+		quotas := map[string]float64{}
+		load := make([]float64, len(names))
+		quota := make([]float64, len(names))
+		for i, s := range names {
+			quotas[s] = 200 + rng.Float64()*1800
+			load[i] = rates[s]
+			quota[i] = quotas[s]
+		}
+		lat := queueing.WorstAPIQuantile(a, sz, quotas, rates, 0.99)
+		if lat > 3 {
+			continue
+		}
+		out = append(out, gnn.Sample{Load: load, Quota: quota, Latency: lat})
+	}
+	return out
+}
+
+// poison corrupts a sample set the way a compromised telemetry pipeline
+// would: labels anti-correlated with quota, so a model trained on them
+// learns "more CPU ⇒ slower" — exactly what the sanity gates must refuse.
+func poison(set []gnn.Sample) []gnn.Sample {
+	out := make([]gnn.Sample, len(set))
+	for i, s := range set {
+		sum := 0.0
+		for _, q := range s.Quota {
+			sum += q
+		}
+		out[i] = gnn.Sample{
+			Load:    append([]float64(nil), s.Load...),
+			Quota:   append([]float64(nil), s.Quota...),
+			Latency: 0.01 + sum*1e-4, // grows with quota
+		}
+	}
+	return out
+}
+
+func testBounds(n int) core.Bounds {
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i], hi[i] = 200, 2000
+	}
+	return core.Bounds{Lo: lo, Hi: hi}
+}
+
+func trainIncumbent(t *testing.T, a *app.App, set []gnn.Sample, seed int64) *gnn.Model {
+	t.Helper()
+	m := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(seed)))
+	m.Train(set, gnn.TrainConfig{
+		Iterations: 400, Batch: 32, LR: 1e-3,
+		ValFrac: 0.2, TestFrac: 0, Seed: seed, EvalEvery: 400,
+	})
+	return m
+}
+
+func TestGateRejectsPoisonedCandidate(t *testing.T) {
+	a := app.SyntheticChain(3)
+	good := synthSamples(a, 300, 11)
+	inc := trainIncumbent(t, a, good, 11)
+
+	cand := inc.Clone()
+	cand.Train(poison(good), gnn.TrainConfig{
+		Iterations: 400, Batch: 32, LR: 1e-3,
+		ValFrac: 0.2, TestFrac: 0, Seed: 12, EvalEvery: 400,
+	})
+
+	cfg := DefaultConfig()
+	// Hand the poisoned candidate the best possible shadow score, so the
+	// rejection must come from the sanity gates, not the live comparison.
+	g := gateCandidate(cand, inc, good, testBounds(len(a.Services)), 0.250, cfg,
+		0.01, 0.50, cfg.ShadowTicks)
+	if g.Pass {
+		t.Fatalf("promotion gate passed a quota-anti-correlated candidate: %s", g.String())
+	}
+	if len(g.Reasons) == 0 {
+		t.Fatal("gate rejected without recording a reason")
+	}
+}
+
+func TestGateRejectsWorseShadowScore(t *testing.T) {
+	a := app.SyntheticChain(3)
+	good := synthSamples(a, 300, 21)
+	inc := trainIncumbent(t, a, good, 21)
+	cand := inc.Clone() // identical surface: zero improvement
+
+	cfg := DefaultConfig()
+	g := gateCandidate(cand, inc, good, testBounds(len(a.Services)), 0.250, cfg,
+		0.30, 0.30, cfg.ShadowTicks) // parity, not a win
+	if g.Pass {
+		t.Fatal("promotion gate passed a candidate with no shadow improvement")
+	}
+}
+
+func TestGatePassesBetterCandidate(t *testing.T) {
+	a := app.SyntheticChain(3)
+	good := synthSamples(a, 300, 31)
+	// A deliberately under-trained incumbent versus a finished candidate.
+	inc := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(31)))
+	inc.Train(good, gnn.TrainConfig{
+		Iterations: 40, Batch: 32, LR: 1e-3, ValFrac: 0.2, Seed: 31, EvalEvery: 40,
+	})
+	cand := inc.Clone()
+	cand.Train(good, gnn.TrainConfig{
+		Iterations: 800, Batch: 32, LR: 1e-3, ValFrac: 0.2, Seed: 32, EvalEvery: 800,
+	})
+
+	cfg := DefaultConfig()
+	g := gateCandidate(cand, inc, good, testBounds(len(a.Services)), 0.250, cfg,
+		0.05, 0.40, cfg.ShadowTicks)
+	if !g.Pass {
+		t.Fatalf("promotion gate rejected a strictly better candidate: %v", g.Reasons)
+	}
+}
+
+// --- Manager state machine and snapshot/restore ------------------------------
+
+func testManager(t *testing.T, seed int64) (*Manager, *app.App) {
+	t.Helper()
+	a := app.SyntheticChain(3)
+	eng := sim.NewEngine(seed)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	good := synthSamples(a, 120, seed)
+	inc := trainIncumbent(t, a, good, seed)
+	cfg := DefaultConfig()
+	cfg.MinRetrainSamples = 10
+	m := NewManager(cl, inc, testBounds(len(a.Services)), 0.250, cfg)
+	m.samples = good[:40]
+	return m, a
+}
+
+func TestManagerPromoteThenRollback(t *testing.T) {
+	m, _ := testManager(t, 41)
+	if m.Phase() != PhaseTrusted || m.Generation() != 0 {
+		t.Fatalf("fresh manager: phase=%v gen=%d", m.Phase(), m.Generation())
+	}
+
+	m.trip()
+	if m.Phase() != PhaseDrifted {
+		t.Fatalf("after trip: phase=%v", m.Phase())
+	}
+	if len(m.samples) > m.Cfg.DriftLookback {
+		t.Fatalf("trip kept %d samples; want ≤ lookback %d", len(m.samples), m.Cfg.DriftLookback)
+	}
+
+	// Promote a candidate (bypassing the gates — they have their own tests).
+	m.candidate = m.incumbent.Clone()
+	m.promote(GateResult{Pass: true})
+	if m.Phase() != PhaseProbation || m.Generation() != 1 {
+		t.Fatalf("after promote: phase=%v gen=%d", m.Phase(), m.Generation())
+	}
+	if m.probLeft != m.Cfg.ProbationTicks {
+		t.Fatalf("probation window = %d; want %d", m.probLeft, m.Cfg.ProbationTicks)
+	}
+	if _, ok := m.archive[0]; !ok {
+		t.Fatal("promotion dropped the archived generation 0")
+	}
+	if len(m.Models()) != 2 {
+		t.Fatalf("Models() has %d generations; want 2", len(m.Models()))
+	}
+
+	m.rollback()
+	if m.Phase() != PhaseDrifted || m.Generation() != 0 {
+		t.Fatalf("after rollback: phase=%v gen=%d", m.Phase(), m.Generation())
+	}
+	if m.cooldown != m.Cfg.CooldownTicks {
+		t.Fatalf("rollback cooldown = %d; want %d", m.cooldown, m.Cfg.CooldownTicks)
+	}
+	trips, promotions, rollbacks, _, _, _ := m.Stats()
+	if trips != 1 || promotions != 1 || rollbacks != 1 {
+		t.Fatalf("stats = %d trips %d promotions %d rollbacks; want 1/1/1", trips, promotions, rollbacks)
+	}
+}
+
+func TestManagerStateRoundTrip(t *testing.T) {
+	m, a := testManager(t, 51)
+
+	// Put the manager mid-canary with history behind it.
+	m.trip()
+	m.candidate = m.incumbent.Clone()
+	m.promote(GateResult{Pass: true})
+	m.probLeft = 7 // partway through probation
+	m.mon.Observe(0.12)
+	m.hampelP99.Push(0.2)
+
+	blob := m.SnapshotState()
+	if len(blob) == 0 {
+		t.Fatal("SnapshotState returned nothing")
+	}
+
+	// A freshly built manager (as after a process restart) restores it.
+	m2, _ := testManager(t, 51)
+	if err := m2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Phase() != PhaseProbation || m2.Generation() != 1 {
+		t.Fatalf("restored: phase=%v gen=%d; want Probation gen 1", m2.Phase(), m2.Generation())
+	}
+	if m2.probLeft != 7 {
+		t.Fatalf("restored probation window = %d; want 7 (mid-canary resume)", m2.probLeft)
+	}
+	if m2.mon.N != m.mon.N || m2.mon.EWMA != m.mon.EWMA {
+		t.Fatalf("monitor state not restored: N %d vs %d, EWMA %g vs %g",
+			m2.mon.N, m.mon.N, m2.mon.EWMA, m.mon.EWMA)
+	}
+	if len(m2.Models()) != len(m.Models()) {
+		t.Fatalf("archive: %d generations restored, want %d", len(m2.Models()), len(m.Models()))
+	}
+	if got, want := len(m2.Samples()), len(m.Samples()); got != want {
+		t.Fatalf("samples: %d restored, want %d", got, want)
+	}
+
+	// The restored incumbent is the same function, bit for bit.
+	names := a.ServiceNames()
+	load := make([]float64, len(names))
+	quota := make([]float64, len(names))
+	for i := range names {
+		load[i], quota[i] = 10, 900
+	}
+	if p1, p2 := m.incumbent.Predict(load, quota), m2.incumbent.Predict(load, quota); p1 != p2 {
+		t.Fatalf("restored incumbent predicts %g; original %g", p2, p1)
+	}
+
+	// And a rollback still works after restore: generation 0 survived.
+	m2.rollback()
+	if m2.Generation() != 0 {
+		t.Fatalf("post-restore rollback landed on gen %d; want 0", m2.Generation())
+	}
+}
+
+func TestManagerRestoreRejectsGarbage(t *testing.T) {
+	m, _ := testManager(t, 61)
+	if err := m.RestoreState([]byte("not a gob stream")); err == nil {
+		t.Fatal("RestoreState accepted garbage")
+	}
+	if err := m.RestoreState(nil); err != nil {
+		t.Fatalf("RestoreState(nil) should be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,724 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/gnn"
+	"graf/internal/obs"
+)
+
+// Phase is the lifecycle state machine (DESIGN.md §3f):
+//
+//	Trusted ──trip──▶ Drifted ──retrain──▶ Shadow ──gates pass──▶ Probation ──clean──▶ Trusted
+//	   ▲                 ▲  ▲                 │gates fail              │regrade
+//	   └──recover────────┘  └─────────────────┘◀──────rollback─────────┘
+type Phase int
+
+const (
+	// PhaseTrusted: the incumbent drives the solver unconstrained.
+	PhaseTrusted Phase = iota
+	// PhaseDrifted: the monitor tripped; the controller is on its heuristic
+	// fallback while fresh samples accumulate for retraining.
+	PhaseDrifted
+	// PhaseShadow: a retrained candidate is being scored on live traffic
+	// against the incumbent, without driving anything.
+	PhaseShadow
+	// PhaseProbation: the candidate was promoted and drives the solver
+	// under the envelope clamp until the probation window passes clean.
+	PhaseProbation
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTrusted:
+		return "Trusted"
+	case PhaseDrifted:
+		return "Drifted"
+	case PhaseShadow:
+		return "Shadow"
+	case PhaseProbation:
+		return "Probation"
+	}
+	return "Unknown"
+}
+
+// Config parameterizes the lifecycle manager.
+type Config struct {
+	// IntervalS is the monitor cadence in seconds (default: the
+	// controller's 5s).
+	IntervalS float64
+
+	// WindowS is the trailing telemetry window for rates and p99.
+	WindowS float64
+
+	// MinRate and MinP99 gate signal quality: ticks with less observed
+	// traffic or no measured tail are skipped entirely.
+	MinRate float64
+	MinP99  float64
+
+	// Hampel is the telemetry sanitization filter template (K, Floor, N)
+	// applied per stream.
+	Hampel Hampel
+
+	// Monitor is the drift-detection configuration.
+	Monitor MonitorConfig
+
+	// RecoverEWMA and RecoverTicks re-trust a demoted incumbent without
+	// retraining: if its residual EWMA stays below RecoverEWMA for
+	// RecoverTicks consecutive ticks while drifted, the drift was transient
+	// (e.g. a contention burst that expired) and the incumbent is restored.
+	RecoverEWMA  float64
+	RecoverTicks int
+
+	// SampleWindow bounds the rolling (load, quota, p99) sample buffer;
+	// DriftLookback is how many of the freshest samples survive a drift
+	// trip (older ones describe the pre-drift surface and would dilute the
+	// retraining set); MinRetrainSamples is the floor below which
+	// retraining waits for more data.
+	SampleWindow      int
+	DriftLookback     int
+	MinRetrainSamples int
+
+	// Retraining budget. The candidate is a fine-tuned clone of the
+	// incumbent: warm-starting preserves the global surface while the
+	// fresh samples correct the drifted region — and is cheap enough to
+	// run inside one control tick.
+	RetrainIters int
+	RetrainBatch int
+	RetrainLR    float64
+
+	// BaseSamples, if set, is the offline training set (§3.7 pipeline).
+	// Live telemetry clusters around one operating point, so a candidate
+	// fine-tuned on it alone forgets the rest of the quota box and fails
+	// the monotone gates. Retraining therefore replays the base set
+	// re-registered onto the drifted surface under a work-multiplier
+	// hypothesis: service time is work/quota, so inflating per-request
+	// work by κ and quota by κ leaves latency unchanged — the replayed
+	// sample (load, κ·quota, latency) lies on the new surface. κ is fit
+	// per fresh sample as the rescale that makes the incumbent's
+	// prediction match the observation, then pooled by median. The fresh
+	// samples ride along and carry the exact local truth, gates veto the
+	// result when the hypothesis was wrong.
+	BaseSamples []gnn.Sample
+
+	// RescaleLo/RescaleHi clamp the fitted quota rescale κ. 0 picks the
+	// defaults 0.5 and 4.
+	RescaleLo float64
+	RescaleHi float64
+
+	// BoundsScaleCap caps how far promotion may widen the solver's upper
+	// quota bounds. Algorithm 1's box was probed on the pre-drift surface;
+	// when work per request inflates, the SLO-feasible region can leave
+	// that box entirely, so each promotion scales Bounds.Hi by the
+	// observed label-rescale ratio (never shrinking, never beyond
+	// cap × the original bounds). 0 picks the default 2.
+	BoundsScaleCap float64
+
+	// RetrainEveryS additionally retrains on a schedule even without a
+	// drift trip (0 disables; drift-triggered retraining always works).
+	RetrainEveryS float64
+
+	// CooldownTicks is the back-off after a rejected candidate or a
+	// rollback before the next retraining attempt.
+	CooldownTicks int
+
+	// ShadowTicks is the live canary scoring window (in manager ticks).
+	ShadowTicks int
+
+	// PromoteMargin: the candidate's shadow residual must be below
+	// incumbent×PromoteMargin to promote — parity is not enough to justify
+	// a model swap.
+	PromoteMargin float64
+
+	// ProbationTicks is how long a promoted model stays under the envelope
+	// clamp with a fresh monitor before earning full trust.
+	ProbationTicks int
+
+	// PredCapFactor bounds the prediction envelope gate at
+	// PredCapFactor×SLO; MonotoneTol is the tolerance of the monotone and
+	// gradient-sign gates.
+	PredCapFactor float64
+	MonotoneTol   float64
+
+	// LatencyCapFactor clamps p99 training labels at LatencyCapFactor×SLO,
+	// like the offline pipeline, so violation storms don't blow up the
+	// regression target.
+	LatencyCapFactor float64
+
+	// Seed derives the deterministic retraining seeds.
+	Seed int64
+
+	// Dir, when non-empty, persists every model generation as a
+	// generation-numbered GRAFMDL1 file (model-00000001.graf …) via the
+	// SaveModel callback.
+	Dir string
+}
+
+// DefaultConfig returns the lifecycle settings used by the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		IntervalS:         5,
+		WindowS:           15,
+		MinRate:           1,
+		MinP99:            1e-4,
+		Monitor:           DefaultMonitorConfig(),
+		RecoverEWMA:       0.15,
+		RecoverTicks:      6,
+		SampleWindow:      240,
+		DriftLookback:     6,
+		MinRetrainSamples: 20,
+		RetrainIters:      300,
+		RetrainBatch:      32,
+		RetrainLR:         1e-3,
+		CooldownTicks:     12,
+		ShadowTicks:       10,
+		PromoteMargin:     0.85,
+		ProbationTicks:    24,
+		PredCapFactor:     20,
+		MonotoneTol:       0.10,
+		LatencyCapFactor:  5,
+		Seed:              1,
+	}
+}
+
+// Manager runs the model lifecycle against one controller. Everything it
+// consumes is read from cluster telemetry on its own ticker, off the
+// controller's decision path: the controller's solves stay bit-identical
+// whether or not a manager is attached, except where the manager explicitly
+// swaps the model or its trust level.
+type Manager struct {
+	Cl     *cluster.Cluster
+	Cfg    Config
+	SLO    float64
+	Bounds core.Bounds
+
+	// Obs, if set, records residual gauges and lifecycle events into the
+	// telemetry subsystem (and through it into the audit log).
+	Obs *obs.LifecycleObs
+
+	// OnEvent, if set, observes every lifecycle event (for CLI logging).
+	OnEvent func(at float64, kind, detail string)
+
+	// SaveModel and LoadModel persist one model generation to/from a file.
+	// graf.go wires them to the public TrainedModel Save/Load (GRAFMDL1
+	// framing); nil keeps the archive in memory only.
+	SaveModel func(m *gnn.Model, path string) error
+	LoadModel func(path string) (*gnn.Model, error)
+
+	ctl *core.Controller
+	an  *core.Analyzer
+
+	incumbent *gnn.Model
+	gen       int
+	phase     Phase
+
+	mon        *Monitor
+	hampelP99  *Hampel
+	hampelRate map[string]*Hampel
+	samples    []gnn.Sample
+
+	candidate  *gnn.Model
+	shadowLeft int
+	shadowN    int
+	candErrSum float64
+	incErrSum  float64
+	shadowFrom Phase
+
+	probLeft int
+	prevGen  int
+
+	cooldown      int
+	recoverStreak int
+	lastRetrainAt float64
+	lastRatio     float64 // label rescale ratio of the latest retrain
+	boundsScale   float64 // cumulative Bounds.Hi widening (1 = original box)
+
+	archive map[int]*gnn.Model
+
+	trips, promotions, rollbacks, rejections, retrains, recoveries int
+
+	stop func()
+}
+
+// NewManager wires a lifecycle manager for a cluster. model is generation 0;
+// bounds are the solver's (Algorithm 1) bounds, reused for gate probes.
+func NewManager(cl *cluster.Cluster, model *gnn.Model, b core.Bounds, slo float64, cfg Config) *Manager {
+	if cfg.IntervalS <= 0 {
+		cfg.IntervalS = 5
+	}
+	m := &Manager{
+		Cl: cl, Cfg: cfg, SLO: slo, Bounds: b,
+		an:          core.NewAnalyzer(cl.App),
+		incumbent:   model,
+		mon:         NewMonitor(cfg.Monitor),
+		hampelP99:   m2h(cfg.Hampel),
+		hampelRate:  map[string]*Hampel{},
+		archive:     map[int]*gnn.Model{0: model},
+		lastRatio:   1,
+		boundsScale: 1,
+	}
+	m.persistGen(0, model)
+	return m
+}
+
+// m2h clones the Hampel template for one stream.
+func m2h(t Hampel) *Hampel { return &Hampel{K: t.K, Floor: t.Floor, N: t.N} }
+
+// Attach binds the manager to a controller and applies the manager's view of
+// the model world. On a matching controller (fresh boot at generation 0, or
+// a warm restore whose ControllerState already carries this generation and
+// trust) the apply is non-destructive — only the Model pointer is set, so a
+// restored controller's hysteresis and breaker state survive byte-identical.
+func (m *Manager) Attach(ctl *core.Controller) {
+	m.ctl = ctl
+	if ctl == nil {
+		return
+	}
+	if ctl.ModelGen() != m.gen {
+		ctl.SetModel(m.incumbent, m.gen)
+	} else {
+		ctl.Model = m.incumbent
+	}
+	if want := m.trustFor(m.phase); ctl.Trust() != want {
+		ctl.SetTrust(want)
+	}
+	if m.boundsScale > 1 {
+		ctl.Bounds = m.scaledBounds()
+	}
+}
+
+// trustFor maps a lifecycle phase to the controller trust level.
+func (m *Manager) trustFor(p Phase) core.ModelTrust {
+	switch p {
+	case PhaseDrifted:
+		return core.ModelUntrusted
+	case PhaseProbation:
+		return core.ModelProbation
+	case PhaseShadow:
+		return m.trustFor(m.shadowFrom)
+	}
+	return core.ModelTrusted
+}
+
+// Phase returns the current lifecycle phase.
+func (m *Manager) Phase() Phase { return m.phase }
+
+// Generation returns the incumbent model's generation number.
+func (m *Manager) Generation() int { return m.gen }
+
+// Stats returns the lifecycle event counters: drift trips, promotions,
+// rollbacks, gate rejections, retrains, incumbent recoveries.
+func (m *Manager) Stats() (trips, promotions, rollbacks, rejections, retrains, recoveries int) {
+	return m.trips, m.promotions, m.rollbacks, m.rejections, m.retrains, m.recoveries
+}
+
+// Models returns every model generation seen this run, for multi-generation
+// audit replay (core.ReplayAuditModels).
+func (m *Manager) Models() map[int]core.LatencyModel {
+	out := make(map[int]core.LatencyModel, len(m.archive))
+	for g, mod := range m.archive {
+		out[g] = mod
+	}
+	return out
+}
+
+// Samples returns a copy of the rolling retraining window (for tests and
+// offline inspection).
+func (m *Manager) Samples() []gnn.Sample {
+	return append([]gnn.Sample(nil), m.samples...)
+}
+
+// Start begins the lifecycle ticker. The phase offset places it after the
+// controller's tick at the same instant, so each tick observes the quotas
+// the controller just applied.
+func (m *Manager) Start() {
+	eng := m.Cl.Eng
+	m.stop = eng.Ticker(eng.Now()+0.0037, m.Cfg.IntervalS, m.Tick)
+}
+
+// Stop halts the ticker.
+func (m *Manager) Stop() {
+	if m.stop != nil {
+		m.stop()
+	}
+}
+
+// event emits one lifecycle event to every observer.
+func (m *Manager) event(kind, detail string) {
+	at := m.Cl.Eng.Now()
+	if m.OnEvent != nil {
+		m.OnEvent(at, kind, detail)
+	}
+	m.Obs.Event(at, kind, m.gen, detail, map[string]float64{
+		"trips": float64(m.trips), "promotions": float64(m.promotions),
+		"rollbacks": float64(m.rollbacks), "rejections": float64(m.rejections),
+	})
+}
+
+// Tick runs one lifecycle step: sanitize telemetry, score residuals, and
+// advance the state machine. Exported so tests can drive it directly.
+func (m *Manager) Tick() {
+	if m.cooldown > 0 {
+		m.cooldown--
+	}
+	now := m.Cl.Eng.Now()
+
+	// Sanitized telemetry. Per-API rates and the measured p99 each pass
+	// through their own Hampel filter before anything downstream sees them.
+	rawRates := m.Cl.APIArrivalRates(m.Cfg.WindowS)
+	apis := make([]string, 0, len(rawRates))
+	for api := range rawRates {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
+	rates := make(map[string]float64, len(rawRates))
+	total := 0.0
+	for _, api := range apis {
+		h, ok := m.hampelRate[api]
+		if !ok {
+			h = m2h(m.Cfg.Hampel)
+			m.hampelRate[api] = h
+		}
+		rates[api] = h.Push(rawRates[api])
+		total += rates[api]
+	}
+	p99 := m.hampelP99.Push(m.Cl.E2ELatencyQuantile(0.99, m.Cfg.WindowS))
+
+	if total < m.Cfg.MinRate || p99 <= m.Cfg.MinP99 {
+		return // no signal this tick
+	}
+
+	// Operating point: distributed load over the graph, realized quotas.
+	m.an.Refresh(m.Cl.Traces())
+	load := m.an.Distribute(rates)
+	realized := m.Cl.RealizedQuotas()
+	quota := make([]float64, len(load))
+	for i, name := range m.Cl.App.ServiceNames() {
+		quota[i] = realized[name]
+	}
+
+	// Rolling retraining sample, label capped like the offline pipeline.
+	label := p99
+	if cap := m.Cfg.LatencyCapFactor * m.SLO; m.Cfg.LatencyCapFactor > 0 && label > cap {
+		label = cap
+	}
+	m.samples = append(m.samples, gnn.Sample{
+		Load:    append([]float64(nil), load...),
+		Quota:   append([]float64(nil), quota...),
+		Latency: label,
+	})
+	if n := m.Cfg.SampleWindow; n > 0 && len(m.samples) > n {
+		m.samples = m.samples[len(m.samples)-n:]
+	}
+
+	// Residual of the incumbent at the operating point. While ordered
+	// capacity is still materializing, measured p99 carries the backlog of
+	// the old configuration — a residual against it says nothing about the
+	// model (the same gate the controller's boost path uses before
+	// compounding), so the monitor does not fold it. The sample above is
+	// still kept: the Hampel filters and the label cap bound its damage,
+	// and retraining needs the data.
+	pred := m.incumbent.Predict(load, quota)
+	r := (p99 - pred) / p99
+	if m.Cl.PendingInstances() == 0 {
+		m.mon.Observe(r)
+		m.Obs.Residual(now, r, m.mon.EWMA, m.mon.Cusum())
+	}
+
+	switch m.phase {
+	case PhaseTrusted:
+		if m.mon.Tripped() {
+			m.trip()
+			return
+		}
+		if m.Cfg.RetrainEveryS > 0 && now-m.lastRetrainAt >= m.Cfg.RetrainEveryS &&
+			m.cooldown == 0 && len(m.samples) >= m.Cfg.MinRetrainSamples {
+			m.startShadow(PhaseTrusted)
+		}
+
+	case PhaseDrifted:
+		// Transient drift (an expired contention burst) clears on its own:
+		// re-trust the incumbent instead of retraining.
+		if m.mon.EWMA < m.Cfg.RecoverEWMA {
+			m.recoverStreak++
+			if m.recoverStreak >= m.Cfg.RecoverTicks {
+				m.recoveries++
+				m.phase = PhaseTrusted
+				m.mon.Reset()
+				m.setTrust()
+				m.event("recover", fmt.Sprintf("incumbent gen %d re-trusted after transient drift", m.gen))
+				return
+			}
+		} else {
+			m.recoverStreak = 0
+		}
+		if m.cooldown == 0 && len(m.samples) >= m.Cfg.MinRetrainSamples {
+			m.startShadow(PhaseDrifted)
+		}
+
+	case PhaseShadow:
+		// Score both models on this live tick. The candidate sees traffic
+		// it never trained on (its window ended at retrain time).
+		cp := m.candidate.Predict(load, quota)
+		m.candErrSum += abs(p99-cp) / p99
+		m.incErrSum += abs(r)
+		m.shadowN++
+		m.shadowLeft--
+		if m.shadowLeft <= 0 {
+			m.judge()
+		}
+
+	case PhaseProbation:
+		// The monitor was reset at promotion, so it scores the promoted
+		// model alone. A trip inside probation is a regrade: roll back.
+		if m.mon.Tripped() {
+			m.rollback()
+			return
+		}
+		m.probLeft--
+		if m.probLeft <= 0 {
+			m.phase = PhaseTrusted
+			m.setTrust()
+			m.event("trusted", fmt.Sprintf("gen %d promoted to full trust after clean probation", m.gen))
+		}
+	}
+}
+
+// setTrust pushes the current phase's trust level to the controller.
+func (m *Manager) setTrust() {
+	if m.ctl != nil {
+		m.ctl.SetTrust(m.trustFor(m.phase))
+	}
+}
+
+// trip demotes the incumbent: the controller falls back to its demand-floor
+// heuristic and the sample window is truncated to the freshest ticks — the
+// only ones that describe the post-drift surface.
+func (m *Manager) trip() {
+	m.trips++
+	m.phase = PhaseDrifted
+	m.recoverStreak = 0
+	detail := fmt.Sprintf("gen %d demoted: ewma=%.3f cusum=%.3f", m.gen, m.mon.EWMA, m.mon.Cusum())
+	if n := m.Cfg.DriftLookback; n > 0 && len(m.samples) > n {
+		m.samples = append([]gnn.Sample(nil), m.samples[len(m.samples)-n:]...)
+	}
+	m.setTrust()
+	m.event("drift-trip", detail)
+}
+
+// fitKappa finds the per-sample work-multiplier: the κ for which the
+// incumbent's prediction at quota/κ matches the observed latency (the
+// cluster behaving like the old one with κ× less CPU). Grid search over a
+// log scale — the surface is monotone in quota, so 33 points suffice.
+func (m *Manager) fitKappa(s gnn.Sample, lo, hi float64) float64 {
+	best, bestErr := 1.0, abs(m.incumbent.Predict(s.Load, s.Quota)-s.Latency)
+	q := make([]float64, len(s.Quota))
+	const steps = 32
+	for i := 0; i <= steps; i++ {
+		k := lo * math.Pow(hi/lo, float64(i)/steps)
+		for j, v := range s.Quota {
+			q[j] = v / k
+		}
+		if e := abs(m.incumbent.Predict(s.Load, q) - s.Latency); e < bestErr {
+			best, bestErr = k, e
+		}
+	}
+	return best
+}
+
+// retrainSet assembles the candidate's training data: the fresh rolling
+// window plus, when a base set is configured, the offline samples
+// re-registered onto the drifted surface by the pooled quota rescale κ.
+func (m *Manager) retrainSet() []gnn.Sample {
+	fresh := m.Samples()
+	if len(m.Cfg.BaseSamples) == 0 {
+		return fresh
+	}
+	lo, hi := m.Cfg.RescaleLo, m.Cfg.RescaleHi
+	if lo <= 0 {
+		lo = 0.5
+	}
+	if hi <= 0 {
+		hi = 4
+	}
+	kappas := make([]float64, 0, len(fresh))
+	for _, s := range fresh {
+		kappas = append(kappas, m.fitKappa(s, lo, hi))
+	}
+	kappa := 1.0
+	if len(kappas) > 0 {
+		kappa = median(kappas)
+	}
+	m.lastRatio = kappa
+	set := make([]gnn.Sample, 0, len(m.Cfg.BaseSamples)+len(fresh))
+	for _, s := range m.Cfg.BaseSamples {
+		q := make([]float64, len(s.Quota))
+		for j, v := range s.Quota {
+			q[j] = v * kappa
+		}
+		set = append(set, gnn.Sample{Load: s.Load, Quota: q, Latency: s.Latency})
+	}
+	return append(set, fresh...)
+}
+
+// startShadow retrains a candidate on the rolling window and opens the
+// shadow-scoring canary. Retraining fine-tunes a clone of the incumbent with
+// a deterministic seed, entirely off the controller's decision path.
+func (m *Manager) startShadow(from Phase) {
+	m.retrains++
+	m.lastRetrainAt = m.Cl.Eng.Now()
+	m.candidate = m.incumbent.Clone()
+	iters := m.Cfg.RetrainIters
+	if iters <= 0 {
+		iters = 300
+	}
+	set := m.retrainSet()
+	m.candidate.Train(set, gnn.TrainConfig{
+		Iterations: iters,
+		Batch:      m.Cfg.RetrainBatch,
+		LR:         m.Cfg.RetrainLR,
+		ValFrac:    0.2,
+		TestFrac:   0,
+		Seed:       m.Cfg.Seed + int64(m.gen+1)*1000 + int64(m.retrains),
+		EvalEvery:  iters, // evaluate only first and last
+	})
+	m.shadowFrom = from
+	m.phase = PhaseShadow
+	m.shadowLeft = m.Cfg.ShadowTicks
+	m.shadowN = 0
+	m.candErrSum, m.incErrSum = 0, 0
+	m.event("retrain", fmt.Sprintf("candidate for gen %d trained on %d fresh + %d replayed samples",
+		m.gen+1, len(m.samples), len(set)-len(m.samples)))
+}
+
+// judge closes the shadow window: run the promotion gates and either promote
+// the candidate or reject it and cool down.
+func (m *Manager) judge() {
+	candShadow, incShadow := 0.0, 0.0
+	if m.shadowN > 0 {
+		candShadow = m.candErrSum / float64(m.shadowN)
+		incShadow = m.incErrSum / float64(m.shadowN)
+	}
+	g := gateCandidate(m.candidate, m.incumbent, m.samples, m.scaledBounds(), m.SLO, m.Cfg,
+		candShadow, incShadow, m.shadowN)
+	if !g.Pass {
+		m.rejections++
+		m.candidate = nil
+		m.phase = m.shadowFrom
+		m.cooldown = m.Cfg.CooldownTicks
+		m.setTrust()
+		m.event("gate-reject", g.String())
+		return
+	}
+	m.promote(g)
+}
+
+// scaledBounds returns the manager's base box with Hi widened by the
+// cumulative bounds scale.
+func (m *Manager) scaledBounds() core.Bounds {
+	if m.boundsScale <= 1 {
+		return m.Bounds
+	}
+	hi := make([]float64, len(m.Bounds.Hi))
+	for i, v := range m.Bounds.Hi {
+		hi[i] = v * m.boundsScale
+	}
+	return core.Bounds{Lo: m.Bounds.Lo, Hi: hi}
+}
+
+// widenBounds grows the cumulative bounds scale toward the latest observed
+// label-rescale ratio and pushes the widened box to the controller. The box
+// only ever widens: the ratio measures how far the cluster's real demand
+// surface moved, which does not revert when a model is rolled back.
+func (m *Manager) widenBounds() {
+	cap := m.Cfg.BoundsScaleCap
+	if cap <= 0 {
+		cap = 2
+	}
+	s := m.lastRatio
+	if s < m.boundsScale {
+		s = m.boundsScale
+	}
+	if s > cap {
+		s = cap
+	}
+	if s == m.boundsScale {
+		return
+	}
+	m.boundsScale = s
+	if m.ctl != nil {
+		m.ctl.Bounds = m.scaledBounds()
+	}
+	m.event("widen-bounds", fmt.Sprintf("solver Hi bounds widened to %.2f× the probed box", s))
+}
+
+// promote archives the incumbent, installs the candidate as the new
+// generation, and opens the probation window under the envelope clamp.
+func (m *Manager) promote(g GateResult) {
+	m.promotions++
+	m.prevGen = m.gen
+	m.gen++
+	m.incumbent = m.candidate
+	m.candidate = nil
+	m.archive[m.gen] = m.incumbent
+	m.persistGen(m.gen, m.incumbent)
+	m.phase = PhaseProbation
+	m.probLeft = m.Cfg.ProbationTicks
+	m.mon.Reset() // the promoted model starts with a clean record
+	m.widenBounds()
+	if m.ctl != nil {
+		m.ctl.SetModel(m.incumbent, m.gen)
+	}
+	m.setTrust()
+	m.event("promote", fmt.Sprintf("gen %d canary-promoted (%s), probation %d ticks",
+		m.gen, g.String(), m.probLeft))
+}
+
+// rollback restores the archived previous generation after a probation
+// regrade. The restored incumbent is still the model that drifted, so the
+// phase returns to Drifted (heuristic fallback) and retraining backs off.
+func (m *Manager) rollback() {
+	m.rollbacks++
+	bad := m.gen
+	prev, ok := m.archive[m.prevGen]
+	if !ok {
+		prev = m.incumbent // nothing archived: keep serving, stay demoted
+	}
+	detail := fmt.Sprintf("gen %d regraded in probation (ewma=%.3f cusum=%.3f): rolled back to gen %d",
+		bad, m.mon.EWMA, m.mon.Cusum(), m.prevGen)
+	m.incumbent = prev
+	m.gen = m.prevGen
+	m.phase = PhaseDrifted
+	m.recoverStreak = 0
+	m.cooldown = m.Cfg.CooldownTicks
+	m.mon.Reset()
+	if m.ctl != nil {
+		m.ctl.SetModel(m.incumbent, m.gen)
+	}
+	m.setTrust()
+	m.event("rollback", detail)
+}
+
+// PersistIncumbent writes the current incumbent generation to the archive
+// directory. Callers that wire SaveModel after NewManager (graf.NewLifecycle)
+// invoke it once so generation 0 reaches disk like every later generation.
+func (m *Manager) PersistIncumbent() { m.persistGen(m.gen, m.incumbent) }
+
+// persistGen writes one generation to the archive directory, when
+// configured. Persistence failures are reported as events, never fatal: the
+// in-memory archive still serves rollback.
+func (m *Manager) persistGen(gen int, mod *gnn.Model) {
+	if m.Cfg.Dir == "" || m.SaveModel == nil {
+		return
+	}
+	path := filepath.Join(m.Cfg.Dir, fmt.Sprintf("model-%08d.graf", gen))
+	if err := m.SaveModel(mod, path); err != nil && m.OnEvent != nil {
+		m.OnEvent(m.Cl.Eng.Now(), "archive-error", err.Error())
+	}
+}

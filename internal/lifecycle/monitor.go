@@ -1,0 +1,133 @@
+package lifecycle
+
+// MonitorConfig parameterizes the residual monitor. The residual it watches
+// is relative and signed: (observed p99 − predicted p99) / observed p99, so
+// +0.5 means the model underestimates the measured tail by half — the
+// dangerous direction, because the solver will then under-provision.
+type MonitorConfig struct {
+	// Alpha is the EWMA smoothing factor over the absolute residual.
+	Alpha float64
+
+	// Slack is the CUSUM allowance k: per-tick residual mass below it is
+	// forgiven, mass above it accumulates toward the trip threshold. The
+	// underestimation wire uses Slack directly; the overestimation wire
+	// uses 2×Slack — an overestimating model merely over-provisions.
+	Slack float64
+
+	// Trip is the CUSUM trip threshold h. With Slack 0.15 and Trip 1.2, a
+	// sustained 35% underestimation trips in six ticks; a 20% one in 24.
+	Trip float64
+
+	// Window and Q configure the windowed-quantile wire: the Q-quantile of
+	// the last Window absolute residuals above QuantileTrip also trips.
+	// This catches erratic models whose signed error averages out.
+	Window       int
+	Q            float64
+	QuantileTrip float64
+
+	// Warmup is how many residuals must be observed before any wire arms.
+	Warmup int
+}
+
+// DefaultMonitorConfig returns the drift-detection thresholds used by the
+// evaluation.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		Alpha: 0.25, Slack: 0.15, Trip: 1.2,
+		Window: 12, Q: 0.75, QuantileTrip: 0.6,
+		Warmup: 6,
+	}
+}
+
+// Monitor is the online residual monitor: EWMA + windowed quantile of the
+// relative residual, with two one-sided CUSUM trip wires. All state is
+// exported so checkpoints can carry it.
+type Monitor struct {
+	Cfg MonitorConfig
+
+	N       int     // residuals observed since the last reset
+	EWMA    float64 // EWMA of |residual|
+	CusumHi float64 // underestimation wire (observed ≫ predicted)
+	CusumLo float64 // overestimation wire (predicted ≫ observed)
+	Ring    []float64
+}
+
+// NewMonitor returns a monitor with cfg, filling zero fields from defaults.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	d := DefaultMonitorConfig()
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = d.Alpha
+	}
+	if cfg.Slack <= 0 {
+		cfg.Slack = d.Slack
+	}
+	if cfg.Trip <= 0 {
+		cfg.Trip = d.Trip
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = d.Window
+	}
+	if cfg.Q <= 0 {
+		cfg.Q = d.Q
+	}
+	if cfg.QuantileTrip <= 0 {
+		cfg.QuantileTrip = d.QuantileTrip
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = d.Warmup
+	}
+	return &Monitor{Cfg: cfg}
+}
+
+// Observe folds one signed relative residual into every statistic.
+func (m *Monitor) Observe(r float64) {
+	a := abs(r)
+	if m.N == 0 {
+		m.EWMA = a
+	} else {
+		m.EWMA += m.Cfg.Alpha * (a - m.EWMA)
+	}
+	m.N++
+	m.CusumHi += r - m.Cfg.Slack
+	if m.CusumHi < 0 {
+		m.CusumHi = 0
+	}
+	m.CusumLo += -r - 2*m.Cfg.Slack
+	if m.CusumLo < 0 {
+		m.CusumLo = 0
+	}
+	if len(m.Ring) >= m.Cfg.Window {
+		copy(m.Ring, m.Ring[1:])
+		m.Ring = m.Ring[:len(m.Ring)-1]
+	}
+	m.Ring = append(m.Ring, a)
+}
+
+// Cusum returns the larger of the two one-sided statistics.
+func (m *Monitor) Cusum() float64 {
+	if m.CusumHi >= m.CusumLo {
+		return m.CusumHi
+	}
+	return m.CusumLo
+}
+
+// Tripped reports whether any armed wire has fired.
+func (m *Monitor) Tripped() bool {
+	if m.N < m.Cfg.Warmup {
+		return false
+	}
+	if m.CusumHi > m.Cfg.Trip || m.CusumLo > m.Cfg.Trip {
+		return true
+	}
+	return len(m.Ring) >= m.Cfg.Window && quantile(m.Ring, m.Cfg.Q) > m.Cfg.QuantileTrip
+}
+
+// Reset clears all accumulated state (a new model starts with a clean
+// record; configuration is kept).
+func (m *Monitor) Reset() {
+	m.N = 0
+	m.EWMA = 0
+	m.CusumHi = 0
+	m.CusumLo = 0
+	m.Ring = nil
+}

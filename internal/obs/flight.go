@@ -27,6 +27,11 @@ import (
 //     "boost-wait", "hold", "hysteresis", or "idle".
 //   - "health": a degraded-mode state transition.
 //   - "chaos": a fault firing.
+//   - "lifecycle": a model-lifecycle event — drift trip, retrain, gate
+//     verdict, promotion, rollback, recovery. ModelGen on decision records
+//     says which model generation produced the solve, so a replay of a run
+//     that swapped models mid-flight can pick the right archived model per
+//     decision and stay bit-identical.
 //   - "summary": final counters, written at graceful shutdown.
 //
 // Float64 values round-trip bit-identically through encoding/json (shortest
@@ -59,6 +64,8 @@ type Record struct {
 	Applied   map[string]float64 `json:"applied,omitempty"`
 	Limited   bool               `json:"limited,omitempty"` // step limiter clamped the applied quotas
 	Chaos     []string           `json:"chaos,omitempty"`
+	ModelGen  int                `json:"model_gen,omitempty"` // model generation that produced the solve
+	Enveloped bool               `json:"enveloped,omitempty"` // probation envelope clamped the applied quotas
 
 	// Health-transition fields.
 	From string `json:"from,omitempty"`

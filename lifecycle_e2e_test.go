@@ -1,0 +1,192 @@
+package graf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// lcTrained trains one boutique model at the drift-experiment budget, shared
+// by the lifecycle end-to-end tests (the 600-sample quickTrained model is too
+// weak to hold trust on the pre-drift surface).
+var lcTrainedModel *TrainedModel
+
+func lcTrained(t *testing.T) *TrainedModel {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("lifecycle e2e needs a trained pipeline")
+	}
+	if lcTrainedModel == nil {
+		lcTrainedModel = Train(OnlineBoutique(), TrainOptions{
+			SLO: 250 * time.Millisecond, MinRate: 40, MaxRate: 420,
+			Samples: 1100, Iterations: 360, Batch: 64, Seed: 1,
+		})
+	}
+	return lcTrainedModel
+}
+
+// lcLoad ramps to 240 rps over the first minute, then swells ±60 rps with a
+// two-minute period — a varying workload keeps the controller consulting the
+// model, which is where a drifted model hurts.
+func lcLoad(t float64) float64 {
+	if t < 60 {
+		return 240 * t / 60
+	}
+	return 240 + 60*math.Sin(2*math.Pi*(t-60)/120)
+}
+
+// driftUntil steps the simulation until the lifecycle reaches phase, or fails
+// with the event log.
+func driftUntil(t *testing.T, s *Simulation, lc *Lifecycle, phase LifecyclePhase, maxS int, events *[]string) {
+	t.Helper()
+	for i := 0; i < maxS/10; i++ {
+		if lc.Phase() == phase {
+			return
+		}
+		s.RunFor(10 * time.Second)
+	}
+	if lc.Phase() != phase {
+		t.Fatalf("lifecycle never reached %v (still %v after %ds)\nevents: %v",
+			phase, lc.Phase(), maxS, *events)
+	}
+}
+
+// TestLifecycleReplayAcrossPromotion drives the public API through a full
+// drift→trip→retrain→promote arc with the flight recorder on, then replays
+// the audit log: every decision — some solved by generation 0, some by the
+// promoted generation 1 — must reproduce bit-identically through the model
+// archive the lifecycle carries.
+func TestLifecycleReplayAcrossPromotion(t *testing.T) {
+	tr := lcTrained(t)
+	s := NewSimulation(OnlineBoutique(), 11)
+	tel := s.EnableObservability(ObservabilityConfig{})
+
+	ctl, err := s.StartGRAF(tr, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.OpenLoop(lcLoad)
+	g.Start()
+	s.RunFor(180 * time.Second) // ramp + settle before arming the monitor
+
+	var events []string
+	lc := s.NewLifecycle(tr, LifecycleOptions{OnEvent: func(at time.Duration, kind, detail string) {
+		events = append(events, fmt.Sprintf("t=%.0f %s: %s", at.Seconds(), kind, detail))
+	}})
+	lc.Attach(ctl)
+	lc.Start()
+	s.RunFor(60 * time.Second) // monitor warms up on the surface it trusts
+
+	s.Chaos().Play(ChaosScenario{Name: "drift", Events: []ChaosEvent{
+		ChaosSurfaceDrift(0, "", 1.6),
+	}})
+	driftUntil(t, s, lc, LifecycleDrifted, 200, &events)
+	driftUntil(t, s, lc, LifecycleProbation, 400, &events)
+	s.RunFor(60 * time.Second) // some decisions on the promoted generation
+	g.Stop()
+	ctl.Stop()
+	lc.Stop()
+
+	trips, promos, _, _, _, _ := lc.Stats()
+	if trips < 1 || promos < 1 {
+		t.Fatalf("want ≥1 trip and ≥1 promotion, got %d/%d\nevents: %v", trips, promos, events)
+	}
+	if lc.Generation() < 1 {
+		t.Fatalf("incumbent still generation %d after a promotion", lc.Generation())
+	}
+
+	recs := tel.Flight.Records()
+	sawPromoted := false
+	for _, r := range recs {
+		if r.Type == "decision" && r.ModelGen >= 1 {
+			sawPromoted = true
+			break
+		}
+	}
+	if !sawPromoted {
+		t.Error("no decision record carries the promoted model generation")
+	}
+
+	rep := ReplayAuditManaged(lc.Models(), recs)
+	if !rep.OK() {
+		t.Fatalf("replay across promotion not bit-identical: %v\n%v", rep, rep.Mismatches)
+	}
+	if rep.Solves == 0 {
+		t.Fatal("replay re-solved nothing")
+	}
+	if rep.SkippedGen != 0 {
+		t.Errorf("%d solves skipped: lifecycle archive is missing generations", rep.SkippedGen)
+	}
+}
+
+// TestLifecycleSupervisedWarmRecoveryMidCanary checkpoints the control plane
+// in the middle of a canary probation window, crashes it, and verifies the
+// warm restart resumes the probation — same generation, no spurious rollback,
+// and the candidate still earns full trust.
+func TestLifecycleSupervisedWarmRecoveryMidCanary(t *testing.T) {
+	tr := lcTrained(t)
+	s := NewSimulation(OnlineBoutique(), 11)
+	s.EnableObservability(ObservabilityConfig{})
+
+	var events []string
+	lc := s.NewLifecycle(tr, LifecycleOptions{OnEvent: func(at time.Duration, kind, detail string) {
+		events = append(events, fmt.Sprintf("t=%.0f %s: %s", at.Seconds(), kind, detail))
+	}})
+	sup, err := s.StartGRAFSupervised(tr, DefaultControllerConfig(250*time.Millisecond), SupervisorOptions{
+		Dir:       t.TempDir(),
+		Lifecycle: lc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.OpenLoop(lcLoad)
+	g.Start()
+	s.RunFor(240 * time.Second)
+
+	s.Chaos().Play(ChaosScenario{Name: "drift", Events: []ChaosEvent{
+		ChaosSurfaceDrift(0, "", 1.6),
+	}})
+	driftUntil(t, s, lc, LifecycleProbation, 600, &events)
+
+	gen := lc.Generation()
+	trips0, promos0, rolls0, _, _, _ := lc.Stats()
+	if gen < 1 || promos0 < 1 {
+		t.Fatalf("no promotion before the crash (gen %d, %d promotions)\nevents: %v", gen, promos0, events)
+	}
+
+	// Mid-canary snapshot, then an abrupt death with warm restart.
+	if _, err := sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sup.Crash(5, true)
+	s.RunFor(30 * time.Second)
+
+	if mode := sup.LastRestoreMode(); mode != "warm" {
+		t.Fatalf("restart restore mode %q, want warm", mode)
+	}
+	if got := lc.Generation(); got != gen {
+		t.Errorf("generation %d after warm restart, want %d", got, gen)
+	}
+	if p := lc.Phase(); p != LifecycleProbation && p != LifecycleTrusted {
+		t.Errorf("phase %v after warm restart, want probation (resumed) or trusted (completed)", p)
+	}
+
+	// The resumed probation window must run to completion, not roll back.
+	driftUntil(t, s, lc, LifecycleTrusted, 400, &events)
+	g.Stop()
+	sup.Stop()
+	lc.Stop()
+
+	trips, promos, rolls, _, _, _ := lc.Stats()
+	if rolls != rolls0 {
+		t.Errorf("probation rolled back after the warm restart (rollbacks %d → %d)\nevents: %v", rolls0, rolls, events)
+	}
+	if trips < trips0 || promos < promos0 {
+		t.Errorf("lifecycle counters went backwards across restart: trips %d→%d promotions %d→%d",
+			trips0, trips, promos0, promos)
+	}
+	if lc.Generation() != gen {
+		t.Errorf("final generation %d, want the promoted %d", lc.Generation(), gen)
+	}
+}

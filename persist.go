@@ -12,13 +12,16 @@ import (
 // modelFileVersion is the current model-file payload schema version.
 const modelFileVersion uint32 = 1
 
-// persistedTrained is the on-disk form of a TrainedModel.
+// persistedTrained is the on-disk form of a TrainedModel. Samples rides
+// along (gob tolerates its absence in files written before it existed) so a
+// loaded model can feed lifecycle retraining its own training set.
 type persistedTrained struct {
 	ModelBlob []byte
 	Lo, Hi    []float64
 	MinRate   float64
 	MaxRate   float64
 	SLO       time.Duration
+	Samples   []Sample
 }
 
 // encodeTrained serializes a trained model into its framed on-disk form:
@@ -34,6 +37,7 @@ func encodeTrained(t *TrainedModel) ([]byte, error) {
 	err = gob.NewEncoder(&buf).Encode(persistedTrained{
 		ModelBlob: mb, Lo: t.Bounds.Lo, Hi: t.Bounds.Hi,
 		MinRate: t.MinRate, MaxRate: t.MaxRate, SLO: t.SLO,
+		Samples: t.Samples,
 	})
 	if err != nil {
 		return nil, err
@@ -74,5 +78,6 @@ func decodeTrained(blob []byte) (*TrainedModel, error) {
 	return &TrainedModel{
 		Model: &m, Bounds: Bounds{Lo: p.Lo, Hi: p.Hi},
 		MinRate: p.MinRate, MaxRate: p.MaxRate, SLO: p.SLO,
+		Samples: p.Samples,
 	}, nil
 }
