@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench obs-demo ci
+.PHONY: all build vet test test-race bench bench-json obs-demo ci
 
 all: build vet test
 
@@ -19,6 +19,15 @@ test-race:
 # Reproduce the paper's evaluation tables (see EXPERIMENTS.md).
 bench:
 	$(GO) run ./cmd/grafbench -scale quick
+
+# Machine-readable numbers for the fleet hot paths: scratch vs allocating
+# inference, one full solve, and the multi-tenant fleet experiment. Emits
+# BENCH_fleet.json for CI trend tracking.
+bench-json:
+	{ $(GO) test -run '^$$' -bench '^(BenchmarkPredict|BenchmarkPredictWith|BenchmarkPredictGrad|BenchmarkPredictGradWith)$$' -benchmem ./internal/gnn/ ; \
+	  $(GO) test -run '^$$' -bench '^(BenchmarkSolver|BenchmarkFleet)$$' -benchtime 1x -benchmem . ; } | \
+	  $(GO) run ./cmd/benchjson -o BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
 
 # Observability smoke demo: train a quick model, run the controller with the
 # telemetry endpoints up, self-scrape /metrics, then hold the endpoints for

@@ -247,3 +247,7 @@ func BenchmarkObsOverhead(b *testing.B) { runExperiment(b, bench.ObsOverhead) }
 // --- Crash recovery (checkpoint + supervised warm restart, DESIGN.md §3e) ---
 
 func BenchmarkRecovery(b *testing.B) { runExperiment(b, bench.Recovery) }
+
+// --- Fleet control plane (sharded multi-tenant, DESIGN.md §3g) --------------
+
+func BenchmarkFleet(b *testing.B) { runExperiment(b, bench.Fleet) }

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into JSON so CI
+// and dashboards can track the hot-path numbers without scraping the text
+// format. It reads benchmark output on stdin and writes a JSON document:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/gnn | benchjson -o out.json
+//
+// Lines it does not recognize (compilation output, experiment tables printed
+// by the harness benchmarks) are ignored, so piping the full `go test`
+// output is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Output is the document benchjson emits.
+type Output struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	doc := parse(bufio.NewScanner(os.Stdin))
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) Output {
+	// Experiment benchmarks print multi-megabyte tables; allow long lines.
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var doc Output
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseResult(line); ok {
+				b.Package = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc
+}
+
+// parseResult parses one result line, e.g.
+//
+//	BenchmarkPredictWith-8   19234   62115 ns/op   0 B/op   0 allocs/op
+func parseResult(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	// Keep the GOMAXPROCS suffix off the name but don't lose exotic names
+	// that contain dashes of their own: only strip a trailing -<digits>.
+	b := Benchmark{Name: stripProcSuffix(f[0]), Runs: runs}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.AllocsPerOp = v
+			}
+		}
+	}
+	if b.NsPerOp == 0 && b.BytesPerOp == 0 && b.AllocsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

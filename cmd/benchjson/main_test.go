@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: graf/internal/gnn
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPredict-8   	    9258	    114169 ns/op	   97808 B/op	     866 allocs/op
+BenchmarkPredictWith-8   	   18016	     64333 ns/op	       0 B/op	       0 allocs/op
+== fleet: some experiment table the harness printed ==
+note: fleet_speedup=3.7x
+PASS
+ok  	graf/internal/gnn	4.4s
+pkg: graf
+BenchmarkSolver-8   	       1	29887144 ns/op	 9874464 B/op	   85147 allocs/op
+`
+	doc := parse(bufio.NewScanner(strings.NewReader(in)))
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU == "" {
+		t.Fatalf("platform header not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkPredict" || b.Package != "graf/internal/gnn" ||
+		b.Runs != 9258 || b.NsPerOp != 114169 || b.BytesPerOp != 97808 || b.AllocsPerOp != 866 {
+		t.Fatalf("first benchmark mis-parsed: %+v", b)
+	}
+	// Zero-alloc rows keep their ns/op even though B/op and allocs/op are 0.
+	if w := doc.Benchmarks[1]; w.Name != "BenchmarkPredictWith" || w.NsPerOp != 64333 || w.AllocsPerOp != 0 {
+		t.Fatalf("zero-alloc benchmark mis-parsed: %+v", w)
+	}
+	// The second pkg: line rebinds the package for later results.
+	if s := doc.Benchmarks[2]; s.Name != "BenchmarkSolver" || s.Package != "graf" {
+		t.Fatalf("package rebinding broken: %+v", s)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkPredict-8":       "BenchmarkPredict",
+		"BenchmarkPredict":         "BenchmarkPredict",
+		"BenchmarkFoo-bar":         "BenchmarkFoo-bar",
+		"BenchmarkFoo/sub-case-16": "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/n=10-4":      "BenchmarkFoo/n=10",
+	} {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -54,6 +54,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"drift":         bench.Drift,
 	"replay":        bench.ObsReplay,
 	"obs-overhead":  bench.ObsOverhead,
+	"fleet":         bench.Fleet,
 }
 
 // order runs cheap observation experiments first and groups the ones that
@@ -66,6 +67,7 @@ var order = []string{
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
 	"chaos", "recovery", "drift", "replay", "obs-overhead",
+	"fleet",
 }
 
 func main() {

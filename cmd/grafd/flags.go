@@ -33,6 +33,9 @@ type options struct {
 
 	lifecycle    bool
 	modelArchive string
+
+	fleetN int
+	shards int
 }
 
 // validate returns the first contradiction it finds, phrased so the fix is
@@ -57,6 +60,46 @@ func (o options) validate() error {
 	}
 	if o.durS <= 0 {
 		return fmt.Errorf("-dur %v s must be positive", o.durS)
+	}
+
+	if o.fleetN < 0 {
+		return fmt.Errorf("-fleet %d must be positive", o.fleetN)
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards %d must be positive", o.shards)
+	}
+	if o.fleetN > 0 {
+		// Fleet mode runs many tenant simulations in one process; the
+		// single-tenant modes below have no meaning there.
+		if o.replay != "" {
+			return errors.New("-fleet runs a live fleet and -replay verifies a recorded log: pick one")
+		}
+		if o.shards > o.fleetN {
+			return fmt.Errorf("-shards %d exceeds the fleet's %d tenants: shards must not be empty", o.shards, o.fleetN)
+		}
+		if o.shape == "azure" {
+			return errors.New("-shape azure is a closed-loop user trace; fleet tenants drive open-loop shapes (const | surge)")
+		}
+		for _, c := range []struct {
+			set  bool
+			flag string
+		}{
+			{o.ckpt != "", "-ckpt"},
+			{o.crashAt > 0, "-crash-at"},
+			{o.assertRestore, "-assert-restore"},
+			{o.cold, "-cold"},
+			{o.lifecycle, "-lifecycle"},
+			{o.audit != "", "-audit"},
+			{o.obs != "", "-obs"},
+			{o.smoke, "-smoke"},
+			{o.hold > 0, "-hold"},
+		} {
+			if c.set {
+				return fmt.Errorf("%s supervises the single-tenant daemon; it is not available with -fleet (fleet tenants keep telemetry in memory and checkpoint via Fleet.Checkpoint)", c.flag)
+			}
+		}
+	} else if o.shards > 0 {
+		return errors.New("-shards groups a fleet's tenants; it needs -fleet")
 	}
 
 	if o.replay != "" {

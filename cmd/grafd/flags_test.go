@@ -48,6 +48,21 @@ func TestValidateAcceptsCommonInvocations(t *testing.T) {
 			o.obs, o.smoke, o.hold = "127.0.0.1:0", true, 5
 			return o
 		}(),
+		"fleet run": func() options {
+			o := base()
+			o.fleetN = 8
+			return o
+		}(),
+		"fleet with pinned shards": func() options {
+			o := base()
+			o.fleetN, o.shards = 8, 4
+			return o
+		}(),
+		"fleet surge": func() options {
+			o := base()
+			o.fleetN, o.shape = 4, "surge"
+			return o
+		}(),
 	}
 	for name, o := range cases {
 		if err := o.validate(); err != nil {
@@ -81,6 +96,16 @@ func TestValidateRejectsContradictions(t *testing.T) {
 		{"smoke without obs", func(o *options) { o.smoke = true }, "-smoke"},
 		{"hold without obs", func(o *options) { o.hold = 30 }, "-hold"},
 		{"archive without lifecycle", func(o *options) { o.modelArchive = "models" }, "-model-archive"},
+		{"negative fleet", func(o *options) { o.fleetN = -1 }, "-fleet"},
+		{"fleet with replay", func(o *options) { o.fleetN, o.replay = 4, "run.jsonl" }, "pick one"},
+		{"more shards than tenants", func(o *options) { o.fleetN, o.shards = 4, 8 }, "-shards 8 exceeds"},
+		{"shards without fleet", func(o *options) { o.shards = 4 }, "needs -fleet"},
+		{"fleet with azure shape", func(o *options) { o.fleetN, o.shape = 4, "azure" }, "open-loop"},
+		{"fleet with ckpt", func(o *options) { o.fleetN, o.ckpt = 4, "state" }, "-ckpt"},
+		{"fleet with lifecycle", func(o *options) { o.fleetN, o.lifecycle = 4, true }, "-lifecycle"},
+		{"fleet with audit", func(o *options) { o.fleetN, o.audit = 4, "run.jsonl" }, "-audit"},
+		{"fleet with obs", func(o *options) { o.fleetN, o.obs = 4, "127.0.0.1:0" }, "-obs"},
+		{"fleet with crash-at", func(o *options) { o.fleetN, o.ckpt, o.crashAt = 4, "state", 10 }, "not available with -fleet"},
 	}
 	for _, c := range cases {
 		o := base()

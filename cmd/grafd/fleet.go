@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"graf"
+)
+
+// runFleet drives a multi-tenant fleet: -fleet N tenants running the same
+// application and rate shape, sharded across the worker pool, all solving
+// through one shared batched/cached inference service. Returns a process
+// exit code: non-zero when any tenant had to be quarantined.
+func runFleet(a *graf.App, tr *graf.TrainedModel, o options, seed int64) int {
+	cfg := graf.FleetConfig{
+		Shards:    o.shards,
+		TickS:     5,
+		Seed:      seed,
+		WarmStart: true,
+	}
+	var rate func(float64) float64
+	switch o.shape {
+	case "surge":
+		rate = graf.StepRate(50, 300, 120*time.Second)
+	default:
+		rate = graf.ConstRate(o.rate)
+	}
+	for i := 0; i < o.fleetN; i++ {
+		cfg.Tenants = append(cfg.Tenants, graf.FleetTenant{
+			ID:   fmt.Sprintf("tenant-%02d", i),
+			Rate: rate,
+		})
+	}
+	f, err := graf.NewFleet(a, tr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	nshards := 0
+	for _, tn := range f.Tenants() {
+		if tn.Shard >= nshards {
+			nshards = tn.Shard + 1
+		}
+	}
+	fmt.Printf("fleet: %d tenants, %d shards, shape=%s, %ds horizon\n",
+		o.fleetN, nshards, o.shape, o.durS)
+	start := time.Now()
+	f.Run(float64(o.durS))
+	wall := time.Since(start).Seconds()
+
+	for _, tn := range f.Tenants() {
+		status := "ok"
+		if tn.Degraded() {
+			status = fmt.Sprintf("DEGRADED (%v)", tn.PanicValue())
+		}
+		fmt.Printf("  %-12s shard %d  ticks %3d  p99 %6.1f ms  violation %5.1fs  %s\n",
+			tn.ID, tn.Shard, tn.Ticks(), tn.LastP99()*1000, tn.ViolationSeconds(), status)
+	}
+	st := f.Stats()
+	fmt.Printf("fleet done: %d rounds, %d ticks in %.1fs wall (%.1f ticks/s), %d contained panics\n",
+		st.Rounds, st.Ticks, wall, float64(st.Ticks)/wall, st.Panics)
+	if st.BatchedReqs > 0 {
+		total := st.CacheHits + st.CacheMisses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = 100 * float64(st.CacheHits) / float64(total)
+		}
+		fmt.Printf("inference: %d requests in %d batches, cache hit rate %.1f%% (%d/%d)\n",
+			st.BatchedReqs, st.Batches, hitPct, st.CacheHits, total)
+	}
+	if st.Degraded > 0 {
+		return 1
+	}
+	return 0
+}

@@ -26,6 +26,11 @@
 //	                                           # restart: warm-restore from the latest
 //	                                           # snapshot + audit tail, assert state survived
 //
+// Fleet mode:
+//
+//	grafd -train -fleet 8 -dur 120            # 8 tenants, shared batched inference
+//	grafd -train -fleet 8 -shards 4 -dur 120  # pin the shard count
+//
 // grafd shuts down gracefully on SIGINT/SIGTERM: the control loop stops, the
 // audit log is flushed with a final summary record, and the degraded-mode
 // statistics are printed.
@@ -67,16 +72,20 @@ func main() {
 	assertRestore := flag.Bool("assert-restore", false, "with -ckpt: exit non-zero unless the boot warm-restored controller state and quotas from a snapshot")
 	lifecycleOn := flag.Bool("lifecycle", false, "run the model-trust lifecycle: drift detection, heuristic fallback, shadow retraining, gated canary promotion, rollback")
 	modelDir := flag.String("model-archive", "", "with -lifecycle: persist every model generation into this directory as GRAFMDL1 files")
+	fleetN := flag.Int("fleet", 0, "run a sharded multi-tenant fleet of this many tenant applications sharing one batched inference service")
+	shards := flag.Int("shards", 0, "with -fleet: number of deterministic tenant shards (default: one per worker)")
 	flag.Parse()
 
-	if err := (options{
+	opts := options{
 		train: *train, model: *modelPath, shape: *shape, rate: *rate,
 		sloMS: *sloMS, durS: *durS, obs: *obsAddr, audit: *auditPath,
 		replay: *replayPath, hold: *holdS, smoke: *smoke,
 		ckpt: *ckptDir, ckptEvery: *ckptEveryS, cold: *cold,
 		crashAt: *crashAt, assertRestore: *assertRestore,
 		lifecycle: *lifecycleOn, modelArchive: *modelDir,
-	}).validate(); err != nil {
+		fleetN: *fleetN, shards: *shards,
+	}
+	if err := opts.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)
 		os.Exit(2)
 	}
@@ -105,6 +114,10 @@ func main() {
 
 	if *replayPath != "" {
 		os.Exit(replay(tr, *replayPath))
+	}
+
+	if *fleetN > 0 {
+		os.Exit(runFleet(a, tr, opts, *seed))
 	}
 
 	s := graf.NewSimulation(a, *seed)

@@ -40,6 +40,7 @@ import (
 	"graf/internal/ckpt"
 	"graf/internal/cluster"
 	"graf/internal/core"
+	"graf/internal/fleet"
 	"graf/internal/gnn"
 	"graf/internal/lifecycle"
 	"graf/internal/obs"
@@ -888,4 +889,48 @@ func Solve(t *TrainedModel, load []float64, slo time.Duration) Solution {
 // declared call trees (the Workload Analyzer uses live traces instead).
 func DistributeWorkload(a *App, apiRates map[string]float64) []float64 {
 	return core.NewAnalyzer(a).Distribute(apiRates)
+}
+
+// --- Fleet mode (sharded multi-tenant control plane, DESIGN.md §3g) ---------
+
+type (
+	// Fleet runs many tenant applications — each with its own simulated
+	// cluster and controller — in one process, sharing one latency model
+	// through a batched, cached inference service.
+	Fleet = fleet.Fleet
+
+	// FleetConfig parameterizes NewFleet beyond what the trained model
+	// provides: the tenant set, worker/shard counts, and service tuning.
+	FleetConfig = fleet.Config
+
+	// FleetTenant describes one tenant application in a fleet.
+	FleetTenant = fleet.TenantConfig
+
+	// FleetStats aggregates a fleet run.
+	FleetStats = fleet.Stats
+
+	// InferenceService is the shared batched GNN inference service with a
+	// quantized prediction cache; NewFleet wires one up automatically.
+	InferenceService = fleet.InferenceService
+
+	// InferenceServiceConfig tunes request batching and the prediction
+	// cache grid.
+	InferenceServiceConfig = fleet.ServiceConfig
+)
+
+// NewFleet builds a multi-tenant fleet from a trained model: the
+// application graph, solver bounds, SLO, and trained workload range all
+// come from t; cfg supplies the tenant set and scheduling knobs (its App,
+// Model, Bounds, SLO, MinRate and MaxRate fields are overwritten).
+func NewFleet(a *App, t *TrainedModel, cfg FleetConfig) (*Fleet, error) {
+	if err := t.ValidateFor(a); err != nil {
+		return nil, err
+	}
+	cfg.App = a
+	cfg.Model = t.Model
+	cfg.Bounds = t.Bounds
+	cfg.SLO = t.SLO.Seconds()
+	cfg.MinRate = t.MinRate
+	cfg.MaxRate = t.MaxRate
+	return fleet.New(cfg)
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // ErrNoSnapshot reports that no valid snapshot exists in the store: either
@@ -18,6 +19,12 @@ var ErrNoSnapshot = errors.New("ckpt: no valid snapshot")
 // <name>.corrupt so they are preserved for inspection but never retried.
 type Store struct {
 	Dir string
+
+	// Prefix namespaces the store's files within Dir: snapshots are named
+	// <prefix>-<generation>.ckpt. Empty means "graf" — the historical
+	// single-tenant layout. The fleet gives each tenant its own prefix so
+	// many tenants can checkpoint into one directory without colliding.
+	Prefix string
 
 	// Keep bounds how many generations are retained (older ones are
 	// pruned after each save). <= 0 keeps DefaultKeep.
@@ -36,18 +43,35 @@ const DefaultKeep = 3
 
 // NewStore returns a store rooted at dir, creating it if needed.
 func NewStore(dir string) (*Store, error) {
+	return NewNamespacedStore(dir, "")
+}
+
+// NewNamespacedStore returns a store rooted at dir whose files carry the
+// given prefix, so several stores (e.g. one per fleet tenant) can share one
+// directory. The prefix must not contain path separators.
+func NewNamespacedStore(dir, prefix string) (*Store, error) {
+	if strings.ContainsAny(prefix, `/\%`) {
+		return nil, fmt.Errorf("ckpt: invalid prefix %q (no path separators or %%)", prefix)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{Dir: dir}
+	s := &Store{Dir: dir, Prefix: prefix}
 	if gens, err := s.generations(); err == nil && len(gens) > 0 {
 		s.lastGen = gens[len(gens)-1]
 	}
 	return s, nil
 }
 
+func (s *Store) prefix() string {
+	if s.Prefix == "" {
+		return "graf"
+	}
+	return s.Prefix
+}
+
 func (s *Store) path(gen int) string {
-	return filepath.Join(s.Dir, fmt.Sprintf("graf-%08d.ckpt", gen))
+	return filepath.Join(s.Dir, fmt.Sprintf("%s-%08d.ckpt", s.prefix(), gen))
 }
 
 // generations lists the on-disk generation numbers, ascending.
@@ -57,10 +81,11 @@ func (s *Store) generations() ([]int, error) {
 		return nil, err
 	}
 	var gens []int
+	pat := s.prefix() + "-%08d.ckpt"
 	for _, e := range ents {
 		var g int
-		if _, err := fmt.Sscanf(e.Name(), "graf-%08d.ckpt", &g); err == nil &&
-			e.Name() == fmt.Sprintf("graf-%08d.ckpt", g) {
+		if _, err := fmt.Sscanf(e.Name(), pat, &g); err == nil &&
+			e.Name() == fmt.Sprintf(pat, g) {
 			gens = append(gens, g)
 		}
 	}

@@ -138,3 +138,76 @@ func TestStoreNoSnapshot(t *testing.T) {
 		}
 	}
 }
+
+// Namespaced stores must coexist in one directory without seeing each
+// other's generations — the fleet checkpoints every tenant into a shared
+// directory under a per-tenant prefix.
+func TestNamespacedStoresShareADirectory(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewNamespacedStore(dir, "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNamespacedStore(dir, "tenant-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Save(snapAt(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Save(snapAt(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Save(snapAt(99)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each store loads only its own namespace.
+	sa, err := a.LoadLatest()
+	if err != nil || sa.At != 20 {
+		t.Fatalf("tenant-a latest: %+v, %v; want At=20", sa, err)
+	}
+	sb, err := b.LoadLatest()
+	if err != nil || sb.At != 99 {
+		t.Fatalf("tenant-b latest: %+v, %v; want At=99", sb, err)
+	}
+	// b's generation counter is independent of a's.
+	if sb.Generation != 1 {
+		t.Errorf("tenant-b generation %d, want 1", sb.Generation)
+	}
+
+	// A reopened namespaced store resumes its own sequence.
+	a2, err := NewNamespacedStore(dir, "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, _, err := a2.Save(snapAt(30)); err != nil || gen != 3 {
+		t.Fatalf("reopened tenant-a wrote gen %d (%v), want 3", gen, err)
+	}
+
+	// The default store ("graf") is a namespace of its own and must not
+	// see tenant files.
+	d, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadLatest(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("default store sees tenant snapshots: %v", err)
+	}
+
+	files, _ := filepath.Glob(filepath.Join(dir, "tenant-a-*.ckpt"))
+	if len(files) != 3 {
+		t.Fatalf("tenant-a files: %v, want 3", files)
+	}
+}
+
+// Prefixes that could escape the directory or break the filename pattern
+// are rejected up front.
+func TestNamespacedStoreRejectsBadPrefixes(t *testing.T) {
+	dir := t.TempDir()
+	for _, p := range []string{"a/b", `a\b`, "100%"} {
+		if _, err := NewNamespacedStore(dir, p); err == nil {
+			t.Errorf("prefix %q accepted", p)
+		}
+	}
+}

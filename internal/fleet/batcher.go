@@ -1,0 +1,363 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graf/internal/gnn"
+	"graf/internal/obs"
+)
+
+// ServiceConfig parameterizes the shared batched inference service.
+type ServiceConfig struct {
+	// BatchMax bounds how many requests one dispatch coalesces into a
+	// single multi-graph forward pass (default 16).
+	BatchMax int
+	// FlushWait bounds how long a partial batch waits for more requests
+	// once at least one is pending. The dispatcher only waits while other
+	// requests are known to be in flight; a lone requester is served
+	// immediately (default 200µs).
+	FlushWait time.Duration
+	// Executors is the number of parallel batch executors, each owning a
+	// reusable gnn.Scratch (default 4).
+	Executors int
+
+	// CacheCap bounds the prediction cache (entries); 0 = default.
+	CacheCap int
+	// LoadGridRel is the relative width of the logarithmic load
+	// quantization grid (default 0.05 — loads within ~5% collapse to one
+	// grid point).
+	LoadGridRel float64
+	// QuotaGridMC is the quota quantization grid in millicores (default 2).
+	QuotaGridMC float64
+	// NoCache disables the prediction cache (requests still batch).
+	NoCache bool
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.FlushWait <= 0 {
+		c.FlushWait = 200 * time.Microsecond
+	}
+	if c.Executors <= 0 {
+		c.Executors = 4
+	}
+	if c.LoadGridRel <= 0 {
+		c.LoadGridRel = 0.05
+	}
+	if c.QuotaGridMC <= 0 {
+		c.QuotaGridMC = 2
+	}
+	return c
+}
+
+// inferReq is one in-flight prediction request. The input slices hold the
+// quantized grid point and stay untouched until done is signaled; dq is the
+// caller-owned gradient destination.
+type inferReq struct {
+	load, quota []float64
+	grad        bool
+	lat         float64
+	dq          []float64
+	done        chan struct{}
+}
+
+// InferenceService wraps one gnn.Model behind a request channel: concurrent
+// solvers submit Predict/PredictGrad calls, a dispatcher coalesces them
+// (bounded batch size + flush deadline) and fans each batch over executor
+// goroutines holding reusable scratch buffers. A quantized prediction cache
+// sits in front; SwapModel (lifecycle promotion) replaces the model and
+// invalidates the cache atomically with respect to in-flight batches.
+type InferenceService struct {
+	cfg   ServiceConfig
+	nodes int
+	logK  float64 // 1 / ln(1 + LoadGridRel)
+
+	mu    sync.RWMutex // guards model + gen against SwapModel
+	model *gnn.Model
+	gen   int
+
+	Cache *PredCache
+
+	reqC    chan *inferReq
+	scratch chan *gnn.Scratch
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	// pending counts submitters between their increment in do() and the
+	// dispatcher dequeuing their request — i.e. requests worth waiting for.
+	pending atomic.Int64
+	started bool
+
+	batches  atomic.Int64
+	requests atomic.Int64
+
+	fobs *obs.FleetObs
+}
+
+// NewInferenceService builds (but does not start) a service around m.
+func NewInferenceService(m *gnn.Model, cfg ServiceConfig, fobs *obs.FleetObs) *InferenceService {
+	cfg = cfg.withDefaults()
+	s := &InferenceService{
+		cfg:   cfg,
+		nodes: m.Cfg.Nodes,
+		logK:  1 / math.Log1p(cfg.LoadGridRel),
+		model: m,
+		Cache: NewPredCache(cfg.CacheCap),
+		reqC:  make(chan *inferReq, 4*cfg.BatchMax),
+		quit:  make(chan struct{}),
+		fobs:  fobs,
+	}
+	s.scratch = make(chan *gnn.Scratch, cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		s.scratch <- m.NewScratch()
+	}
+	return s
+}
+
+// Start launches the dispatcher.
+func (s *InferenceService) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(1)
+	go s.dispatch()
+}
+
+// Stop shuts the dispatcher down. Callers must have no requests in flight.
+func (s *InferenceService) Stop() {
+	if !s.started {
+		return
+	}
+	s.started = false
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// SwapModel atomically replaces the serving model and invalidates the
+// prediction cache — the fleet-wide half of a lifecycle promotion. The new
+// model must have the same architecture (the executors' scratch buffers
+// are sized for it).
+func (s *InferenceService) SwapModel(m *gnn.Model, gen int) error {
+	s.mu.RLock()
+	old := s.model.Cfg
+	s.mu.RUnlock()
+	if m.Cfg.Nodes != old.Nodes || m.Cfg.Embed != old.Embed ||
+		m.Cfg.Steps != old.Steps || m.Cfg.UseMPNN != old.UseMPNN ||
+		m.Cfg.Hidden != old.Hidden || m.Cfg.ReadoutHidden != old.ReadoutHidden {
+		return fmt.Errorf("fleet: SwapModel architecture mismatch (have %dn/%de/%ds, got %dn/%de/%ds)",
+			old.Nodes, old.Embed, old.Steps, m.Cfg.Nodes, m.Cfg.Embed, m.Cfg.Steps)
+	}
+	s.mu.Lock()
+	s.model = m
+	s.gen = gen
+	s.mu.Unlock()
+	s.Cache.Invalidate()
+	s.fobs.ModelSwap(gen)
+	return nil
+}
+
+// Generation returns the serving model's generation.
+func (s *InferenceService) Generation() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Batches returns how many batched forward passes ran and how many requests
+// they served.
+func (s *InferenceService) Batches() (batches, requests int64) {
+	return s.batches.Load(), s.requests.Load()
+}
+
+// dispatch drains the request channel, coalescing bursts into batches. A
+// batch flushes when it reaches BatchMax, when no peer request is in
+// flight (a lone solver is never held hostage to the deadline), or after
+// FlushWait — whichever comes first.
+func (s *InferenceService) dispatch() {
+	defer s.wg.Done()
+	batch := make([]*inferReq, 0, s.cfg.BatchMax)
+	for {
+		var first *inferReq
+		select {
+		case first = <-s.reqC:
+		case <-s.quit:
+			return
+		}
+		s.pending.Add(-1)
+		batch = append(batch[:0], first)
+		deadline := time.Now().Add(s.cfg.FlushWait)
+	gather:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case r := <-s.reqC:
+				s.pending.Add(-1)
+				batch = append(batch, r)
+			default:
+				if s.pending.Load() <= 0 || !time.Now().Before(deadline) {
+					break gather
+				}
+				// More submitters are between their inFlight increment and
+				// the channel send; yield so they can land (this matters on
+				// GOMAXPROCS=1, where they cannot run while we spin).
+				time.Sleep(5 * time.Microsecond)
+			}
+		}
+		s.execute(batch)
+	}
+}
+
+// execute runs one coalesced batch: a single multi-graph pass, split across
+// the executor scratch pool when large enough to be worth it.
+func (s *InferenceService) execute(batch []*inferReq) {
+	s.mu.RLock()
+	model := s.model
+	s.mu.RUnlock()
+	s.batches.Add(1)
+	s.requests.Add(int64(len(batch)))
+	s.fobs.Batch(len(batch))
+
+	chunks := len(batch) / 4
+	if chunks > s.cfg.Executors {
+		chunks = s.cfg.Executors
+	}
+	if chunks <= 1 {
+		s.runChunk(model, batch)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (len(batch) + chunks - 1) / chunks
+	for lo := 0; lo < len(batch); lo += per {
+		hi := lo + per
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		wg.Add(1)
+		go func(c []*inferReq) {
+			defer wg.Done()
+			s.runChunk(model, c)
+		}(batch[lo:hi])
+	}
+	wg.Wait()
+}
+
+func (s *InferenceService) runChunk(model *gnn.Model, reqs []*inferReq) {
+	sc := <-s.scratch
+	for _, r := range reqs {
+		if r.grad {
+			lat, dq := model.PredictGradWith(sc, r.load, r.quota)
+			r.lat = lat
+			copy(r.dq, dq)
+		} else {
+			r.lat = model.PredictWith(sc, r.load, r.quota)
+		}
+		r.done <- struct{}{}
+	}
+	s.scratch <- sc
+}
+
+// do submits one request and blocks until an executor has served it.
+func (s *InferenceService) do(r *inferReq) {
+	s.pending.Add(1)
+	s.reqC <- r
+	<-r.done
+}
+
+// quantize maps (load, quota) onto the cache grid, filling the
+// caller-provided buffers: the reconstructed grid-point inputs (what the
+// model is actually evaluated at) and the integer key. Computing at the
+// grid point — rather than caching the exact inputs — is what keeps the
+// fleet deterministic: hit or miss, the value returned for a key is always
+// the value the model produces at that key's grid point, independent of
+// cache state or request timing.
+func (s *InferenceService) quantize(load, quota, qload, qquota []float64, key []int32) {
+	for i, v := range load {
+		q := int32(math.Round(math.Log1p(v) * s.logK))
+		key[i] = q
+		qload[i] = math.Expm1(float64(q) / s.logK)
+	}
+	g := s.cfg.QuotaGridMC
+	for i, v := range quota {
+		q := int32(math.Round(v / g))
+		key[s.nodes+i] = q
+		qquota[i] = float64(q) * g
+	}
+}
+
+// NewPredictor returns a core.LatencyModel handle for one tenant. Each
+// handle owns reusable buffers and assumes at most one call in flight at a
+// time (the controller's solver is synchronous), so handles must not be
+// shared between tenants.
+func (s *InferenceService) NewPredictor(tenant string) *TenantPredictor {
+	p := &TenantPredictor{
+		svc:    s,
+		tenant: tenant,
+		qload:  make([]float64, s.nodes),
+		qquota: make([]float64, s.nodes),
+		dq:     make([]float64, s.nodes),
+		key:    make([]int32, 2*s.nodes),
+	}
+	p.req.done = make(chan struct{}, 1)
+	p.req.dq = make([]float64, s.nodes)
+	return p
+}
+
+// TenantPredictor adapts the shared service to core.LatencyModel for one
+// tenant: it quantizes inputs onto the cache grid, serves hits locally and
+// routes misses through the batching dispatcher.
+type TenantPredictor struct {
+	svc    *InferenceService
+	tenant string
+	qload  []float64
+	qquota []float64
+	dq     []float64
+	key    []int32
+	req    inferReq
+}
+
+// Predict implements core.LatencyModel.
+func (p *TenantPredictor) Predict(load, quota []float64) float64 {
+	s := p.svc
+	s.quantize(load, quota, p.qload, p.qquota, p.key)
+	var h uint64
+	if !s.cfg.NoCache {
+		h = hashKey(p.key)
+		if lat, _, ok := s.Cache.Get(h, p.key, false); ok {
+			return lat
+		}
+	}
+	p.req.load, p.req.quota, p.req.grad = p.qload, p.qquota, false
+	s.do(&p.req)
+	if !s.cfg.NoCache {
+		s.Cache.Put(h, p.key, p.req.lat, nil)
+	}
+	return p.req.lat
+}
+
+// PredictGrad implements core.LatencyModel. The returned slice is owned by
+// the predictor and valid until its next call — exactly the contract the
+// solver's iteration loop needs.
+func (p *TenantPredictor) PredictGrad(load, quota []float64) (float64, []float64) {
+	s := p.svc
+	s.quantize(load, quota, p.qload, p.qquota, p.key)
+	var h uint64
+	if !s.cfg.NoCache {
+		h = hashKey(p.key)
+		if lat, dq, ok := s.Cache.Get(h, p.key, true); ok {
+			copy(p.dq, dq)
+			return lat, p.dq
+		}
+	}
+	p.req.load, p.req.quota, p.req.grad = p.qload, p.qquota, true
+	s.do(&p.req)
+	if !s.cfg.NoCache {
+		s.Cache.Put(h, p.key, p.req.lat, p.req.dq)
+	}
+	copy(p.dq, p.req.dq)
+	return p.req.lat, p.dq
+}

@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"graf/internal/app"
+	"graf/internal/gnn"
+)
+
+func testService(t *testing.T, cfg ServiceConfig) (*InferenceService, *gnn.Model) {
+	t.Helper()
+	a := app.SyntheticChain(5)
+	m := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(9)))
+	s := NewInferenceService(m, cfg, nil)
+	s.Start()
+	t.Cleanup(s.Stop)
+	return s, m
+}
+
+func randReq(rng *rand.Rand, n int) (load, quota []float64) {
+	load = make([]float64, n)
+	quota = make([]float64, n)
+	for i := range load {
+		load[i] = 10 + rng.Float64()*300
+		quota[i] = 100 + rng.Float64()*2000
+	}
+	return
+}
+
+// A predictor's answers must be exactly the model evaluated at the
+// quantized grid point — the property that makes cache hits
+// indistinguishable from misses.
+func TestPredictorMatchesModelAtGridPoint(t *testing.T) {
+	s, m := testService(t, ServiceConfig{})
+	p := s.NewPredictor("t0")
+	rng := rand.New(rand.NewSource(1))
+	n := m.Cfg.Nodes
+	sc := m.NewScratch()
+	qload := make([]float64, n)
+	qquota := make([]float64, n)
+	key := make([]int32, 2*n)
+	for it := 0; it < 20; it++ {
+		load, quota := randReq(rng, n)
+		s.quantize(load, quota, qload, qquota, key)
+		wantY, wantDQ := m.PredictGradWith(sc, qload, qquota)
+		wantDQ = append([]float64(nil), wantDQ...)
+		gotY, gotDQ := p.PredictGrad(load, quota)
+		if gotY != wantY {
+			t.Fatalf("iter %d: PredictGrad=%v want %v", it, gotY, wantY)
+		}
+		for i := range wantDQ {
+			if gotDQ[i] != wantDQ[i] {
+				t.Fatalf("iter %d: dq[%d]=%v want %v", it, i, gotDQ[i], wantDQ[i])
+			}
+		}
+		if gotP := p.Predict(load, quota); gotP != wantY {
+			t.Fatalf("iter %d: Predict=%v want %v", it, gotP, wantY)
+		}
+	}
+}
+
+// A second tenant asking for a grid point another tenant already computed
+// must be served from the cache with bit-identical values.
+func TestCacheSharesAcrossTenants(t *testing.T) {
+	s, m := testService(t, ServiceConfig{})
+	p1 := s.NewPredictor("t1")
+	p2 := s.NewPredictor("t2")
+	rng := rand.New(rand.NewSource(2))
+	load, quota := randReq(rng, m.Cfg.Nodes)
+
+	y1, dq1 := p1.PredictGrad(load, quota)
+	dq1c := append([]float64(nil), dq1...)
+	h0, m0, _, _ := s.Cache.Stats()
+
+	y2, dq2 := p2.PredictGrad(load, quota)
+	h1, m1, _, _ := s.Cache.Stats()
+	if h1 != h0+1 || m1 != m0 {
+		t.Fatalf("second tenant's identical query was not a pure cache hit (hits %d→%d, misses %d→%d)", h0, h1, m0, m1)
+	}
+	if y2 != y1 {
+		t.Fatalf("cache hit latency %v differs from computed %v", y2, y1)
+	}
+	for i := range dq1c {
+		if dq2[i] != dq1c[i] {
+			t.Fatalf("cache hit dq[%d]=%v differs from computed %v", i, dq2[i], dq1c[i])
+		}
+	}
+}
+
+// Predict-only entries must upgrade to gradient entries, never the reverse.
+func TestCacheGradUpgrade(t *testing.T) {
+	s, m := testService(t, ServiceConfig{})
+	p := s.NewPredictor("t0")
+	rng := rand.New(rand.NewSource(3))
+	load, quota := randReq(rng, m.Cfg.Nodes)
+
+	y := p.Predict(load, quota) // stores a grad-free entry
+	gy, _ := p.PredictGrad(load, quota)
+	if gy != y {
+		t.Fatalf("grad-upgrade recompute: %v want %v", gy, y)
+	}
+	h0, _, _, _ := s.Cache.Stats()
+	if y2 := p.Predict(load, quota); y2 != y {
+		t.Fatalf("Predict after grad upgrade: %v want %v", y2, y)
+	}
+	if gy2, _ := p.PredictGrad(load, quota); gy2 != y {
+		t.Fatalf("PredictGrad after upgrade: %v want %v", gy2, y)
+	}
+	h1, _, _, _ := s.Cache.Stats()
+	if h1 != h0+2 {
+		t.Fatalf("expected both post-upgrade calls to hit (hits %d→%d)", h0, h1)
+	}
+}
+
+// A hash collision (same bucket, different key) must degrade to a miss —
+// never return another grid point's values.
+func TestCacheCollisionIsMissNotCorruption(t *testing.T) {
+	c := NewPredCache(16)
+	keyA := []int32{1, 2, 3}
+	keyB := []int32{4, 5, 6}
+	const h = uint64(12345) // force both keys into one bucket
+	c.Put(h, keyA, 0.111, nil)
+	if _, _, ok := c.Get(h, keyB, false); ok {
+		t.Fatal("colliding key returned another entry's value")
+	}
+	if lat, _, ok := c.Get(h, keyA, false); !ok || lat != 0.111 {
+		t.Fatal("stored key not retrievable")
+	}
+}
+
+// SwapModel must invalidate the cache and serve the new model's surface;
+// an architecture mismatch must be rejected before it can corrupt the
+// executors' scratch buffers.
+func TestSwapModelInvalidatesCache(t *testing.T) {
+	s, m := testService(t, ServiceConfig{})
+	p := s.NewPredictor("t0")
+	rng := rand.New(rand.NewSource(4))
+	load, quota := randReq(rng, m.Cfg.Nodes)
+	y1 := p.Predict(load, quota)
+
+	// Same architecture, different weights: a promoted candidate.
+	next := gnn.New(m.Cfg, rand.New(rand.NewSource(77)))
+	if err := s.SwapModel(next, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, inv, size := s.Cache.Stats(); inv != 1 || size != 0 {
+		t.Fatalf("cache not invalidated on swap (inv=%d size=%d)", inv, size)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("generation %d, want 2", s.Generation())
+	}
+	y2 := p.Predict(load, quota)
+	if y1 == y2 {
+		t.Fatal("prediction unchanged after model swap — stale cache or stale model")
+	}
+
+	bad := gnn.New(gnn.DefaultConfig(2, [][]int{{}, {0}}), rand.New(rand.NewSource(5)))
+	if err := s.SwapModel(bad, 3); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+}
+
+// Concurrent solvers hammering the service must coalesce into multi-request
+// batches, and every response must be bit-identical to the single-threaded
+// answer for the same inputs. To make coalescing deterministic (a fast
+// executor on an idle machine can drain every request individually), the
+// test steals the executor's only scratch, so requests pile up behind a
+// stalled batch exactly as they do behind a busy one. Run with -race.
+func TestServiceConcurrentClientsCoalesce(t *testing.T) {
+	s, m := testService(t, ServiceConfig{NoCache: true, BatchMax: 8, Executors: 1})
+	n := m.Cfg.Nodes
+
+	const clients = 24
+	inputs := make([][2][]float64, clients)
+	want := make([]float64, clients)
+	rng := rand.New(rand.NewSource(6))
+	sc := m.NewScratch()
+	qload, qquota := make([]float64, n), make([]float64, n)
+	key := make([]int32, 2*n)
+	for c := range inputs {
+		load, quota := randReq(rng, n)
+		inputs[c] = [2][]float64{load, quota}
+		s.quantize(load, quota, qload, qquota, key)
+		want[c] = m.PredictWith(sc, qload, qquota)
+	}
+
+	// Stall the pipeline: with the scratch pool empty, the dispatcher's
+	// first batch blocks in its executor and every later client queues.
+	stolen := <-s.scratch
+
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := s.NewPredictor("t")
+			if y := p.Predict(inputs[c][0], inputs[c][1]); y != want[c] {
+				errs <- "concurrent client got a different prediction"
+			}
+		}(c)
+	}
+	// Wait until every client has submitted (or been dequeued into the
+	// stalled batch), then release the executor.
+	for s.pending.Load()+int64(len(s.reqC)) < clients-int64(s.cfg.BatchMax) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.scratch <- stolen
+
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	batches, reqs := s.Batches()
+	if reqs != clients {
+		t.Fatalf("served %d requests, want %d", reqs, clients)
+	}
+	if batches > reqs/2 {
+		t.Fatalf("no real coalescing: %d batches for %d requests", batches, reqs)
+	}
+	t.Logf("coalesced %d requests into %d batches (mean %.1f)", reqs, batches, float64(reqs)/float64(batches))
+}

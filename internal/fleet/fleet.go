@@ -1,0 +1,454 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"graf/internal/app"
+	"graf/internal/autoscale"
+	"graf/internal/chaos"
+	"graf/internal/ckpt"
+	"graf/internal/cluster"
+	"graf/internal/core"
+	"graf/internal/gnn"
+	"graf/internal/obs"
+	"graf/internal/sim"
+	"graf/internal/workload"
+)
+
+// Config parameterizes a fleet.
+type Config struct {
+	// App is the application graph every tenant runs (the shared model was
+	// trained for it).
+	App *app.App
+	// Model is the shared latency model serving every tenant's solver.
+	Model *gnn.Model
+	// Bounds are the solver's per-service quota bounds.
+	Bounds core.Bounds
+	// SLO is the end-to-end latency objective in seconds.
+	SLO float64
+	// MinRate/MaxRate is the workload range the model was trained on.
+	MinRate, MaxRate float64
+
+	// Tenants describes the applications to run.
+	Tenants []TenantConfig
+
+	// Workers is the worker-pool size driving tenant ticks (default 8).
+	Workers int
+	// Shards is the number of deterministic tenant groups; tenants map to
+	// shards by fnv-1a of their ID. Default: one shard per worker.
+	Shards int
+	// TickS is the per-tenant tick quantum in simulated seconds: each
+	// round advances every live tenant by this much (default 5).
+	TickS float64
+	// Seed derives per-tenant engine seeds for tenants that don't pin
+	// their own.
+	Seed int64
+
+	// Controller optionally overrides the per-tenant controller
+	// configuration (nil = core.DefaultControllerConfig(SLO)).
+	Controller *core.ControllerConfig
+
+	// Service parameterizes the shared batched inference service.
+	Service ServiceConfig
+
+	// DisableSharing gives every tenant a private allocating predictor
+	// instead of the shared batched service — the serial baseline the
+	// fleet benchmark compares against.
+	DisableSharing bool
+
+	// WarmStart provisions each tenant's cluster near its expected demand
+	// and runs 60 simulated seconds before the controllers take over.
+	WarmStart bool
+
+	// Obs, when non-nil, receives fleet-level metrics (per-tenant labels +
+	// aggregates). Per-tenant audit logs are always recorded in memory.
+	Obs *obs.Telemetry
+}
+
+// TenantConfig describes one tenant application.
+type TenantConfig struct {
+	// ID names the tenant; it determines shard placement and the audit
+	// stream identity. IDs must be unique.
+	ID string
+	// Rate is the open-loop arrival-rate shape (req/s as a function of
+	// simulated time). Nil means a constant 150 req/s.
+	Rate func(t float64) float64
+	// Seed pins the tenant's engine seed; 0 derives one from the fleet
+	// seed and the tenant ID.
+	Seed int64
+	// Chaos, when non-nil, is played against the tenant's cluster at
+	// start (event times are absolute simulated times).
+	Chaos *chaos.Scenario
+	// PanicAt, when positive, schedules a panic inside the tenant's tick
+	// at that simulated time — the containment path's test hook.
+	PanicAt float64
+}
+
+// Tenant is one running application controller and everything tenant-scoped
+// around it. During Run it is owned by exactly one worker at a time; after
+// Run returns it may be inspected freely.
+type Tenant struct {
+	ID    string
+	Shard int
+
+	Eng     *sim.Engine
+	Cluster *cluster.Cluster
+	Ctl     *core.Controller
+
+	gen   *workload.OpenLoop
+	tel   *obs.Telemetry
+	audit bytes.Buffer
+
+	ticks    int
+	violS    float64
+	lastP99  float64
+	degraded bool
+	panicVal any
+}
+
+// Ticks returns how many control ticks the tenant completed.
+func (t *Tenant) Ticks() int { return t.ticks }
+
+// ViolationSeconds returns the tenant's accumulated SLO violation time.
+func (t *Tenant) ViolationSeconds() float64 { return t.violS }
+
+// LastP99 returns the tenant's most recent per-tick p99 (seconds).
+func (t *Tenant) LastP99() float64 { return t.lastP99 }
+
+// Degraded reports whether the tenant was quarantined by a contained panic.
+func (t *Tenant) Degraded() bool { return t.degraded }
+
+// PanicValue returns the recovered panic value for a degraded tenant.
+func (t *Tenant) PanicValue() any { return t.panicVal }
+
+// AuditLog returns the tenant's JSONL audit stream so far. Byte-identical
+// across same-seed runs regardless of worker count, shard count or
+// GOMAXPROCS. Call from the driving goroutine (not during a round).
+func (t *Tenant) AuditLog() []byte {
+	t.tel.Flight.Flush()
+	return t.audit.Bytes()
+}
+
+// Fleet is a running multi-tenant control plane.
+type Fleet struct {
+	cfg     Config
+	tenants []*Tenant
+	shards  [][]*Tenant
+	svc     *InferenceService
+	fobs    *obs.FleetObs
+	rounds  int
+	panics  int
+	mu      sync.Mutex // guards panics count (written from workers)
+}
+
+// shardOf deterministically places a tenant ID.
+func shardOf(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// sanitizeID maps a tenant ID onto a checkpoint-file prefix.
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+// New builds a fleet: per-tenant engines, clusters, workloads and
+// controllers, plus the shared inference service (unless sharing is
+// disabled). Run drives it.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.App == nil || cfg.Model == nil {
+		return nil, fmt.Errorf("fleet: App and Model are required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("fleet: no tenants configured")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Workers
+	}
+	if cfg.Shards > len(cfg.Tenants) {
+		return nil, fmt.Errorf("fleet: %d shards exceed %d tenants", cfg.Shards, len(cfg.Tenants))
+	}
+	if cfg.TickS <= 0 {
+		cfg.TickS = 5
+	}
+	if cfg.SLO <= 0 {
+		return nil, fmt.Errorf("fleet: SLO must be positive")
+	}
+
+	f := &Fleet{cfg: cfg, fobs: obs.NewFleetObs(cfg.Obs)}
+	if !cfg.DisableSharing {
+		f.svc = NewInferenceService(cfg.Model, cfg.Service, f.fobs)
+	}
+
+	seen := map[string]bool{}
+	for _, tc := range cfg.Tenants {
+		if tc.ID == "" {
+			return nil, fmt.Errorf("fleet: tenant with empty ID")
+		}
+		if seen[tc.ID] {
+			return nil, fmt.Errorf("fleet: duplicate tenant ID %q", tc.ID)
+		}
+		seen[tc.ID] = true
+		t, err := f.buildTenant(tc)
+		if err != nil {
+			return nil, err
+		}
+		f.tenants = append(f.tenants, t)
+	}
+	// Sorted tenant order everywhere: shard membership lists, summaries
+	// and checkpoints are then independent of Config.Tenants ordering.
+	sort.Slice(f.tenants, func(i, j int) bool { return f.tenants[i].ID < f.tenants[j].ID })
+	f.shards = make([][]*Tenant, cfg.Shards)
+	for _, t := range f.tenants {
+		f.shards[t.Shard] = append(f.shards[t.Shard], t)
+	}
+	return f, nil
+}
+
+func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
+	cfg := f.cfg
+	seed := tc.Seed
+	if seed == 0 {
+		h := fnv.New32a()
+		h.Write([]byte(tc.ID))
+		seed = cfg.Seed + int64(h.Sum32())
+	}
+	t := &Tenant{ID: tc.ID, Shard: shardOf(tc.ID, cfg.Shards)}
+	t.Eng = sim.NewEngine(seed)
+	t.Cluster = cluster.New(t.Eng, cfg.App, cluster.DefaultConfig())
+
+	// Per-tenant telemetry: the audit stream goes to a private buffer so
+	// determinism tests can compare runs byte-for-byte; fleet-level
+	// aggregates go to the shared registry via FleetObs instead.
+	t.tel = obs.New(obs.Options{SpanRing: 64, AuditW: &t.audit, AuditMemory: 16})
+	t.Cluster.Obs = obs.NewClusterObs(t.tel)
+
+	rate := tc.Rate
+	if rate == nil {
+		rate = workload.ConstRate(150)
+	}
+	if cfg.WarmStart {
+		autoscale.ProvisionProactive(t.Cluster, rate(0), 0.5)
+		t.Eng.RunUntil(60)
+	}
+
+	ccfg := core.DefaultControllerConfig(cfg.SLO)
+	if cfg.Controller != nil {
+		ccfg = *cfg.Controller
+		ccfg.SLO = cfg.SLO
+	}
+	ccfg.TrainedMinRate = cfg.MinRate
+	ccfg.TrainedMaxRate = cfg.MaxRate
+
+	var predictor core.LatencyModel = cfg.Model
+	if f.svc != nil {
+		predictor = f.svc.NewPredictor(tc.ID)
+	}
+	an := core.NewAnalyzer(cfg.App)
+	t.Ctl = core.NewController(t.Cluster, predictor, an, cfg.Bounds, ccfg)
+	t.Ctl.Obs = obs.NewControllerObs(t.tel)
+	t.tel.Flight.Record(obs.Record{
+		Type:     "header",
+		At:       t.Eng.Now(),
+		App:      cfg.App.Name,
+		SLO:      ccfg.SLO,
+		Services: cfg.App.ServiceNames(),
+		Solver:   core.SolverConfigMap(ccfg.Solver),
+	})
+	t.Ctl.Start()
+
+	t.gen = workload.NewOpenLoop(t.Cluster, rate)
+	t.gen.Start()
+
+	if tc.Chaos != nil {
+		inj := chaos.New(t.Cluster)
+		inj.Obs = obs.NewChaosObs(t.tel)
+		inj.Play(*tc.Chaos)
+	}
+	if tc.PanicAt > 0 {
+		at := math.Max(tc.PanicAt, t.Eng.Now())
+		t.Eng.At(at, func() {
+			panic(fmt.Sprintf("fleet: injected tenant panic at %gs", at))
+		})
+	}
+	return t, nil
+}
+
+// Run advances every live tenant through rounds of TickS simulated seconds
+// until each has covered durS. Shards are dispatched to the worker pool
+// each round with a barrier between rounds, so no tenant can run more than
+// one tick ahead of another.
+func (f *Fleet) Run(durS float64) {
+	if f.svc != nil {
+		f.svc.Start()
+	}
+	rounds := int(math.Ceil(durS / f.cfg.TickS))
+	for r := 0; r < rounds; r++ {
+		f.runRound()
+		f.rounds++
+		f.publishRound()
+	}
+	if f.svc != nil {
+		f.svc.Stop()
+	}
+}
+
+func (f *Fleet) runRound() {
+	workers := f.cfg.Workers
+	if workers > len(f.shards) {
+		workers = len(f.shards)
+	}
+	shardC := make(chan []*Tenant)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range shardC {
+				for _, t := range shard {
+					f.tick(t)
+				}
+			}
+		}()
+	}
+	for _, shard := range f.shards {
+		shardC <- shard
+	}
+	close(shardC)
+	wg.Wait()
+}
+
+// tick advances one tenant by the tick quantum, recording SLO accounting.
+// A panic anywhere inside — the simulated cluster, the controller, the
+// workload — degrades this tenant only.
+func (f *Fleet) tick(t *Tenant) {
+	if t.degraded {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.degraded = true
+			t.panicVal = r
+			f.mu.Lock()
+			f.panics++
+			f.mu.Unlock()
+			f.fobs.TenantPanic(t.ID)
+		}
+	}()
+	from := t.Eng.Now()
+	to := from + f.cfg.TickS
+	t.Eng.RunUntil(to)
+	p99 := t.Cluster.E2EWindow().Quantile(0.99, from, to)
+	t.lastP99 = p99
+	t.ticks++
+	violated := p99 > f.cfg.SLO
+	if violated {
+		t.violS += f.cfg.TickS
+	}
+	f.fobs.TenantTick(t.ID, p99, violated, f.cfg.TickS)
+}
+
+func (f *Fleet) publishRound() {
+	degraded := 0
+	for _, t := range f.tenants {
+		if t.degraded {
+			degraded++
+		}
+	}
+	f.fobs.Round(f.rounds, len(f.tenants), degraded)
+	if f.svc != nil {
+		f.fobs.CacheStats(f.svc.Cache.Stats())
+	}
+}
+
+// Tenants returns the fleet's tenants in sorted ID order.
+func (f *Fleet) Tenants() []*Tenant { return f.tenants }
+
+// Tenant returns the tenant with the given ID, or nil.
+func (f *Fleet) Tenant(id string) *Tenant {
+	for _, t := range f.tenants {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Service returns the shared inference service (nil when sharing is
+// disabled).
+func (f *Fleet) Service() *InferenceService { return f.svc }
+
+// Stats summarizes a fleet run.
+type Stats struct {
+	Tenants  int
+	Degraded int
+	Rounds   int
+	Ticks    int
+	Panics   int
+
+	ViolationSeconds float64 // summed over tenants
+
+	CacheHits   int64
+	CacheMisses int64
+	Batches     int64
+	BatchedReqs int64
+}
+
+// Stats aggregates the fleet's accounting. Call after Run (or between
+// rounds from the driving goroutine).
+func (f *Fleet) Stats() Stats {
+	s := Stats{Tenants: len(f.tenants), Rounds: f.rounds, Panics: f.panics}
+	for _, t := range f.tenants {
+		s.Ticks += t.ticks
+		s.ViolationSeconds += t.violS
+		if t.degraded {
+			s.Degraded++
+		}
+	}
+	if f.svc != nil {
+		s.CacheHits, s.CacheMisses, _, _ = f.svc.Cache.Stats()
+		s.Batches, s.BatchedReqs = f.svc.Batches()
+	}
+	return s
+}
+
+// Checkpoint writes one namespaced snapshot per live tenant into dir
+// (tenant-<id>-<generation>.ckpt), so a whole fleet shares one checkpoint
+// directory without collisions.
+func (f *Fleet) Checkpoint(dir string) error {
+	for _, t := range f.tenants {
+		if t.degraded {
+			continue
+		}
+		store, err := ckpt.NewNamespacedStore(dir, "tenant-"+sanitizeID(t.ID))
+		if err != nil {
+			return fmt.Errorf("fleet: tenant %s: %w", t.ID, err)
+		}
+		snap := &ckpt.Snapshot{
+			At:         t.Eng.Now(),
+			Controller: t.Ctl.Snapshot(),
+			Cluster:    t.Cluster.Snapshot(),
+		}
+		if _, _, err := store.Save(snap); err != nil {
+			return fmt.Errorf("fleet: tenant %s: %w", t.ID, err)
+		}
+	}
+	return nil
+}

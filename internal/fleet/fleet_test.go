@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/chaos"
+	"graf/internal/core"
+	"graf/internal/gnn"
+	"graf/internal/workload"
+)
+
+// testConfig builds a small fleet over a synthetic chain app with a fresh
+// (untrained) model — predictions are arbitrary but deterministic, which is
+// all the scheduling, containment and determinism tests need.
+func testConfig(tenants, workers, shards int) Config {
+	a := app.SyntheticChain(4)
+	m := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(42)))
+	n := len(a.Services)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i], hi[i] = 100, 1500
+	}
+	cfg := Config{
+		App: a, Model: m,
+		Bounds:  core.Bounds{Lo: lo, Hi: hi},
+		SLO:     0.25,
+		MinRate: 50, MaxRate: 400,
+		Workers: workers, Shards: shards,
+		TickS: 5, Seed: 1,
+	}
+	for i := 0; i < tenants; i++ {
+		cfg.Tenants = append(cfg.Tenants, TenantConfig{
+			ID:   fmt.Sprintf("tenant-%02d", i),
+			Rate: workload.ConstRate(100 + 10*float64(i%3)),
+		})
+	}
+	return cfg
+}
+
+func TestFleetRunBasics(t *testing.T) {
+	f, err := New(testConfig(4, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(30)
+	st := f.Stats()
+	if st.Tenants != 4 || st.Degraded != 0 {
+		t.Fatalf("stats %+v: want 4 healthy tenants", st)
+	}
+	if st.Rounds != 6 || st.Ticks != 24 {
+		t.Fatalf("stats %+v: want 6 rounds, 24 ticks", st)
+	}
+	for _, tn := range f.Tenants() {
+		if tn.Ticks() != 6 {
+			t.Fatalf("tenant %s: %d ticks, want 6", tn.ID, tn.Ticks())
+		}
+		if len(tn.AuditLog()) == 0 {
+			t.Fatalf("tenant %s: empty audit log", tn.ID)
+		}
+	}
+	if st.BatchedReqs == 0 {
+		t.Fatal("no requests went through the shared inference service")
+	}
+}
+
+func TestFleetShardAssignmentIsDeterministic(t *testing.T) {
+	cfg := testConfig(8, 4, 4)
+	f1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(testConfig(8, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tn := range f1.Tenants() {
+		if got := f2.Tenants()[i]; got.ID != tn.ID || got.Shard != tn.Shard {
+			t.Fatalf("shard assignment differs: %s/%d vs %s/%d", tn.ID, tn.Shard, got.ID, got.Shard)
+		}
+		if want := shardOf(tn.ID, 4); tn.Shard != want {
+			t.Fatalf("tenant %s on shard %d, fnv says %d", tn.ID, tn.Shard, want)
+		}
+	}
+}
+
+func TestFleetRejectsBadConfigs(t *testing.T) {
+	cfg := testConfig(2, 2, 2)
+	cfg.Shards = 3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted more shards than tenants")
+	}
+	cfg = testConfig(2, 2, 2)
+	cfg.Tenants[1].ID = cfg.Tenants[0].ID
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted duplicate tenant IDs")
+	}
+	cfg = testConfig(1, 1, 1)
+	cfg.Tenants = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted empty tenant set")
+	}
+}
+
+// TestFleetSmoke is the CI fleet-smoke scenario: a small fleet where one
+// tenant panics mid-run and another takes a chaos hit. The panicking tenant
+// must be quarantined (not crash the process), and every OTHER tenant's
+// audit log and SLO accounting must be byte-identical to a control run
+// without the panic.
+func TestFleetSmoke(t *testing.T) {
+	build := func(withPanic bool) *Fleet {
+		cfg := testConfig(4, 2, 2)
+		// One chaos event in both runs: kill an instance of tenant-01's
+		// frontend at t=12s.
+		sc := &chaos.Scenario{Events: []chaos.Event{chaos.Kill(12, "svc0", 1)}}
+		cfg.Tenants[1].Chaos = sc
+		if withPanic {
+			cfg.Tenants[2].PanicAt = 17
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	faulted := build(true)
+	faulted.Run(40)
+	control := build(false)
+	control.Run(40)
+
+	st := faulted.Stats()
+	if st.Panics != 1 || st.Degraded != 1 {
+		t.Fatalf("faulted stats %+v: want exactly 1 contained panic", st)
+	}
+	victim := faulted.Tenant("tenant-02")
+	if !victim.Degraded() {
+		t.Fatal("panicking tenant not marked degraded")
+	}
+	if victim.Ticks() >= control.Tenant("tenant-02").Ticks() {
+		t.Fatal("degraded tenant kept ticking after its panic")
+	}
+	for _, tn := range faulted.Tenants() {
+		if tn.ID == "tenant-02" {
+			continue
+		}
+		want := control.Tenant(tn.ID)
+		if tn.ViolationSeconds() != want.ViolationSeconds() {
+			t.Errorf("tenant %s: violation seconds %.1f differ from control %.1f",
+				tn.ID, tn.ViolationSeconds(), want.ViolationSeconds())
+		}
+		if !bytes.Equal(tn.AuditLog(), want.AuditLog()) {
+			t.Errorf("tenant %s: audit log differs from control run", tn.ID)
+		}
+	}
+}
+
+func TestFleetCheckpointNamespaces(t *testing.T) {
+	dir := t.TempDir()
+	f, err := New(testConfig(3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(10)
+	if err := f.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pat := filepath.Join(dir, fmt.Sprintf("tenant-tenant-%02d-*.ckpt", i))
+		m, _ := filepath.Glob(pat)
+		if len(m) != 1 {
+			t.Fatalf("want exactly one snapshot matching %s, got %v", pat, m)
+		}
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 3 {
+		t.Fatalf("want 3 files in shared checkpoint dir, got %d", len(ents))
+	}
+}

@@ -208,19 +208,22 @@ func (m *Model) backward(st *fwdState, dy float64) (dLoad, dQuota []float64) {
 }
 
 // Predict returns the model's end-to-end tail-latency estimate in seconds.
+// It is strictly read-only on the model (weights only, no gradient
+// accumulators, no rng), so concurrent Predict calls on one model are safe.
+// Hot paths should hold a Scratch and call PredictWith instead; this
+// convenience allocates a fresh one per call.
 func (m *Model) Predict(load, quota []float64) float64 {
-	return m.forward(load, quota, false, nil).y
+	return m.PredictWith(m.NewScratch(), load, quota)
 }
 
 // PredictGrad returns the prediction and its gradient with respect to each
 // node's quota (seconds per millicore) — the ∂L/∂r the configuration solver
-// descends.
+// descends. Like Predict it is read-only and safe for concurrent use; the
+// returned slice is freshly allocated and owned by the caller.
 func (m *Model) PredictGrad(load, quota []float64) (latency float64, dQuota []float64) {
-	st := m.forward(load, quota, false, nil)
-	m.zeroGrad()
-	_, dq := m.backward(st, 1)
-	m.zeroGrad()
-	return st.y, dq
+	s := m.NewScratch()
+	y, dq := m.PredictGradWith(s, load, quota)
+	return y, append([]float64(nil), dq...)
 }
 
 func (m *Model) params() []*nn.Linear {

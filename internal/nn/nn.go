@@ -79,6 +79,45 @@ func (l *Linear) Backward(x, dy []float64) []float64 {
 	return dx
 }
 
+// ForwardInto computes y = W·x + b into the caller-provided y (len Out)
+// without allocating. The floating-point operation order is identical to
+// Forward, so the two produce bit-identical results. It reads only W and B,
+// making it safe for concurrent use on a model that is not being mutated.
+func (l *Linear) ForwardInto(x, y []float64) {
+	if len(x) != l.In || len(y) != l.Out {
+		panic(fmt.Sprintf("nn: Linear(%d,%d) ForwardInto got x=%d y=%d", l.In, l.Out, len(x), len(y)))
+	}
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+}
+
+// InputGrad computes dx = Wᵀ·dy into the caller-provided dx (len In)
+// WITHOUT touching the parameter gradient accumulators GW/GB. This is the
+// read-only half of Backward: it needs neither the forward input x nor any
+// mutable layer state, so concurrent invocations on one layer are safe. The
+// accumulation order matches Backward's dx computation exactly.
+func (l *Linear) InputGrad(dy, dx []float64) {
+	if len(dy) != l.Out || len(dx) != l.In {
+		panic(fmt.Sprintf("nn: Linear(%d,%d) InputGrad got dy=%d dx=%d", l.In, l.Out, len(dy), len(dx)))
+	}
+	for i := range dx {
+		dx[i] = 0
+	}
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i := range dx {
+			dx[i] += row[i] * g
+		}
+	}
+}
+
 // ZeroGrad clears accumulated gradients.
 func (l *Linear) ZeroGrad() {
 	for i := range l.GW {

@@ -1,0 +1,116 @@
+package obs
+
+// FleetObs observes the sharded multi-tenant control plane: per-tenant tick
+// and SLO accounting under a {tenant} label, fleet-wide aggregates, and the
+// shared batched-inference service's batch/cache behaviour. Like every hook
+// in this package it is a valid no-op when nil. Its methods are called from
+// many worker goroutines concurrently; the registry's families are
+// mutex-guarded and the metric values atomic, so no extra locking is needed
+// here.
+type FleetObs struct {
+	t *Telemetry
+}
+
+// NewFleetObs returns a fleet hook, or nil when t is nil.
+func NewFleetObs(t *Telemetry) *FleetObs {
+	if t == nil {
+		return nil
+	}
+	return &FleetObs{t: t}
+}
+
+// Telemetry returns the underlying bundle (nil for a nil hook).
+func (o *FleetObs) Telemetry() *Telemetry {
+	if o == nil {
+		return nil
+	}
+	return o.t
+}
+
+// TenantTick records one completed tenant tick and its SLO outcome.
+func (o *FleetObs) TenantTick(tenant string, p99 float64, violated bool, tickS float64) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_fleet_tenant_ticks_total",
+		"Completed control ticks per tenant.",
+		Labels{"tenant": tenant}).Inc()
+	o.t.Reg.Counter("graf_fleet_ticks_total",
+		"Completed control ticks across the whole fleet.", nil).Inc()
+	o.t.Reg.Gauge("graf_fleet_tenant_p99_seconds",
+		"Most recent per-tenant end-to-end p99 latency.",
+		Labels{"tenant": tenant}).Set(p99)
+	if violated {
+		o.t.Reg.Counter("graf_fleet_tenant_violation_seconds_total",
+			"Accumulated SLO violation-seconds per tenant.",
+			Labels{"tenant": tenant}).Add(tickS)
+	}
+}
+
+// TenantPanic records a contained per-tenant panic: the tenant is degraded
+// and skipped from then on, the process and its neighbours are unaffected.
+func (o *FleetObs) TenantPanic(tenant string) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_fleet_tenant_panics_total",
+		"Contained per-tenant panics (tenant degraded, process survives).",
+		Labels{"tenant": tenant}).Inc()
+}
+
+// Round records fleet-level occupancy after each barrier round.
+func (o *FleetObs) Round(round, tenants, degraded int) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_fleet_rounds_total",
+		"Completed fleet scheduling rounds.", nil).Inc()
+	o.t.Reg.Gauge("graf_fleet_tenants",
+		"Tenants configured in the fleet.", nil).Set(float64(tenants))
+	o.t.Reg.Gauge("graf_fleet_tenants_degraded",
+		"Tenants currently degraded (panicked and quarantined).", nil).Set(float64(degraded))
+}
+
+// Batch records one coalesced inference batch executed by the shared
+// service.
+func (o *FleetObs) Batch(size int) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Histogram("graf_fleet_batch_size",
+		"Requests coalesced per batched-inference forward pass.",
+		ExpBuckets(1, 2, 8), nil).Observe(float64(size))
+	o.t.Reg.Counter("graf_fleet_batches_total",
+		"Batched-inference forward passes executed.", nil).Inc()
+	o.t.Reg.Counter("graf_fleet_batched_requests_total",
+		"Inference requests served through the batching service.", nil).Add(float64(size))
+}
+
+// CacheStats publishes the prediction cache's absolute counters; the fleet
+// calls it once per round rather than once per lookup to keep the hot path
+// off the registry.
+func (o *FleetObs) CacheStats(hits, misses, invalidations, size int64) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Gauge("graf_fleet_cache_hits_total",
+		"Quantized prediction-cache hits.", nil).Set(float64(hits))
+	o.t.Reg.Gauge("graf_fleet_cache_misses_total",
+		"Quantized prediction-cache misses.", nil).Set(float64(misses))
+	o.t.Reg.Gauge("graf_fleet_cache_invalidations_total",
+		"Prediction-cache epoch invalidations (model promotions).", nil).Set(float64(invalidations))
+	o.t.Reg.Gauge("graf_fleet_cache_entries",
+		"Live entries in the prediction cache.", nil).Set(float64(size))
+}
+
+// ModelSwap records a fleet-wide model promotion (the event that
+// invalidates the prediction cache).
+func (o *FleetObs) ModelSwap(gen int) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_fleet_model_swaps_total",
+		"Shared-model promotions applied to the inference service.", nil).Inc()
+	o.t.Reg.Gauge("graf_fleet_model_generation",
+		"Generation of the model currently serving the fleet.", nil).Set(float64(gen))
+}
