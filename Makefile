@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json obs-demo ci
+.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc obs-demo ci
 
 all: build vet test
 
@@ -28,6 +28,15 @@ bench-json:
 	  $(GO) test -run '^$$' -bench '^(BenchmarkSolver|BenchmarkFleet)$$' -benchtime 1x -benchmem . ; } | \
 	  $(GO) run ./cmd/benchjson -o BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+
+# Multi-process control-plane numbers (DESIGN.md §3h): aggregate ticks/s
+# through the router, migration blackout, shard-loss rebalance blackout and
+# the zero-lost-decisions invariant, as benchjson extra metrics. CI holds
+# migration-blackout-ms under a regression ceiling.
+bench-json-fleetrpc:
+	$(GO) test -run '^$$' -bench '^BenchmarkFleetRPC$$' -benchtime 1x . | \
+	  $(GO) run ./cmd/benchjson -o BENCH_fleetrpc.json
+	@echo wrote BENCH_fleetrpc.json
 
 # Observability smoke demo: train a quick model, run the controller with the
 # telemetry endpoints up, self-scrape /metrics, then hold the endpoints for

@@ -251,3 +251,27 @@ func BenchmarkRecovery(b *testing.B) { runExperiment(b, bench.Recovery) }
 // --- Fleet control plane (sharded multi-tenant, DESIGN.md §3g) --------------
 
 func BenchmarkFleet(b *testing.B) { runExperiment(b, bench.Fleet) }
+
+// --- Multi-process fleet (HTTP control plane, DESIGN.md §3h) ----------------
+
+// BenchmarkFleetRPC reports the control-plane numbers as benchmark metrics
+// so the benchjson pipeline can track them in BENCH_fleetrpc.json — the
+// migration-blackout metric carries a CI regression ceiling.
+func BenchmarkFleetRPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, st := bench.FleetRPCRun(benchScale())
+		printedMu.Lock()
+		if !printed[res.ID] {
+			printed[res.ID] = true
+			fmt.Println(res.Format())
+		}
+		printedMu.Unlock()
+		if !st.ByteIdentical || st.LostDecisions > 0 {
+			b.Fatalf("fleet-rpc lost decisions (byteIdentical=%v lost=%v)", st.ByteIdentical, st.LostDecisions)
+		}
+		b.ReportMetric(st.TicksPerS, "ticks/s")
+		b.ReportMetric(st.MigrationBlackoutMS, "migration-blackout-ms")
+		b.ReportMetric(st.RebalanceBlackoutMS, "rebalance-blackout-ms")
+		b.ReportMetric(st.LostDecisions, "lost-decisions")
+	}
+}

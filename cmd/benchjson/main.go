@@ -27,6 +27,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the fleet-rpc run's
+	// "migration-blackout-ms"), keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Output is the document benchjson emits.
@@ -118,9 +121,17 @@ func parseResult(line string) (Benchmark, bool) {
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				b.AllocsPerOp = v
 			}
+		default:
+			// Custom b.ReportMetric units ride along verbatim.
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = v
+			}
 		}
 	}
-	if b.NsPerOp == 0 && b.BytesPerOp == 0 && b.AllocsPerOp == 0 {
+	if b.NsPerOp == 0 && b.BytesPerOp == 0 && b.AllocsPerOp == 0 && len(b.Extra) == 0 {
 		return Benchmark{}, false
 	}
 	return b, true

@@ -42,6 +42,39 @@ BenchmarkSolver-8   	       1	29887144 ns/op	 9874464 B/op	   85147 allocs/op
 	}
 }
 
+// Custom b.ReportMetric units (the fleet-rpc control-plane numbers) land in
+// Extra keyed by unit, without disturbing the standard fields.
+func TestParseExtraMetrics(t *testing.T) {
+	in := `pkg: graf
+BenchmarkFleetRPC 	       1	3357124668 ns/op	         0 lost-decisions	        17.89 migration-blackout-ms	       367.7 rebalance-blackout-ms	        75.60 ticks/s
+`
+	doc := parse(bufio.NewScanner(strings.NewReader(in)))
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkFleetRPC" || b.NsPerOp != 3357124668 {
+		t.Fatalf("standard fields mis-parsed: %+v", b)
+	}
+	want := map[string]float64{
+		"lost-decisions":        0,
+		"migration-blackout-ms": 17.89,
+		"rebalance-blackout-ms": 367.7,
+		"ticks/s":               75.60,
+	}
+	for unit, v := range want {
+		if b.Extra[unit] != v {
+			t.Errorf("Extra[%q] = %v, want %v", unit, b.Extra[unit], v)
+		}
+	}
+	// A metrics-only line (benchtime trimmed ns/op away) must still parse.
+	in2 := "BenchmarkX-8 	 1	 12.5 custom-units\n"
+	doc2 := parse(bufio.NewScanner(strings.NewReader(in2)))
+	if len(doc2.Benchmarks) != 1 || doc2.Benchmarks[0].Extra["custom-units"] != 12.5 {
+		t.Fatalf("metrics-only line mis-parsed: %+v", doc2.Benchmarks)
+	}
+}
+
 func TestStripProcSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkPredict-8":       "BenchmarkPredict",

@@ -55,6 +55,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"replay":        bench.ObsReplay,
 	"obs-overhead":  bench.ObsOverhead,
 	"fleet":         bench.Fleet,
+	"fleet-rpc":     bench.FleetRPC,
 }
 
 // order runs cheap observation experiments first and groups the ones that
@@ -67,7 +68,7 @@ var order = []string{
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
 	"chaos", "recovery", "drift", "replay", "obs-overhead",
-	"fleet",
+	"fleet", "fleet-rpc",
 }
 
 func main() {

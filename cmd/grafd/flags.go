@@ -13,10 +13,11 @@ type options struct {
 	train bool
 	model string
 
-	shape string
-	rate  float64
-	sloMS int
-	durS  int
+	appName string
+	shape   string
+	rate    float64
+	sloMS   int
+	durS    int
 
 	obs   string
 	audit string
@@ -34,8 +35,11 @@ type options struct {
 	lifecycle    bool
 	modelArchive string
 
-	fleetN int
-	shards int
+	fleetN   int
+	shards   int
+	auditDir string
+
+	shardAddr string
 }
 
 // validate returns the first contradiction it finds, phrased so the fix is
@@ -68,6 +72,39 @@ func (o options) validate() error {
 	if o.shards < 0 {
 		return fmt.Errorf("-shards %d must be positive", o.shards)
 	}
+	if o.shardAddr != "" {
+		// Shard mode turns grafd into one control-plane member process:
+		// grafrouter installs the fleet spec over HTTP, so every local mode
+		// selector contradicts it.
+		if o.fleetN > 0 {
+			return errors.New("-shard serves one shard of a routed fleet and -fleet runs a whole fleet in-process: pick one")
+		}
+		if o.train {
+			return errors.New("-shard processes must load the same -model artifact; -train would give every shard a different model")
+		}
+		for _, c := range []struct {
+			set  bool
+			flag string
+		}{
+			{o.shards > 0, "-shards"},
+			{o.replay != "", "-replay"},
+			{o.crashAt > 0, "-crash-at"},
+			{o.assertRestore, "-assert-restore"},
+			{o.cold, "-cold"},
+			{o.lifecycle, "-lifecycle"},
+			{o.audit != "", "-audit"},
+			{o.obs != "", "-obs"},
+			{o.smoke, "-smoke"},
+			{o.hold > 0, "-hold"},
+		} {
+			if c.set {
+				return fmt.Errorf("%s drives a local run; a -shard process takes its fleet spec from the router (only -ckpt and -audit-dir apply)", c.flag)
+			}
+		}
+	}
+	if o.auditDir != "" && o.fleetN == 0 && o.shardAddr == "" {
+		return errors.New("-audit-dir mirrors per-tenant fleet audit logs; it needs -fleet or -shard (single-tenant runs use -audit <file>)")
+	}
 	if o.fleetN > 0 {
 		// Fleet mode runs many tenant simulations in one process; the
 		// single-tenant modes below have no meaning there.
@@ -84,7 +121,6 @@ func (o options) validate() error {
 			set  bool
 			flag string
 		}{
-			{o.ckpt != "", "-ckpt"},
 			{o.crashAt > 0, "-crash-at"},
 			{o.assertRestore, "-assert-restore"},
 			{o.cold, "-cold"},
@@ -95,7 +131,7 @@ func (o options) validate() error {
 			{o.hold > 0, "-hold"},
 		} {
 			if c.set {
-				return fmt.Errorf("%s supervises the single-tenant daemon; it is not available with -fleet (fleet tenants keep telemetry in memory and checkpoint via Fleet.Checkpoint)", c.flag)
+				return fmt.Errorf("%s supervises the single-tenant daemon; it is not available with -fleet (fleet telemetry lives in -audit-dir and checkpoints in -ckpt)", c.flag)
 			}
 		}
 	} else if o.shards > 0 {

@@ -63,6 +63,16 @@ func TestValidateAcceptsCommonInvocations(t *testing.T) {
 			o.fleetN, o.shape = 4, "surge"
 			return o
 		}(),
+		"fleet with checkpoints and audit dir": func() options {
+			o := base()
+			o.fleetN, o.ckpt, o.auditDir = 4, "state", "audit"
+			return o
+		}(),
+		"shard member": func() options {
+			o := base()
+			o.shardAddr, o.ckpt, o.auditDir = "127.0.0.1:0", "state", "audit"
+			return o
+		}(),
 	}
 	for name, o := range cases {
 		if err := o.validate(); err != nil {
@@ -101,11 +111,17 @@ func TestValidateRejectsContradictions(t *testing.T) {
 		{"more shards than tenants", func(o *options) { o.fleetN, o.shards = 4, 8 }, "-shards 8 exceeds"},
 		{"shards without fleet", func(o *options) { o.shards = 4 }, "needs -fleet"},
 		{"fleet with azure shape", func(o *options) { o.fleetN, o.shape = 4, "azure" }, "open-loop"},
-		{"fleet with ckpt", func(o *options) { o.fleetN, o.ckpt = 4, "state" }, "-ckpt"},
 		{"fleet with lifecycle", func(o *options) { o.fleetN, o.lifecycle = 4, true }, "-lifecycle"},
 		{"fleet with audit", func(o *options) { o.fleetN, o.audit = 4, "run.jsonl" }, "-audit"},
 		{"fleet with obs", func(o *options) { o.fleetN, o.obs = 4, "127.0.0.1:0" }, "-obs"},
 		{"fleet with crash-at", func(o *options) { o.fleetN, o.ckpt, o.crashAt = 4, "state", 10 }, "not available with -fleet"},
+		{"shard with fleet", func(o *options) { o.shardAddr, o.fleetN = "127.0.0.1:0", 4 }, "pick one"},
+		{"shard with train", func(o *options) { o.shardAddr, o.train, o.model = "127.0.0.1:0", true, "" }, "-train"},
+		{"shard with shards", func(o *options) { o.shardAddr, o.shards = "127.0.0.1:0", 2 }, "-shards"},
+		{"shard with replay", func(o *options) { o.shardAddr, o.replay = "127.0.0.1:0", "run.jsonl" }, "-replay"},
+		{"shard with lifecycle", func(o *options) { o.shardAddr, o.lifecycle = "127.0.0.1:0", true }, "-lifecycle"},
+		{"shard with obs", func(o *options) { o.shardAddr, o.obs = "127.0.0.1:0", "127.0.0.1:0" }, "-obs"},
+		{"audit-dir without fleet or shard", func(o *options) { o.auditDir = "audit" }, "-audit-dir"},
 	}
 	for _, c := range cases {
 		o := base()

@@ -3,39 +3,76 @@ package main
 import (
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"graf"
+	"graf/internal/fleet"
+	"graf/internal/rpc"
 )
 
-// runFleet drives a multi-tenant fleet: -fleet N tenants running the same
-// application and rate shape, sharded across the worker pool, all solving
-// through one shared batched/cached inference service. Returns a process
-// exit code: non-zero when any tenant had to be quarantined.
-func runFleet(a *graf.App, tr *graf.TrainedModel, o options, seed int64) int {
-	cfg := graf.FleetConfig{
-		Shards:    o.shards,
-		TickS:     5,
+// fleetSpec is the portable fleet description this grafd run realizes. The
+// same spec drives both the in-process fleet below and the multi-process
+// control plane (grafrouter + grafd -shard); routing every mode through one
+// spec is what makes a single-process run the byte-exact reference for a
+// distributed one.
+func fleetSpec(o options, seed int64) rpc.Spec {
+	return rpc.Spec{
+		App:       o.appName,
+		Shape:     o.shape,
+		Rate:      o.rate,
 		Seed:      seed,
+		TickS:     5,
 		WarmStart: true,
 	}
-	var rate func(float64) float64
-	switch o.shape {
-	case "surge":
-		rate = graf.StepRate(50, 300, 120*time.Second)
-	default:
-		rate = graf.ConstRate(o.rate)
+}
+
+// fleetBundle adapts the loaded model artifact to the control plane's
+// shard-local bundle.
+func fleetBundle(tr *graf.TrainedModel) rpc.ModelBundle {
+	return rpc.ModelBundle{
+		Model:   tr.Model,
+		Bounds:  tr.Bounds,
+		SLO:     tr.SLO.Seconds(),
+		MinRate: tr.MinRate, MaxRate: tr.MaxRate,
 	}
-	for i := 0; i < o.fleetN; i++ {
-		cfg.Tenants = append(cfg.Tenants, graf.FleetTenant{
-			ID:   fmt.Sprintf("tenant-%02d", i),
-			Rate: rate,
-		})
-	}
-	f, err := graf.NewFleet(a, tr, cfg)
+}
+
+// runFleet drives a multi-tenant fleet in one process: -fleet N tenants
+// running the same application and rate shape, sharded across the worker
+// pool, all solving through one shared batched/cached inference service.
+// SIGINT/SIGTERM between rounds drains the fleet: every tenant's audit log
+// is flushed and (with -ckpt) every tenant namespace is checkpointed before
+// exit, so a successor process can verify it lost nothing. Returns a process
+// exit code: non-zero when any tenant had to be quarantined.
+func runFleet(tr *graf.TrainedModel, o options, seed int64) int {
+	spec := fleetSpec(o, seed)
+	cfg, err := spec.FleetConfig(fleetBundle(tr), o.auditDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	// Static mode: the tenant population is fixed for the whole run, so the
+	// startup pass may repair every torn audit tail in -audit-dir (exclusive
+	// ownership of the whole directory is guaranteed).
+	cfg.Dynamic = false
+	cfg.Shards = o.shards
+	if cfg.Shards == 0 && o.fleetN < 8 {
+		// The default shard count tracks the worker pool; small fleets must
+		// not fail the shards≤tenants invariant.
+		cfg.Shards = o.fleetN
+	}
+	for i := 0; i < o.fleetN; i++ {
+		cfg.Tenants = append(cfg.Tenants, spec.TenantConfig(fmt.Sprintf("tenant-%02d", i)))
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if n := f.RepairedLogs(); n > 0 {
+		fmt.Printf("fleet: repaired %d torn audit tail(s) in %s\n", n, o.auditDir)
 	}
 
 	nshards := 0
@@ -44,11 +81,57 @@ func runFleet(a *graf.App, tr *graf.TrainedModel, o options, seed int64) int {
 			nshards = tn.Shard + 1
 		}
 	}
-	fmt.Printf("fleet: %d tenants, %d shards, shape=%s, %ds horizon\n",
-		o.fleetN, nshards, o.shape, o.durS)
+	rounds := int(float64(o.durS) / cfg.TickS)
+	fmt.Printf("fleet: %d tenants, %d shards, shape=%s, %ds horizon (%d rounds)\n",
+		o.fleetN, nshards, o.shape, o.durS, rounds)
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+
+	ckptEveryRounds := 0
+	if o.ckpt != "" {
+		ckptEveryRounds = int(o.ckptEvery / cfg.TickS)
+		if ckptEveryRounds < 1 {
+			ckptEveryRounds = 1
+		}
+	}
+
+	f.Start()
 	start := time.Now()
-	f.Run(float64(o.durS))
+	drained := false
+run:
+	for r := 1; r <= rounds; r++ {
+		select {
+		case sig := <-sigC:
+			fmt.Printf("\n%v: draining fleet\n", sig)
+			drained = true
+			break run
+		default:
+		}
+		f.RoundTo(r)
+		if ckptEveryRounds > 0 && r%ckptEveryRounds == 0 && r < rounds {
+			if _, err := f.Checkpoint(o.ckpt); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			}
+		}
+	}
 	wall := time.Since(start).Seconds()
+
+	// Drain: flush every audit mirror, checkpoint every tenant namespace,
+	// then stop the inference service — the same sequence a shard process
+	// runs on shutdown, so restarts and migrations see identical artifacts.
+	f.FlushAudit()
+	if o.ckpt != "" {
+		if n, err := f.Checkpoint(o.ckpt); err != nil {
+			fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("fleet: checkpointed %d tenant namespace(s) into %s\n", n, o.ckpt)
+		}
+	}
+	f.Stop()
+	if drained {
+		fmt.Printf("fleet: drained at round %d with every audit log flushed\n", f.Stats().Rounds)
+	}
 
 	for _, tn := range f.Tenants() {
 		status := "ok"
@@ -69,6 +152,9 @@ func runFleet(a *graf.App, tr *graf.TrainedModel, o options, seed int64) int {
 		}
 		fmt.Printf("inference: %d requests in %d batches, cache hit rate %.1f%% (%d/%d)\n",
 			st.BatchedReqs, st.Batches, hitPct, st.CacheHits, total)
+	}
+	if o.auditDir != "" {
+		fmt.Printf("audit logs written to %s\n", o.auditDir)
 	}
 	if st.Degraded > 0 {
 		return 1

@@ -74,6 +74,9 @@ func main() {
 	modelDir := flag.String("model-archive", "", "with -lifecycle: persist every model generation into this directory as GRAFMDL1 files")
 	fleetN := flag.Int("fleet", 0, "run a sharded multi-tenant fleet of this many tenant applications sharing one batched inference service")
 	shards := flag.Int("shards", 0, "with -fleet: number of deterministic tenant shards (default: one per worker)")
+	appName := flag.String("app", "online-boutique", "builtin application graph (online-boutique | social-network | robot-shop | bookinfo | chain-N)")
+	auditDir := flag.String("audit-dir", "", "with -fleet or -shard: mirror every tenant's audit log into this directory (torn tails are repaired at startup)")
+	shardAddr := flag.String("shard", "", "serve one control-plane shard on this address (host:port; port 0 picks one) and wait for a grafrouter to install the fleet spec")
 	flag.Parse()
 
 	opts := options{
@@ -84,13 +87,18 @@ func main() {
 		crashAt: *crashAt, assertRestore: *assertRestore,
 		lifecycle: *lifecycleOn, modelArchive: *modelDir,
 		fleetN: *fleetN, shards: *shards,
+		appName: *appName, auditDir: *auditDir, shardAddr: *shardAddr,
 	}
 	if err := opts.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)
 		os.Exit(2)
 	}
 
-	a := graf.OnlineBoutique()
+	a, err := graf.AppByName(opts.appName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)
+		os.Exit(2)
+	}
 	var tr *graf.TrainedModel
 	switch {
 	case *train:
@@ -116,8 +124,12 @@ func main() {
 		os.Exit(replay(tr, *replayPath))
 	}
 
+	if *shardAddr != "" {
+		os.Exit(runShard(tr, opts))
+	}
+
 	if *fleetN > 0 {
-		os.Exit(runFleet(a, tr, opts, *seed))
+		os.Exit(runFleet(tr, opts, *seed))
 	}
 
 	s := graf.NewSimulation(a, *seed)

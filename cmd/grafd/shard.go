@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"graf"
+	"graf/internal/rpc"
+)
+
+// runShard turns this grafd process into one member of a multi-process
+// fleet: it serves the control-plane protocol on -shard's address and waits
+// for a grafrouter to install the fleet spec, admit tenants, and drive
+// rounds. The process holds no configuration of its own beyond the model
+// artifact and the shared -ckpt/-audit-dir stores — everything that varies
+// per run arrives over the wire, so any shard process can own any tenant.
+//
+// The first stdout line is machine-parsed by grafrouter's spawner:
+//
+//	shard listening on HOST:PORT
+//
+// SIGTERM/SIGINT drains the shard (flush audit, checkpoint every tenant,
+// stop the fleet) before exiting; a SIGKILL — the chaos case — leaves the
+// durable audit logs behind, which is all recovery needs.
+func runShard(tr *graf.TrainedModel, o options) int {
+	s := &rpc.ShardServer{
+		Bundle:   fleetBundle(tr),
+		CkptDir:  o.ckpt,
+		AuditDir: o.auditDir,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	addr, err := s.Serve(o.shardAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard listen: %v\n", err)
+		return 1
+	}
+	fmt.Printf("shard listening on %s\n", addr)
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigC
+	fmt.Printf("%v: draining\n", sig)
+	if err := s.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "shard shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,473 @@
+// Command grafrouter is the multi-process fleet's control-plane head: it
+// spawns (or attaches to) N grafd shard processes, installs the fleet spec
+// on each over HTTP, places tenants with consistent hashing, and drives the
+// global round clock. Shards are health-checked with heartbeat probes; every
+// call carries retry/timeout/exponential-backoff with jitter and a per-shard
+// circuit breaker, so one slow or dead shard never stalls the router loop.
+//
+// Robustness drills:
+//
+//	grafrouter -model m.graf -spawn 2 -fleet 8 -dur 120 -audit-dir a -ckpt c
+//	grafrouter ... -kill-shard 0@12        # SIGKILL shard 0 at round 12:
+//	                                       # respawn/reassign, replay, verify
+//	grafrouter ... -migrate tenant-03@5:1  # drain → checkpoint → restore on
+//	                                       # shard 1, verified byte-identical
+//
+// The run exits non-zero if any tenant lost a decision, failed verification,
+// or finished behind the round clock. `lost_decisions=0` on the summary line
+// is the machine-checked success marker.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"graf"
+	"graf/internal/chaos"
+	"graf/internal/rpc"
+)
+
+type routerOptions struct {
+	model    string
+	appName  string
+	shape    string
+	rate     float64
+	seed     int64
+	durS     int
+	fleetN   int
+	spawn    int
+	shards   string
+	grafdBin string
+	ckpt     string
+	auditDir string
+
+	ckptEveryRounds int
+	restartBudget   int
+	killShard       string
+	migrate         string
+	netDrop         float64
+	netDelayMS      float64
+}
+
+// validate rejects contradictory flag combinations before any process is
+// spawned — the router-side twin of grafd's own flag validation.
+func (o routerOptions) validate() error {
+	if o.model == "" {
+		return fmt.Errorf("need -model <path> (every shard process loads the same artifact)")
+	}
+	if o.spawn > 0 && o.shards != "" {
+		return fmt.Errorf("-spawn starts shard processes and -shards attaches to running ones: pick one")
+	}
+	if o.spawn <= 0 && o.shards == "" {
+		return fmt.Errorf("need -spawn N or -shards addr,addr")
+	}
+	if o.fleetN <= 0 {
+		return fmt.Errorf("-fleet %d must be positive", o.fleetN)
+	}
+	if o.durS <= 0 {
+		return fmt.Errorf("-dur %d s must be positive", o.durS)
+	}
+	if o.rate <= 0 {
+		return fmt.Errorf("-rate %v must be positive", o.rate)
+	}
+	if o.killShard != "" && o.spawn <= 0 {
+		return fmt.Errorf("-kill-shard sends SIGKILL to a spawned shard; it needs -spawn (the router does not kill processes it did not start)")
+	}
+	if o.netDrop < 0 || o.netDrop >= 1 {
+		return fmt.Errorf("-net-drop %v must be in [0,1)", o.netDrop)
+	}
+	return nil
+}
+
+// shardProc is one spawned grafd -shard child.
+type shardProc struct {
+	slot int
+	addr string
+	cmd  *exec.Cmd
+	done chan struct{} // closed when Wait returns
+}
+
+// spawnShard starts one grafd shard process and parses its bound address
+// from the contract line `shard listening on HOST:PORT` (always the first
+// stdout line). Remaining output is streamed through with a slot prefix.
+func spawnShard(o routerOptions, slot int) (*shardProc, error) {
+	args := []string{"-model", o.model, "-shard", "127.0.0.1:0"}
+	if o.ckpt != "" {
+		args = append(args, "-ckpt", o.ckpt)
+	}
+	if o.auditDir != "" {
+		args = append(args, "-audit-dir", o.auditDir)
+	}
+	cmd := exec.Command(o.grafdBin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawn shard %d (%s): %w", slot, o.grafdBin, err)
+	}
+	p := &shardProc{slot: slot, cmd: cmd, done: make(chan struct{})}
+
+	// If the address line never arrives the child is broken; don't hang the
+	// router on it.
+	giveUp := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "shard listening on "); ok {
+			p.addr = strings.TrimSpace(addr)
+			break
+		}
+		fmt.Printf("[shard %d] %s\n", slot, line)
+	}
+	giveUp.Stop()
+	if p.addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("shard %d exited before reporting its address", slot)
+	}
+	go func() {
+		for sc.Scan() {
+			fmt.Printf("[shard %d] %s\n", slot, sc.Text())
+		}
+		cmd.Wait()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// kill delivers SIGKILL — the chaos path: no drain, no flush, the process is
+// simply gone. Recovery must work from the durable audit logs alone.
+func (p *shardProc) kill() {
+	p.cmd.Process.Kill()
+	<-p.done
+}
+
+// terminate asks for a graceful drain and waits bounded time for it.
+func (p *shardProc) terminate() {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-p.done
+	}
+}
+
+// parseAt splits "x@round" clauses.
+func parseAt(s string) (string, int, error) {
+	head, tail, ok := strings.Cut(s, "@")
+	if !ok {
+		return "", 0, fmt.Errorf("%q: want <target>@<round>", s)
+	}
+	round, err := strconv.Atoi(tail)
+	if err != nil || round <= 0 {
+		return "", 0, fmt.Errorf("%q: round %q must be a positive integer", s, tail)
+	}
+	return head, round, nil
+}
+
+func main() {
+	o := routerOptions{}
+	flag.StringVar(&o.model, "model", "", "trained model from graftrain (shared by every shard)")
+	flag.StringVar(&o.appName, "app", "online-boutique", "builtin application graph (online-boutique | social-network | robot-shop | bookinfo | chain-N)")
+	flag.StringVar(&o.shape, "shape", "const", "tenant arrival-rate shape: const | surge")
+	flag.Float64Var(&o.rate, "rate", 150, "constant rate, or surge base (req/s)")
+	flag.Int64Var(&o.seed, "seed", 1, "fleet seed (per-tenant engine seeds derive from it)")
+	flag.IntVar(&o.durS, "dur", 600, "simulated duration (s)")
+	flag.IntVar(&o.fleetN, "fleet", 8, "tenant count")
+	flag.IntVar(&o.spawn, "spawn", 0, "spawn this many grafd -shard child processes")
+	flag.StringVar(&o.shards, "shards", "", "attach to running shard processes at these comma-separated addresses (instead of -spawn)")
+	flag.StringVar(&o.grafdBin, "grafd-bin", "./grafd", "grafd binary to spawn shards from (with -spawn)")
+	flag.StringVar(&o.ckpt, "ckpt", "", "shared checkpoint directory passed to every shard")
+	flag.StringVar(&o.auditDir, "audit-dir", "", "shared per-tenant audit mirror directory passed to every shard")
+	flag.IntVar(&o.ckptEveryRounds, "ckpt-every-rounds", 0, "checkpoint every shard each N rounds (0 = only at shutdown)")
+	flag.IntVar(&o.restartBudget, "restart-budget", 1, "respawns allowed per shard slot before falling back to reassignment (0 = reassign immediately)")
+	flag.StringVar(&o.killShard, "kill-shard", "", "chaos: SIGKILL spawned shard <slot> at the start of round <round>, as slot@round (e.g. 0@12)")
+	flag.StringVar(&o.migrate, "migrate", "", "planned migration tenant@round:slot (e.g. tenant-03@5:1)")
+	flag.Float64Var(&o.netDrop, "net-drop", 0, "chaos: drop each control-plane request with this probability (seeded-deterministic)")
+	flag.Float64Var(&o.netDelayMS, "net-delay-ms", 0, "chaos: add this latency to ~30% of control-plane requests")
+	flag.Parse()
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "grafrouter: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(o))
+}
+
+func run(o routerOptions) int {
+	tr, err := graf.LoadModel(o.model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load model: %v\n", err)
+		return 1
+	}
+	spec := rpc.Spec{
+		App: o.appName, Shape: o.shape, Rate: o.rate,
+		Seed: o.seed, TickS: 5, WarmStart: true,
+	}
+	// Fail fast if the artifact cannot realize the spec (wrong service
+	// count, bad shape) before any shard process is spawned. The shards
+	// load the same file themselves; the router never keeps the model.
+	bundle := rpc.ModelBundle{
+		Model: tr.Model, Bounds: tr.Bounds, SLO: tr.SLO.Seconds(),
+		MinRate: tr.MinRate, MaxRate: tr.MaxRate,
+	}
+	if _, err := spec.FleetConfig(bundle, ""); err != nil {
+		fmt.Fprintf(os.Stderr, "grafrouter: %v\n", err)
+		return 2
+	}
+	rounds := int(float64(o.durS) / spec.TickS)
+
+	// Assemble the shard set: spawned children or external addresses.
+	var addrs []string
+	var procs []*shardProc // index = slot; nil for external shards
+	var procMu sync.Mutex
+	if o.spawn > 0 {
+		for slot := 0; slot < o.spawn; slot++ {
+			p, err := spawnShard(o, slot)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				for _, q := range procs {
+					q.kill()
+				}
+				return 1
+			}
+			fmt.Printf("router: shard %d up at %s (pid %d)\n", slot, p.addr, p.cmd.Process.Pid)
+			procs = append(procs, p)
+			addrs = append(addrs, p.addr)
+		}
+	} else {
+		addrs = strings.Split(o.shards, ",")
+		procs = make([]*shardProc, len(addrs))
+	}
+
+	// Parse the chaos/migration schedules now that slots exist. Slot "max"
+	// resolves at kill time to the spawned shard owning the most tenants —
+	// the drill then always has something to recover, whatever the ring
+	// happened to decide.
+	killSlot, killRound := -1, -1
+	const killSlotMax = -2
+	if o.killShard != "" {
+		slotS, round, err := parseAt(o.killShard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grafrouter: -kill-shard %v\n", err)
+			return 2
+		}
+		if slotS == "max" {
+			killSlot = killSlotMax
+		} else {
+			slot, err := strconv.Atoi(slotS)
+			if err != nil || slot < 0 || slot >= len(addrs) {
+				fmt.Fprintf(os.Stderr, "grafrouter: -kill-shard slot %q out of range (0..%d, or \"max\")\n", slotS, len(addrs)-1)
+				return 2
+			}
+			killSlot = slot
+		}
+		killRound = round
+	}
+	migTenant, migRound, migSlot := "", -1, -1
+	if o.migrate != "" {
+		// Format: tenant@round:slot — move `tenant` at the start of `round`
+		// onto shard slot `slot`.
+		tenant, tail, ok := strings.Cut(o.migrate, "@")
+		roundS, slotS, ok2 := strings.Cut(tail, ":")
+		round, errR := strconv.Atoi(roundS)
+		if !ok || !ok2 || errR != nil || round <= 0 {
+			fmt.Fprintf(os.Stderr, "grafrouter: -migrate %q: want tenant@round:slot (e.g. tenant-03@5:1, or :other for any non-owning shard)\n", o.migrate)
+			return 2
+		}
+		if slotS == "other" {
+			// Resolved at migration time to a live shard that does not
+			// currently own the tenant — the drill is never a no-op.
+			migSlot = -2
+		} else {
+			slot, errS := strconv.Atoi(slotS)
+			if errS != nil || slot < 0 || slot >= len(addrs) {
+				fmt.Fprintf(os.Stderr, "grafrouter: -migrate slot %q out of range (0..%d, or \"other\")\n", slotS, len(addrs)-1)
+				return 2
+			}
+			migSlot = slot
+		}
+		migTenant, migRound = tenant, round
+	}
+
+	// The chaos schedule: optional wire faults keyed by the router's round
+	// clock and a fixed seed — replayable. (The scripted SIGKILL is driver
+	// work, performed in the round loop below.)
+	var events []chaos.NetEvent
+	if o.netDrop > 0 {
+		events = append(events, chaos.Drop(1, rounds, "", o.netDrop))
+	}
+	if o.netDelayMS > 0 {
+		events = append(events, chaos.Delay(1, rounds, "", 0.3, o.netDelayMS))
+	}
+	var fault rpc.FaultInjector
+	if len(events) > 0 {
+		fault = chaos.NewNetInjector(chaos.NetScenario{Name: "grafrouter", Seed: o.seed, Events: events})
+	}
+
+	cfg := rpc.RouterConfig{
+		Spec:                  spec,
+		Client:                rpc.ClientConfig{Seed: o.seed},
+		RestartBudget:         o.restartBudget,
+		CheckpointEveryRounds: o.ckptEveryRounds,
+		Fault:                 fault,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("router: "+format+"\n", args...)
+		},
+	}
+	if o.restartBudget == 0 {
+		cfg.RestartBudget = -1 // reassign immediately, never respawn
+	}
+	if o.spawn > 0 {
+		cfg.Respawn = func(slot int) (string, error) {
+			p, err := spawnShard(o, slot)
+			if err != nil {
+				return "", err
+			}
+			procMu.Lock()
+			procs[slot] = p
+			procMu.Unlock()
+			fmt.Printf("router: shard %d respawned at %s (pid %d)\n", slot, p.addr, p.cmd.Process.Pid)
+			return p.addr, nil
+		}
+	}
+	for i := 0; i < o.fleetN; i++ {
+		cfg.Tenants = append(cfg.Tenants, fmt.Sprintf("tenant-%02d", i))
+	}
+
+	r, err := rpc.NewRouter(cfg, addrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("router: %d tenants, %d shards, shape=%s, %d rounds (%ds horizon)\n",
+		o.fleetN, len(addrs), o.shape, rounds, o.durS)
+	if err := r.Bootstrap(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	start := time.Now()
+	exit := 0
+	for round := 1; round <= rounds; round++ {
+		if killRound == round {
+			slot := killSlot
+			if slot == killSlotMax {
+				owners := map[string]int{}
+				for _, id := range cfg.Tenants {
+					owners[r.Owner(id)]++
+				}
+				best := -1
+				for _, si := range r.Shards() {
+					if si.Alive && procs[si.Slot] != nil && (best < 0 || owners[si.Addr] > owners[r.Shards()[best].Addr]) {
+						best = si.Slot
+					}
+				}
+				slot = best
+			}
+			procMu.Lock()
+			var p *shardProc
+			if slot >= 0 {
+				p = procs[slot]
+			}
+			procMu.Unlock()
+			if p != nil {
+				fmt.Printf("router: CHAOS — SIGKILL shard %d (pid %d) at round %d\n", slot, p.cmd.Process.Pid, round)
+				p.kill()
+			}
+		}
+		if migRound == round && migTenant != "" {
+			slot := migSlot
+			if slot == -2 {
+				cur := r.Owner(migTenant)
+				for _, si := range r.Shards() {
+					if si.Alive && si.Addr != cur {
+						slot = si.Slot
+						break
+					}
+				}
+			}
+			if slot < 0 {
+				fmt.Fprintf(os.Stderr, "migrate: no live shard other than %s for %s\n", r.Owner(migTenant), migTenant)
+				exit = 1
+			} else if d, err := r.Migrate(migTenant, r.Shards()[slot].Addr); err != nil {
+				fmt.Fprintf(os.Stderr, "migrate: %v\n", err)
+				exit = 1
+			} else {
+				fmt.Printf("router: migrated %s to shard %d in %.1fms\n", migTenant, slot, float64(d.Nanoseconds())/1e6)
+			}
+		}
+		if err := r.RunRound(); err != nil {
+			fmt.Fprintf(os.Stderr, "round %d: %v\n", round, err)
+			exit = 1
+			break
+		}
+	}
+	wall := time.Since(start).Seconds()
+
+	if o.ckpt != "" {
+		if n, err := r.CheckpointAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("router: checkpointed %d tenant namespace(s)\n", n)
+		}
+	}
+
+	// Per-tenant verdicts: every live tenant must have reached the round
+	// clock with its audit fingerprint intact.
+	ticksDone := 0
+	behind := 0
+	for _, ts := range r.TenantStates() {
+		ticksDone += ts.Ticks
+		status := "ok"
+		switch {
+		case ts.Degraded:
+			status = "DEGRADED (contained)"
+		case ts.Ticks != r.Round():
+			status = fmt.Sprintf("BEHIND (%d/%d ticks)", ts.Ticks, r.Round())
+			behind++
+		}
+		fmt.Printf("  %-12s on %-21s ticks %3d  p99 %6.1f ms  violation %5.1fs  audit %6dB fnv %016x  %s\n",
+			ts.ID, r.Owner(ts.ID), ts.Ticks, ts.P99*1000, ts.ViolS, ts.AuditLen, ts.AuditFNV, status)
+	}
+
+	st := r.Stats()
+	if st.LostDecisions > 0 || behind > 0 {
+		exit = 1
+	}
+	fmt.Printf("router done: rounds=%d ticks=%d wall=%.1fs ticks_per_s=%.1f lost_decisions=%d migrations=%d respawns=%d reassignments=%d verified_restores=%d snapshot_verified=%d replayed_ticks=%d recovery_blackout_ms=%.1f\n",
+		st.Rounds, ticksDone, wall, float64(ticksDone)/wall,
+		st.LostDecisions, st.Migrations, st.Respawns, st.Reassignments,
+		st.VerifiedRestores, st.SnapshotVerified, st.ReplayedTicks, st.RecoveryBlackoutMS)
+	for i, ms := range st.MigrationBlackouts {
+		fmt.Printf("migration_blackout_ms=%.2f (migration %d)\n", ms, i)
+	}
+
+	// Drain spawned shards: SIGTERM flushes + checkpoints each one.
+	procMu.Lock()
+	for _, p := range procs {
+		if p != nil {
+			select {
+			case <-p.done: // already dead (chaos)
+			default:
+				p.terminate()
+			}
+		}
+	}
+	procMu.Unlock()
+	if o.auditDir != "" {
+		fmt.Printf("audit logs written to %s\n", o.auditDir)
+	}
+	return exit
+}

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "boutique", "boutique | social | robotshop | bookinfo")
+	appName := flag.String("app", "boutique", "builtin application (online-boutique | social-network | robot-shop | bookinfo | chain-N; legacy short names accepted)")
 	out := flag.String("o", "model.graf", "output path for the trained model")
 	sloMS := flag.Int("slo", 250, "latency SLO in milliseconds")
 	minRate := flag.Float64("min-rate", 40, "lowest total frontend rate covered (req/s)")
@@ -32,18 +32,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var a *graf.App
-	switch *appName {
-	case "boutique":
-		a = graf.OnlineBoutique()
-	case "social":
-		a = graf.SocialNetwork()
-	case "robotshop":
-		a = graf.RobotShop()
-	case "bookinfo":
-		a = graf.Bookinfo()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+	a, err := graf.AppByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *full {

@@ -104,6 +104,13 @@ func RobotShop() *App { return app.RobotShop() }
 // Bookinfo returns Istio's Bookinfo application (Fig 5).
 func Bookinfo() *App { return app.Bookinfo() }
 
+// AppByName resolves a builtin application by its portable name
+// ("online-boutique", "social-network", "robot-shop", "bookinfo", or
+// "chain-N" for a synthetic N-service chain) — the same names the
+// multi-process control plane ships in its fleet spec, so a CLI flag and a
+// router spec always resolve to the identical graph.
+func AppByName(name string) (*App, error) { return app.ByName(name) }
+
 // Controller health states (see Controller.Health).
 const (
 	Healthy           = core.Healthy

@@ -147,3 +147,24 @@ func Bookinfo() *App {
 	apis := []API{{Name: "productpage", Mix: 1, Root: root}}
 	return New("bookinfo", services, apis)
 }
+
+// ByName resolves a builtin application by its registered name — the form
+// the multi-process control plane ships in its fleet spec, so every shard
+// process reconstructs the identical graph. "chain-N" builds SyntheticChain.
+func ByName(name string) (*App, error) {
+	switch name {
+	case "online-boutique", "boutique":
+		return OnlineBoutique(), nil
+	case "social-network", "social":
+		return SocialNetwork(), nil
+	case "robot-shop", "robot", "robotshop":
+		return RobotShop(), nil
+	case "bookinfo":
+		return Bookinfo(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "chain-%d", &n); err == nil && n >= 2 {
+		return SyntheticChain(n), nil
+	}
+	return nil, fmt.Errorf("app: unknown application %q", name)
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"graf/internal/app"
+	"graf/internal/chaos"
+	"graf/internal/core"
+	"graf/internal/fleet"
+	"graf/internal/gnn"
+	"graf/internal/rpc"
+)
+
+// FleetRPCStats are the machine-checked numbers of the fleet-rpc
+// experiment, exposed separately so BenchmarkFleetRPC can emit them as
+// testing.B metrics for the BENCH_fleetrpc.json regression pipeline.
+type FleetRPCStats struct {
+	TicksPerS           float64
+	MigrationBlackoutMS float64
+	RebalanceBlackoutMS float64
+	LostDecisions       float64
+	ByteIdentical       bool
+}
+
+// FleetRPC measures the multi-process control plane (DESIGN.md §3h): two
+// shard servers behind a router, driven over real HTTP sockets, through a
+// full robustness drill — a planned tenant migration mid-run, then a chaos
+// shard kill (abrupt server death, no drain) with seeded request drops on
+// the wire throughout. The run must end with every tenant's on-disk audit
+// log byte-identical to an unkilled single-process fleet of the same seed:
+// the distributed plane may cost wall clock, but never decisions.
+func FleetRPC(s Scale) Result {
+	res, _ := FleetRPCRun(s)
+	return res
+}
+
+// FleetRPCRun is FleetRPC plus its raw stats.
+func FleetRPCRun(s Scale) (Result, FleetRPCStats) {
+	res := Result{
+		ID:     "fleet-rpc",
+		Title:  "Multi-process fleet: routed shards vs single process, with migration + shard kill",
+		Header: []string{"mode", "tenants", "shards", "rounds", "wall s", "ticks/s", "lost decisions"},
+	}
+
+	tenants := 16
+	rounds := 10
+	if s.Name != "quick" {
+		tenants = 96
+		rounds = 16
+	}
+
+	a := app.SyntheticChain(4)
+	m := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(42)))
+	n := len(a.Services)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i], hi[i] = 100, 1500
+	}
+	bundle := rpc.ModelBundle{
+		Model:  m,
+		Bounds: core.Bounds{Lo: lo, Hi: hi},
+		SLO:    0.25, MinRate: 50, MaxRate: 400,
+	}
+	spec := rpc.Spec{App: "chain-4", Shape: "const", Rate: 120, Seed: 7, TickS: 5}
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("tenant-%03d", i)
+	}
+
+	// Reference: the same population in one static single-process fleet.
+	refStart := time.Now()
+	want := fleetRPCReference(bundle, spec, ids, rounds)
+	refWall := time.Since(refStart).Seconds()
+	res.AddRow("single process", di(tenants), "1", di(rounds), f2(refWall),
+		f1(float64(tenants*rounds)/refWall), "-")
+
+	// Distributed: two shard servers + router, chaos drops on the wire.
+	dirs := struct{ audit, ckpt string }{benchTempDir("fleetrpc-audit"), benchTempDir("fleetrpc-ckpt")}
+	defer os.RemoveAll(dirs.audit)
+	defer os.RemoveAll(dirs.ckpt)
+
+	newShard := func() *rpc.ShardServer {
+		sh := &rpc.ShardServer{Bundle: bundle, CkptDir: dirs.ckpt, AuditDir: dirs.audit}
+		if _, err := sh.Serve("127.0.0.1:0"); err != nil {
+			panic(err)
+		}
+		return sh
+	}
+	shards := []*rpc.ShardServer{newShard(), newShard()}
+	addrs := []string{shards[0].Addr(), shards[1].Addr()}
+
+	inj := chaos.NewNetInjector(chaos.NetScenario{
+		Name: "fleet-rpc", Seed: 11,
+		Events: []chaos.NetEvent{chaos.Drop(1, rounds, "", 0.10)},
+	})
+	r, err := rpc.NewRouter(rpc.RouterConfig{
+		Spec:    spec,
+		Tenants: ids,
+		// BreakerThreshold counts consecutive *attempt* failures, and the
+		// fault verdicts depend on the random listen ports — at 10% drops
+		// the default threshold of 3 opens spuriously (~0.1% per window
+		// over hundreds of attempts) and its cooldown outlasts the health
+		// probes, turning a droppy patch into a false shard death.
+		Client: rpc.ClientConfig{
+			Timeout: 5 * time.Second, Retries: 4,
+			BackoffBase: 2 * time.Millisecond, BackoffMax: 20 * time.Millisecond,
+			BreakerThreshold: 12, BreakerCooldown: 50 * time.Millisecond,
+		},
+		HeartbeatEvery: 20 * time.Millisecond,
+		Fault:          inj,
+	}, addrs)
+	if err != nil {
+		panic(err)
+	}
+	if err := r.Bootstrap(); err != nil {
+		panic(err)
+	}
+
+	var st FleetRPCStats
+	killRound := rounds/2 + 1
+	migRound := 3
+	start := time.Now()
+	for round := 1; round <= rounds; round++ {
+		if round == migRound {
+			// Planned migration: the first tenant moves to whichever shard
+			// does not own it.
+			target := addrs[0]
+			if r.Owner(ids[0]) == target {
+				target = addrs[1]
+			}
+			if _, err := r.Migrate(ids[0], target); err != nil {
+				panic(err)
+			}
+		}
+		if round == killRound {
+			// Chaos: abruptly kill the shard owning the most tenants; its
+			// orphans must be reassigned and verified against their logs.
+			owners := map[string]int{}
+			for _, id := range ids {
+				owners[r.Owner(id)]++
+			}
+			victim := 0
+			if owners[addrs[1]] > owners[addrs[0]] {
+				victim = 1
+			}
+			shards[victim].Kill()
+		}
+		if err := r.RunRound(); err != nil {
+			panic(err)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	for _, sh := range shards {
+		sh.Shutdown()
+	}
+
+	rs := r.Stats()
+	ticks := 0
+	for _, ts := range r.TenantStates() {
+		ticks += ts.Ticks
+	}
+	st.TicksPerS = float64(ticks) / wall
+	st.RebalanceBlackoutMS = rs.RecoveryBlackoutMS
+	st.LostDecisions = float64(rs.LostDecisions)
+	for _, ms := range rs.MigrationBlackouts {
+		if ms > st.MigrationBlackoutMS {
+			st.MigrationBlackoutMS = ms
+		}
+	}
+
+	// The acceptance check: every audit file byte-identical to the
+	// unkilled single-process reference.
+	st.ByteIdentical = true
+	for _, id := range ids {
+		b, err := os.ReadFile(filepath.Join(dirs.audit, fleet.SanitizeID(id)+".jsonl"))
+		if err != nil || !bytes.Equal(b, want[id]) {
+			st.ByteIdentical = false
+			res.Note("MISMATCH tenant %s: distributed audit differs from reference (err %v)", id, err)
+		}
+	}
+
+	res.AddRow("routed 2 shards", di(tenants), "2", di(rounds), f2(wall),
+		f1(st.TicksPerS), f0(st.LostDecisions))
+
+	res.Note("fleetrpc_ticks_per_s=%.1f (aggregate, %d tenants across 2 shard processes + router over HTTP)", st.TicksPerS, tenants)
+	res.Note("migration_blackout_ms=%.2f (drain -> checkpoint -> rebuild + fast-forward on target, fingerprint-verified)", st.MigrationBlackoutMS)
+	res.Note("rebalance_blackout_ms=%.2f (shard killed at round %d: %d respawns, %d reassignments)", st.RebalanceBlackoutMS, killRound, rs.Respawns, rs.Reassignments)
+	res.Note("lost_decisions=%.0f verified_restores=%d snapshot_verified=%d replayed_ticks=%d (target 0 lost)", st.LostDecisions, rs.VerifiedRestores, rs.SnapshotVerified, rs.ReplayedTicks)
+	if st.ByteIdentical {
+		res.Note("byte_identical=true: every tenant's audit log matches the unkilled single-process run exactly")
+	} else {
+		res.Note("byte_identical=false REGRESSION: distributed run lost or altered decisions")
+	}
+	res.Note("wire chaos: 10%% seeded request drops all run; client retries with jittered backoff absorb them")
+	return res, st
+}
+
+// fleetRPCReference runs the population in one static fleet and returns each
+// tenant's audit bytes.
+func fleetRPCReference(bundle rpc.ModelBundle, spec rpc.Spec, ids []string, rounds int) map[string][]byte {
+	cfg, err := spec.FleetConfig(bundle, "")
+	if err != nil {
+		panic(err)
+	}
+	cfg.Dynamic = false
+	cfg.Shards = 1
+	cfg.Workers = 1
+	for _, id := range ids {
+		cfg.Tenants = append(cfg.Tenants, spec.TenantConfig(id))
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	f.Run(float64(rounds) * cfg.TickS)
+	out := map[string][]byte{}
+	for _, t := range f.Tenants() {
+		out[t.ID] = append([]byte(nil), t.AuditLog()...)
+	}
+	return out
+}
+
+func benchTempDir(prefix string) string {
+	dir, err := os.MkdirTemp("", "graf-"+prefix+"-*")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Network faults for the multi-process control plane. Unlike the
+// cluster-level events above, these fire on the wire between the router and
+// its shard processes: requests are dropped, delayed, or a shard is
+// partitioned or killed outright. They plug into the rpc client's
+// FaultInjector seam (structurally — chaos does not import rpc), and every
+// decision is a pure hash of (seed, op, shard, round, attempt), so a chaos
+// run replays identically no matter how requests interleave in wall time.
+
+// NetFaultKind enumerates the injectable network fault types.
+type NetFaultKind int
+
+const (
+	// NetDrop loses each matching request with probability P (the retry
+	// path's exercise: the router must retry with backoff and succeed).
+	NetDrop NetFaultKind = iota
+	// NetDelay injects DelayMS of latency into each matching request with
+	// probability P (the timeout path's exercise).
+	NetDelay
+	// NetPartition drops every matching request — the shard is unreachable
+	// for the window, though the process stays healthy (heartbeats fail
+	// too; the breaker and the router's dead-shard machinery take over).
+	NetPartition
+	// NetShardKill marks the shard for death at the start of the window.
+	// The injector cannot kill a process itself; the driver polls
+	// KillAt/ShouldKill and performs the kill — keeping chaos free of
+	// process-management dependencies.
+	NetShardKill
+)
+
+// String names the network fault kind.
+func (k NetFaultKind) String() string {
+	switch k {
+	case NetDrop:
+		return "net-drop"
+	case NetDelay:
+		return "net-delay"
+	case NetPartition:
+		return "net-partition"
+	case NetShardKill:
+		return "shard-kill"
+	default:
+		return "unknown"
+	}
+}
+
+// NetEvent is one scheduled network fault. Windows are expressed in router
+// rounds — the control plane's logical clock — not wall time, so a fault
+// schedule is independent of how fast rounds actually run.
+type NetEvent struct {
+	Kind NetFaultKind
+	// FromRound..ToRound (inclusive) is the active window. ToRound 0 means
+	// FromRound only.
+	FromRound, ToRound int
+	// Shard targets one shard address ("" = every shard).
+	Shard string
+	// Op targets one endpoint name ("" = every endpoint; heartbeat probes
+	// are "health").
+	Op string
+	// P is the per-request probability for NetDrop/NetDelay (0..1).
+	P float64
+	// DelayMS is the injected latency for NetDelay.
+	DelayMS float64
+}
+
+func (e NetEvent) active(round int) bool {
+	to := e.ToRound
+	if to == 0 {
+		to = e.FromRound
+	}
+	return round >= e.FromRound && round <= to
+}
+
+// NetScenario is a deterministic schedule of network faults.
+type NetScenario struct {
+	Name   string
+	Seed   int64
+	Events []NetEvent
+}
+
+// Drop returns a request-drop event.
+func Drop(fromRound, toRound int, shard string, p float64) NetEvent {
+	return NetEvent{Kind: NetDrop, FromRound: fromRound, ToRound: toRound, Shard: shard, P: p}
+}
+
+// Delay returns a latency-injection event.
+func Delay(fromRound, toRound int, shard string, p, delayMS float64) NetEvent {
+	return NetEvent{Kind: NetDelay, FromRound: fromRound, ToRound: toRound, Shard: shard, P: p, DelayMS: delayMS}
+}
+
+// Partition returns a full-partition event.
+func Partition(fromRound, toRound int, shard string) NetEvent {
+	return NetEvent{Kind: NetPartition, FromRound: fromRound, ToRound: toRound, Shard: shard}
+}
+
+// ShardKill returns a shard-death event.
+func ShardKill(atRound int, shard string) NetEvent {
+	return NetEvent{Kind: NetShardKill, FromRound: atRound, Shard: shard}
+}
+
+// NetInjector evaluates a NetScenario against outbound control-plane
+// requests. It implements the rpc client's FaultInjector interface
+// structurally. Stateless by construction — every verdict is recomputed
+// from the hash — so it is safe for concurrent use without locks.
+type NetInjector struct {
+	sc NetScenario
+}
+
+// NewNetInjector builds an injector for a scenario.
+func NewNetInjector(sc NetScenario) *NetInjector {
+	return &NetInjector{sc: sc}
+}
+
+// roll maps (seed, op, shard, round, attempt, eventIndex) to a uniform
+// [0,1) — the injector's only randomness source.
+func (n *NetInjector) roll(op, shard string, round, attempt, ev int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i, v := range []int64{n.sc.Seed, int64(round), int64(attempt), int64(ev)} {
+		_ = i
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(v >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(op))
+	h.Write([]byte{0})
+	h.Write([]byte(shard))
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Intercept decides one outbound request's fate: drop it, delay it, or let
+// it through. Matches the rpc.FaultInjector contract.
+func (n *NetInjector) Intercept(op, shard string, round, attempt int) (drop bool, delay time.Duration) {
+	for i, e := range n.sc.Events {
+		if !e.active(round) {
+			continue
+		}
+		if e.Shard != "" && e.Shard != shard {
+			continue
+		}
+		if e.Op != "" && e.Op != op {
+			continue
+		}
+		switch e.Kind {
+		case NetPartition:
+			return true, 0
+		case NetDrop:
+			if n.roll(op, shard, round, attempt, i) < e.P {
+				return true, delay
+			}
+		case NetDelay:
+			if n.roll(op, shard, round, attempt, i) < e.P {
+				delay += time.Duration(e.DelayMS * float64(time.Millisecond))
+			}
+		}
+	}
+	return false, delay
+}
+
+// KillAt returns the round at which a shard is scripted to die (-1 = never).
+func (n *NetInjector) KillAt(shard string) int {
+	for _, e := range n.sc.Events {
+		if e.Kind == NetShardKill && (e.Shard == "" || e.Shard == shard) {
+			return e.FromRound
+		}
+	}
+	return -1
+}
+
+// ShouldKill reports whether a shard is scripted to die at exactly this
+// round — the driver's poll point.
+func (n *NetInjector) ShouldKill(shard string, round int) bool {
+	at := n.KillAt(shard)
+	return at >= 0 && at == round
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Same scenario, same coordinates ⇒ same verdicts: the property that makes
+// a network-chaos run replayable.
+func TestNetInjectorDeterministic(t *testing.T) {
+	sc := NetScenario{
+		Seed: 11,
+		Events: []NetEvent{
+			Drop(2, 6, "s1", 0.5),
+			Delay(3, 8, "", 0.3, 40),
+		},
+	}
+	a, b := NewNetInjector(sc), NewNetInjector(sc)
+	for round := 0; round < 12; round++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			for _, op := range []string{"tick", "admit", "health"} {
+				for _, shard := range []string{"s1", "s2"} {
+					d1, l1 := a.Intercept(op, shard, round, attempt)
+					d2, l2 := b.Intercept(op, shard, round, attempt)
+					if d1 != d2 || l1 != l2 {
+						t.Fatalf("verdict differs at (%s,%s,%d,%d)", op, shard, round, attempt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNetInjectorWindowsAndTargeting(t *testing.T) {
+	inj := NewNetInjector(NetScenario{
+		Seed:   3,
+		Events: []NetEvent{Partition(4, 6, "s1")},
+	})
+	for round := 0; round < 10; round++ {
+		drop, _ := inj.Intercept("tick", "s1", round, 0)
+		want := round >= 4 && round <= 6
+		if drop != want {
+			t.Fatalf("round %d: partition drop=%v want %v", round, drop, want)
+		}
+		if d2, _ := inj.Intercept("tick", "s2", round, 0); d2 {
+			t.Fatalf("round %d: partition leaked to untargeted shard", round)
+		}
+	}
+}
+
+// Drop probability must land near P across distinct coordinates, and the
+// per-attempt coordinate must vary — a retry after an injected drop must be
+// able to succeed (otherwise P<1 would behave like a partition).
+func TestNetInjectorDropRateAndRetryIndependence(t *testing.T) {
+	inj := NewNetInjector(NetScenario{
+		Seed:   7,
+		Events: []NetEvent{Drop(0, 1_000_000, "", 0.4)},
+	})
+	dropped := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if d, _ := inj.Intercept("tick", "s1", i, 0); d {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / trials
+	if math.Abs(rate-0.4) > 0.03 {
+		t.Fatalf("drop rate %.3f, want ≈0.40", rate)
+	}
+	// At least one first-attempt drop must pass on a later attempt.
+	recovered := false
+	for i := 0; i < 200 && !recovered; i++ {
+		if d, _ := inj.Intercept("tick", "s1", i, 0); d {
+			for attempt := 1; attempt < 4; attempt++ {
+				if d2, _ := inj.Intercept("tick", "s1", i, attempt); !d2 {
+					recovered = true
+					break
+				}
+			}
+		}
+	}
+	if !recovered {
+		t.Fatal("no dropped request ever succeeded on retry — attempt not in the hash")
+	}
+}
+
+func TestNetInjectorDelayAccumulates(t *testing.T) {
+	inj := NewNetInjector(NetScenario{
+		Seed: 5,
+		Events: []NetEvent{
+			Delay(1, 1, "s1", 1.0, 25),
+			Delay(1, 1, "s1", 1.0, 10),
+		},
+	})
+	drop, delay := inj.Intercept("tick", "s1", 1, 0)
+	if drop {
+		t.Fatal("delay event dropped the request")
+	}
+	if delay != 35*time.Millisecond {
+		t.Fatalf("delay %v, want 35ms (stacked events)", delay)
+	}
+}
+
+func TestNetInjectorShardKill(t *testing.T) {
+	inj := NewNetInjector(NetScenario{
+		Events: []NetEvent{ShardKill(5, "s2")},
+	})
+	if inj.KillAt("s1") != -1 {
+		t.Fatal("untargeted shard scripted to die")
+	}
+	if inj.KillAt("s2") != 5 {
+		t.Fatalf("KillAt=%d, want 5", inj.KillAt("s2"))
+	}
+	if inj.ShouldKill("s2", 4) || !inj.ShouldKill("s2", 5) || inj.ShouldKill("s2", 6) {
+		t.Fatal("ShouldKill must fire exactly at the scripted round")
+	}
+}

@@ -51,6 +51,12 @@ var ErrCorrupt = errors.New("ckpt: corrupt file")
 type Snapshot struct {
 	Generation int
 	At         float64
+	// Ticks counts completed fleet control ticks at snapshot time. The
+	// multi-process control plane resumes a migrated tenant by
+	// deterministic re-execution up to exactly this tick count; gob decodes
+	// old snapshots without the field to 0 (single-tenant snapshots never
+	// read it).
+	Ticks      int
 	Controller core.ControllerState
 	Cluster    cluster.ClusterState
 

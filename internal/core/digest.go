@@ -1,0 +1,23 @@
+package core
+
+import (
+	"encoding/json"
+	"hash/fnv"
+)
+
+// StateDigest returns a canonical fnv-1a/64 fingerprint of a controller
+// state. Gob bytes are not comparable across encodings — map iteration order
+// leaks into them — so cross-process state verification (did deterministic
+// re-execution on the target shard reconverge to exactly the state the
+// source shard checkpointed?) hashes the JSON encoding instead:
+// encoding/json sorts map keys, making the digest a pure function of the
+// state's values.
+func StateDigest(s ControllerState) (uint64, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64(), nil
+}

@@ -325,8 +325,10 @@ func (p *TenantPredictor) Predict(load, quota []float64) float64 {
 	s := p.svc
 	s.quantize(load, quota, p.qload, p.qquota, p.key)
 	var h uint64
+	var epoch int64
 	if !s.cfg.NoCache {
 		h = hashKey(p.key)
+		epoch = s.Cache.Epoch()
 		if lat, _, ok := s.Cache.Get(h, p.key, false); ok {
 			return lat
 		}
@@ -334,7 +336,7 @@ func (p *TenantPredictor) Predict(load, quota []float64) float64 {
 	p.req.load, p.req.quota, p.req.grad = p.qload, p.qquota, false
 	s.do(&p.req)
 	if !s.cfg.NoCache {
-		s.Cache.Put(h, p.key, p.req.lat, nil)
+		s.Cache.Put(h, p.key, p.req.lat, nil, epoch)
 	}
 	return p.req.lat
 }
@@ -346,8 +348,10 @@ func (p *TenantPredictor) PredictGrad(load, quota []float64) (float64, []float64
 	s := p.svc
 	s.quantize(load, quota, p.qload, p.qquota, p.key)
 	var h uint64
+	var epoch int64
 	if !s.cfg.NoCache {
 		h = hashKey(p.key)
+		epoch = s.Cache.Epoch()
 		if lat, dq, ok := s.Cache.Get(h, p.key, true); ok {
 			copy(p.dq, dq)
 			return lat, p.dq
@@ -356,7 +360,7 @@ func (p *TenantPredictor) PredictGrad(load, quota []float64) (float64, []float64
 	p.req.load, p.req.quota, p.req.grad = p.qload, p.qquota, true
 	s.do(&p.req)
 	if !s.cfg.NoCache {
-		s.Cache.Put(h, p.key, p.req.lat, p.req.dq)
+		s.Cache.Put(h, p.key, p.req.lat, p.req.dq, epoch)
 	}
 	copy(p.dq, p.req.dq)
 	return p.req.lat, p.dq

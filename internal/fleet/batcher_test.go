@@ -122,7 +122,7 @@ func TestCacheCollisionIsMissNotCorruption(t *testing.T) {
 	keyA := []int32{1, 2, 3}
 	keyB := []int32{4, 5, 6}
 	const h = uint64(12345) // force both keys into one bucket
-	c.Put(h, keyA, 0.111, nil)
+	c.Put(h, keyA, 0.111, nil, c.Epoch())
 	if _, _, ok := c.Get(h, keyB, false); ok {
 		t.Fatal("colliding key returned another entry's value")
 	}

@@ -112,11 +112,23 @@ func (c *PredCache) Get(h uint64, key []int32, needGrad bool) (float64, []float6
 	return lat, dq, true
 }
 
+// Epoch returns the cache's current invalidation epoch. Callers capture it
+// before computing a value and pass it to Put, which drops the write if an
+// Invalidate intervened — the guard that keeps a prediction computed against
+// the old model from being cached after a model swap.
+func (c *PredCache) Epoch() int64 { return c.epoch.Load() }
+
 // Put stores a prediction for the quantized key, copying key and dq. An
 // existing entry holding a gradient is never downgraded to a grad-free one.
-func (c *PredCache) Put(h uint64, key []int32, lat float64, dq []float64) {
+// epoch must be the Epoch() observed before the value was computed: a stale
+// epoch means the serving model changed while the value was in flight, so
+// the write is silently dropped rather than poisoning the new model's cache.
+func (c *PredCache) Put(h uint64, key []int32, lat float64, dq []float64, epoch int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if epoch != c.epoch.Load() {
+		return
+	}
 	if e := c.entries[h]; e != nil && keysEqual(e.key, key) && e.dq != nil && dq == nil {
 		return
 	}
@@ -133,13 +145,15 @@ func (c *PredCache) Put(h uint64, key []int32, lat float64, dq []float64) {
 
 // Invalidate drops every entry and bumps the epoch. Called when the serving
 // model changes (lifecycle promotion): predictions from the old surface
-// must never answer queries against the new one.
+// must never answer queries against the new one. The epoch bump happens
+// under the same lock Put takes, so an in-flight Put from before the swap
+// cannot land after the flush.
 func (c *PredCache) Invalidate() {
 	c.mu.Lock()
 	c.entries = make(map[uint64]*cacheEntry)
+	c.epoch.Add(1)
 	c.mu.Unlock()
 	c.invalidations.Add(1)
-	c.epoch.Add(1)
 }
 
 // Stats returns the cache's lifetime counters and current size.

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -69,6 +72,23 @@ type Config struct {
 	// Obs, when non-nil, receives fleet-level metrics (per-tenant labels +
 	// aggregates). Per-tenant audit logs are always recorded in memory.
 	Obs *obs.Telemetry
+
+	// Dynamic admits an initially empty tenant set and enables runtime
+	// Admit/Evict/Resume — the RPC shard-server mode, where the router
+	// decides placement and the fleet is just this process's slice of it.
+	Dynamic bool
+
+	// AuditDir, when set, mirrors each tenant's audit stream into
+	// <AuditDir>/<sanitized-id>.jsonl so it survives the process. At fleet
+	// startup every existing per-tenant log in the directory is run through
+	// obs.RepairLog (a crash mid-append leaves a torn final line); the
+	// repaired prior content is retained for lossless-restore verification
+	// and the file is rewritten from scratch by the tenant that owns it.
+	AuditDir string
+
+	// AuditMemory bounds each tenant's in-memory audit record buffer
+	// (default 16; shard servers that stream decisions set it higher).
+	AuditMemory int
 }
 
 // TenantConfig describes one tenant application.
@@ -101,9 +121,10 @@ type Tenant struct {
 	Cluster *cluster.Cluster
 	Ctl     *core.Controller
 
-	gen   *workload.OpenLoop
-	tel   *obs.Telemetry
-	audit bytes.Buffer
+	gen       *workload.OpenLoop
+	tel       *obs.Telemetry
+	audit     bytes.Buffer
+	auditFile *os.File
 
 	ticks    int
 	violS    float64
@@ -135,6 +156,32 @@ func (t *Tenant) AuditLog() []byte {
 	return t.audit.Bytes()
 }
 
+// AuditDigest returns the audit stream's length and fnv-1a/64 hash — the
+// cheap fingerprint the RPC control plane ships in tick responses so the
+// router can verify lossless migration without moving the full log.
+func (t *Tenant) AuditDigest() (n int, sum uint64) {
+	b := t.AuditLog()
+	h := fnv.New64a()
+	h.Write(b)
+	return len(b), h.Sum64()
+}
+
+// Records returns the tenant's retained in-memory audit records — the
+// decision-stream endpoint's source.
+func (t *Tenant) Records() []obs.Record {
+	t.tel.Flight.Flush()
+	return t.tel.Flight.Records()
+}
+
+// Quotas returns the tenant cluster's current per-service quotas.
+func (t *Tenant) Quotas() map[string]float64 {
+	q := map[string]float64{}
+	for _, d := range t.Cluster.Snapshot().Deployments {
+		q[d.Service] = d.Quota
+	}
+	return q
+}
+
 // Fleet is a running multi-tenant control plane.
 type Fleet struct {
 	cfg     Config
@@ -145,6 +192,12 @@ type Fleet struct {
 	rounds  int
 	panics  int
 	mu      sync.Mutex // guards panics count (written from workers)
+
+	// priorAudit holds the repaired content of every per-tenant audit log
+	// found in AuditDir at startup, keyed by sanitized tenant ID. Restores
+	// verify their regenerated stream against it byte-for-byte.
+	priorAudit   map[string][]byte
+	repairedLogs int
 }
 
 // shardOf deterministically places a tenant ID.
@@ -153,6 +206,11 @@ func shardOf(id string, shards int) int {
 	h.Write([]byte(id))
 	return int(h.Sum32() % uint32(shards))
 }
+
+// SanitizeID maps a tenant ID onto the filename-safe form used for its
+// checkpoint namespace and audit file — exported so the control plane can
+// locate a tenant's artifacts from outside the package.
+func SanitizeID(id string) string { return sanitizeID(id) }
 
 // sanitizeID maps a tenant ID onto a checkpoint-file prefix.
 func sanitizeID(id string) string {
@@ -173,7 +231,7 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.App == nil || cfg.Model == nil {
 		return nil, fmt.Errorf("fleet: App and Model are required")
 	}
-	if len(cfg.Tenants) == 0 {
+	if len(cfg.Tenants) == 0 && !cfg.Dynamic {
 		return nil, fmt.Errorf("fleet: no tenants configured")
 	}
 	if cfg.Workers <= 0 {
@@ -182,7 +240,7 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = cfg.Workers
 	}
-	if cfg.Shards > len(cfg.Tenants) {
+	if cfg.Shards > len(cfg.Tenants) && !cfg.Dynamic {
 		return nil, fmt.Errorf("fleet: %d shards exceed %d tenants", cfg.Shards, len(cfg.Tenants))
 	}
 	if cfg.TickS <= 0 {
@@ -192,9 +250,24 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("fleet: SLO must be positive")
 	}
 
-	f := &Fleet{cfg: cfg, fobs: obs.NewFleetObs(cfg.Obs)}
+	f := &Fleet{cfg: cfg, fobs: obs.NewFleetObs(cfg.Obs), priorAudit: map[string][]byte{}}
 	if !cfg.DisableSharing {
 		f.svc = NewInferenceService(cfg.Model, cfg.Service, f.fobs)
+	}
+	if cfg.AuditDir != "" {
+		if err := os.MkdirAll(cfg.AuditDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: audit dir: %w", err)
+		}
+		// Dynamic (shard-server) fleets share the audit directory with live
+		// peer processes, whose files must not be scanned — RepairLog would
+		// truncate a peer's buffered partial line out from under it. They
+		// repair per-tenant at admit time instead, when ownership is
+		// exclusive.
+		if !cfg.Dynamic {
+			if err := f.repairAuditDir(); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	seen := map[string]bool{}
@@ -236,8 +309,23 @@ func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
 
 	// Per-tenant telemetry: the audit stream goes to a private buffer so
 	// determinism tests can compare runs byte-for-byte; fleet-level
-	// aggregates go to the shared registry via FleetObs instead.
-	t.tel = obs.New(obs.Options{SpanRing: 64, AuditW: &t.audit, AuditMemory: 16})
+	// aggregates go to the shared registry via FleetObs instead. With
+	// AuditDir set the same bytes are mirrored to a per-tenant file that
+	// survives the process (the shard-loss recovery path reads it back).
+	auditW := io.Writer(&t.audit)
+	if cfg.AuditDir != "" {
+		file, err := os.Create(filepath.Join(cfg.AuditDir, sanitizeID(tc.ID)+".jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s audit file: %w", tc.ID, err)
+		}
+		t.auditFile = file
+		auditW = io.MultiWriter(&t.audit, file)
+	}
+	mem := cfg.AuditMemory
+	if mem <= 0 {
+		mem = 16
+	}
+	t.tel = obs.New(obs.Options{SpanRing: 64, AuditW: auditW, AuditMemory: mem})
 	t.Cluster.Obs = obs.NewClusterObs(t.tel)
 
 	rate := tc.Rate
@@ -291,29 +379,121 @@ func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
 	return t, nil
 }
 
+// repairAuditDir scans AuditDir for per-tenant audit logs left behind by a
+// previous process and runs obs.RepairLog on each: a crash mid-append leaves
+// a torn final line that would otherwise poison every later read. The
+// repaired content is retained so a restoring tenant can be verified
+// byte-for-byte against what the dead process had durably recorded.
+func (f *Fleet) repairAuditDir() error {
+	paths, err := filepath.Glob(filepath.Join(f.cfg.AuditDir, "*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("fleet: audit dir: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, repaired, err := obs.RepairLog(p); err != nil {
+			return fmt.Errorf("fleet: repair %s: %w", p, err)
+		} else if repaired {
+			f.repairedLogs++
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("fleet: repair %s: %w", p, err)
+		}
+		stem := strings.TrimSuffix(filepath.Base(p), ".jsonl")
+		f.priorAudit[stem] = data
+	}
+	return nil
+}
+
+// PriorAudit returns the repaired pre-existing audit log for a tenant ID (as
+// found in AuditDir at startup), or nil if none existed.
+func (f *Fleet) PriorAudit(id string) []byte { return f.priorAudit[sanitizeID(id)] }
+
+// RepairedLogs returns how many audit files had a torn tail truncated at
+// startup.
+func (f *Fleet) RepairedLogs() int { return f.repairedLogs }
+
 // Run advances every live tenant through rounds of TickS simulated seconds
 // until each has covered durS. Shards are dispatched to the worker pool
 // each round with a barrier between rounds, so no tenant can run more than
 // one tick ahead of another.
 func (f *Fleet) Run(durS float64) {
+	f.Start()
+	rounds := int(math.Ceil(durS / f.cfg.TickS))
+	for r := 0; r < rounds; r++ {
+		f.Round()
+	}
+	f.Stop()
+}
+
+// Start brings up the shared inference service. Callers driving the fleet
+// round-by-round (rather than through Run) pair it with Stop.
+func (f *Fleet) Start() {
 	if f.svc != nil {
 		f.svc.Start()
 	}
-	rounds := int(math.Ceil(durS / f.cfg.TickS))
-	for r := 0; r < rounds; r++ {
-		f.runRound()
-		f.rounds++
-		f.publishRound()
+}
+
+// Stop flushes every tenant's audit stream, closes audit files and stops the
+// shared inference service. The fleet can still be inspected afterwards.
+func (f *Fleet) Stop() {
+	f.FlushAudit()
+	for _, t := range f.tenants {
+		if t.auditFile != nil {
+			t.auditFile.Close()
+			t.auditFile = nil
+		}
 	}
 	if f.svc != nil {
 		f.svc.Stop()
 	}
 }
 
-func (f *Fleet) runRound() {
+// Round runs exactly one barrier round: every live tenant advances TickS.
+func (f *Fleet) Round() {
+	f.runRound(nil)
+	f.rounds++
+	f.publishRound()
+}
+
+// RoundTo advances the fleet to the absolute round index: only tenants with
+// fewer than `round` completed ticks are ticked, which makes the operation
+// idempotent — a retried or duplicated tick request over the network is a
+// no-op for tenants that already reached the round. Freshly admitted or
+// resumed tenants are fast-forwarded by as many ticks as they are behind.
+func (f *Fleet) RoundTo(round int) {
+	if round <= 0 {
+		return
+	}
+	for {
+		behind := false
+		for _, t := range f.tenants {
+			if !t.degraded && t.ticks < round {
+				behind = true
+				break
+			}
+		}
+		if !behind {
+			break
+		}
+		f.runRound(func(t *Tenant) bool { return t.ticks < round })
+	}
+	if round > f.rounds {
+		f.rounds = round
+	}
+	f.publishRound()
+}
+
+// runRound dispatches shards to the worker pool. A nil filter ticks every
+// live tenant; otherwise only tenants the filter accepts are ticked.
+func (f *Fleet) runRound(filter func(*Tenant) bool) {
 	workers := f.cfg.Workers
 	if workers > len(f.shards) {
 		workers = len(f.shards)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	shardC := make(chan []*Tenant)
 	var wg sync.WaitGroup
@@ -323,7 +503,9 @@ func (f *Fleet) runRound() {
 			defer wg.Done()
 			for shard := range shardC {
 				for _, t := range shard {
-					f.tick(t)
+					if filter == nil || filter(t) {
+						f.tick(t)
+					}
 				}
 			}
 		}()
@@ -333,6 +515,91 @@ func (f *Fleet) runRound() {
 	}
 	close(shardC)
 	wg.Wait()
+}
+
+// FlushAudit forces every tenant's buffered audit output to its sinks (the
+// in-memory buffer and, with AuditDir, the per-tenant file). Shard servers
+// call it before answering a tick so the on-disk log is never behind what
+// the router has been told.
+func (f *Fleet) FlushAudit() {
+	for _, t := range f.tenants {
+		t.tel.Flight.Flush()
+		if t.auditFile != nil {
+			t.auditFile.Sync()
+		}
+	}
+}
+
+// Admit builds a new tenant at runtime and inserts it into the fleet
+// (Dynamic mode — the RPC admit endpoint). The tenant starts at tick 0;
+// callers restoring a migrated tenant follow up with Resume.
+func (f *Fleet) Admit(tc TenantConfig) (*Tenant, error) {
+	if tc.ID == "" {
+		return nil, fmt.Errorf("fleet: tenant with empty ID")
+	}
+	if f.Tenant(tc.ID) != nil {
+		return nil, fmt.Errorf("fleet: duplicate tenant ID %q", tc.ID)
+	}
+	t, err := f.buildTenant(tc)
+	if err != nil {
+		return nil, err
+	}
+	f.tenants = append(f.tenants, t)
+	sort.Slice(f.tenants, func(i, j int) bool { return f.tenants[i].ID < f.tenants[j].ID })
+	f.rebucket()
+	return t, nil
+}
+
+// Evict removes a tenant from the fleet (the RPC evict/drain path): its
+// audit stream is flushed, its file closed, and the tenant returned for
+// final inspection. The simulated engine simply stops being ticked.
+func (f *Fleet) Evict(id string) (*Tenant, error) {
+	t := f.Tenant(id)
+	if t == nil {
+		return nil, fmt.Errorf("fleet: unknown tenant %q", id)
+	}
+	t.tel.Flight.Flush()
+	if t.auditFile != nil {
+		t.auditFile.Sync()
+		t.auditFile.Close()
+		t.auditFile = nil
+	}
+	out := f.tenants[:0]
+	for _, x := range f.tenants {
+		if x.ID != id {
+			out = append(out, x)
+		}
+	}
+	f.tenants = out
+	f.rebucket()
+	return t, nil
+}
+
+// Resume fast-forwards a tenant to the given tick count by deterministic
+// re-execution: the tenant was built fresh from its spec (same seed, same
+// rate shape), so re-running the same ticks regenerates the exact decision
+// sequence — and byte-identical audit bytes — the original process produced.
+// This is what makes migration lossless without serializing engine state.
+func (f *Fleet) Resume(id string, ticks int) error {
+	t := f.Tenant(id)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %q", id)
+	}
+	for t.ticks < ticks && !t.degraded {
+		f.tick(t)
+	}
+	if t.degraded {
+		return fmt.Errorf("fleet: tenant %q degraded during resume: %v", id, t.panicVal)
+	}
+	return nil
+}
+
+// rebucket rebuilds the shard membership lists after an admit or evict.
+func (f *Fleet) rebucket() {
+	f.shards = make([][]*Tenant, f.cfg.Shards)
+	for _, t := range f.tenants {
+		f.shards[t.Shard] = append(f.shards[t.Shard], t)
+	}
 }
 
 // tick advances one tenant by the tick quantum, recording SLO accounting.
@@ -431,24 +698,73 @@ func (f *Fleet) Stats() Stats {
 
 // Checkpoint writes one namespaced snapshot per live tenant into dir
 // (tenant-<id>-<generation>.ckpt), so a whole fleet shares one checkpoint
-// directory without collisions.
-func (f *Fleet) Checkpoint(dir string) error {
+// directory without collisions. It returns how many tenants were saved.
+func (f *Fleet) Checkpoint(dir string) (int, error) {
+	saved := 0
 	for _, t := range f.tenants {
 		if t.degraded {
 			continue
 		}
 		store, err := ckpt.NewNamespacedStore(dir, "tenant-"+sanitizeID(t.ID))
 		if err != nil {
-			return fmt.Errorf("fleet: tenant %s: %w", t.ID, err)
+			return saved, fmt.Errorf("fleet: tenant %s: %w", t.ID, err)
 		}
 		snap := &ckpt.Snapshot{
 			At:         t.Eng.Now(),
+			Ticks:      t.ticks,
 			Controller: t.Ctl.Snapshot(),
 			Cluster:    t.Cluster.Snapshot(),
 		}
 		if _, _, err := store.Save(snap); err != nil {
-			return fmt.Errorf("fleet: tenant %s: %w", t.ID, err)
+			return saved, fmt.Errorf("fleet: tenant %s: %w", t.ID, err)
 		}
+		saved++
+	}
+	return saved, nil
+}
+
+// CheckpointTenant writes one namespaced snapshot for a single tenant — the
+// drain step of a planned migration.
+func (f *Fleet) CheckpointTenant(dir, id string) error {
+	t := f.Tenant(id)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %q", id)
+	}
+	store, err := ckpt.NewNamespacedStore(dir, "tenant-"+sanitizeID(id))
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s: %w", id, err)
+	}
+	snap := &ckpt.Snapshot{
+		At:         t.Eng.Now(),
+		Ticks:      t.ticks,
+		Controller: t.Ctl.Snapshot(),
+		Cluster:    t.Cluster.Snapshot(),
+	}
+	if _, _, err := store.Save(snap); err != nil {
+		return fmt.Errorf("fleet: tenant %s: %w", id, err)
+	}
+	return nil
+}
+
+// VerifyAgainstSnapshot compares a tenant's live state digest against a
+// snapshot — the migration verification step: after deterministic
+// re-execution on the target shard, the rebuilt controller and cluster state
+// must match what the source shard checkpointed. Gob bytes are not
+// comparable (map ordering), so the comparison uses canonical JSON digests.
+func (t *Tenant) VerifyAgainstSnapshot(snap *ckpt.Snapshot) error {
+	if t.ticks != snap.Ticks {
+		return fmt.Errorf("fleet: tenant %s: tick count %d != snapshot %d", t.ID, t.ticks, snap.Ticks)
+	}
+	liveC, err := core.StateDigest(t.Ctl.Snapshot())
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s: digest live controller: %w", t.ID, err)
+	}
+	snapC, err := core.StateDigest(snap.Controller)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s: digest snapshot controller: %w", t.ID, err)
+	}
+	if liveC != snapC {
+		return fmt.Errorf("fleet: tenant %s: controller state diverged from snapshot", t.ID)
 	}
 	return nil
 }

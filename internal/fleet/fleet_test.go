@@ -168,8 +168,10 @@ func TestFleetCheckpointNamespaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Run(10)
-	if err := f.Checkpoint(dir); err != nil {
+	if n, err := f.Checkpoint(dir); err != nil {
 		t.Fatal(err)
+	} else if n != 3 {
+		t.Fatalf("want 3 tenants checkpointed, got %d", n)
 	}
 	for i := 0; i < 3; i++ {
 		pat := filepath.Join(dir, fmt.Sprintf("tenant-tenant-%02d-*.ckpt", i))

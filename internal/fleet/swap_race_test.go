@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/gnn"
+)
+
+// SwapModel racing concurrent Predict/PredictGrad must never tear a read
+// (every answer is some complete model's surface at the quantized grid
+// point) and must never let a value computed against the old model land in
+// the cache after the swap's invalidation. Run under -race this exercises
+// the model pointer handoff; the epoch assertions below catch the
+// stale-write hazard that the race detector alone cannot see (it is a
+// logical race, not a data race).
+func TestSwapModelRacesPredict(t *testing.T) {
+	a := app.SyntheticChain(5)
+	cfg := gnn.DefaultConfig(len(a.Services), a.Parents())
+	models := []*gnn.Model{
+		gnn.New(cfg, rand.New(rand.NewSource(9))),
+		gnn.New(cfg, rand.New(rand.NewSource(10))),
+		gnn.New(cfg, rand.New(rand.NewSource(11))),
+	}
+	s := NewInferenceService(models[0], ServiceConfig{}, nil)
+	s.Start()
+	defer s.Stop()
+
+	// Precompute each model's answer for every probe point so readers can
+	// assert that whatever they got back is SOME model's complete answer —
+	// a torn read (half old weights, half new) would match none of them.
+	const probes = 8
+	n := cfg.Nodes
+	rng := rand.New(rand.NewSource(12))
+	type probe struct{ load, quota []float64 }
+	pts := make([]probe, probes)
+	valid := make([]map[float64]bool, probes)
+	{
+		sc := models[0].NewScratch()
+		qload := make([]float64, n)
+		qquota := make([]float64, n)
+		key := make([]int32, 2*n)
+		for i := range pts {
+			pts[i].load, pts[i].quota = randReq(rng, n)
+			s.quantize(pts[i].load, pts[i].quota, qload, qquota, key)
+			valid[i] = map[float64]bool{}
+			for _, m := range models {
+				valid[i][m.PredictWith(sc, qload, qquota)] = true
+			}
+		}
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	const readers = 6
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			p := s.NewPredictor("t")
+			for i := 0; !stop.Load(); i++ {
+				pt := (r + i) % probes
+				var y float64
+				if i%2 == 0 {
+					y = p.Predict(pts[pt].load, pts[pt].quota)
+				} else {
+					y, _ = p.PredictGrad(pts[pt].load, pts[pt].quota)
+				}
+				if !valid[pt][y] {
+					torn.Add(1)
+					return
+				}
+			}
+		}(r)
+	}
+
+	const swaps = 50
+	for i := 0; i < swaps; i++ {
+		if err := s.SwapModel(models[i%len(models)], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d reads returned a value matching no model — torn read", torn.Load())
+	}
+	if _, _, inv, _ := s.Cache.Stats(); inv != swaps {
+		t.Fatalf("swap invalidations %d, want %d", inv, swaps)
+	}
+
+	// After the dust settles the serving model is models[(swaps-1)%3]; every
+	// cached entry must answer with exactly that model's surface. A stale
+	// epoch-less Put racing the final Invalidate would leave an old-model
+	// value here.
+	s.Cache.Invalidate() // drop everything, then repopulate cleanly
+	p := s.NewPredictor("final")
+	sc := models[(swaps-1)%len(models)].NewScratch()
+	qload := make([]float64, n)
+	qquota := make([]float64, n)
+	key := make([]int32, 2*n)
+	for i, pt := range pts {
+		s.quantize(pt.load, pt.quota, qload, qquota, key)
+		want := models[(swaps-1)%len(models)].PredictWith(sc, qload, qquota)
+		if got := p.Predict(pt.load, pt.quota); got != want {
+			t.Fatalf("probe %d: post-swap cache served %v, want serving model's %v", i, got, want)
+		}
+		// Second call must hit the cache and still agree.
+		if got := p.Predict(pt.load, pt.quota); got != want {
+			t.Fatalf("probe %d: cached value %v diverged from serving model's %v", i, got, want)
+		}
+	}
+}
+
+// The epoch guard specifically: a Put carrying a pre-invalidation epoch must
+// be dropped. This is the deterministic unit-level version of the race
+// above.
+func TestCacheEpochGuardDropsStaleWrite(t *testing.T) {
+	c := NewPredCache(16)
+	key := []int32{1, 2, 3}
+	h := hashKey(key)
+
+	e := c.Epoch()
+	c.Invalidate() // the model swap lands while our value is in flight
+	c.Put(h, key, 0.5, nil, e)
+	if _, _, ok := c.Get(h, key, false); ok {
+		t.Fatal("stale-epoch Put landed after Invalidate")
+	}
+	c.Put(h, key, 0.75, nil, c.Epoch())
+	if lat, _, ok := c.Get(h, key, false); !ok || lat != 0.75 {
+		t.Fatal("current-epoch Put rejected")
+	}
+}

@@ -1,0 +1,342 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// ClientConfig tunes the router-side call discipline: per-attempt timeout,
+// bounded retries with exponential backoff and full jitter, and a per-shard
+// circuit breaker so one dead shard costs at most Threshold timeouts before
+// subsequent calls fail fast instead of stalling the router loop.
+type ClientConfig struct {
+	// Timeout bounds each attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many times a failed call is retried (default 3; the
+	// call is attempted 1+Retries times).
+	Retries int
+	// BackoffBase/BackoffMax bound the exponential backoff between
+	// attempts (defaults 50ms / 1s); the actual sleep is uniform in
+	// (0, min(BackoffMax, BackoffBase·2^attempt)] — full jitter.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive failures open a shard's breaker
+	// (default 3); while open, calls to that shard fail immediately.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting one
+	// probe through (half-open; default 2s).
+	BreakerCooldown time.Duration
+	// Seed makes the jitter sequence reproducible (0 = 1).
+	Seed int64
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// FaultInjector intercepts outbound control-plane requests — the seam
+// chaos.NetInjector plugs into (structurally; rpc has no chaos dependency).
+// op is the endpoint name ("tick", "admit", ...), shard the target address.
+// Returning drop simulates the network losing the request; a positive delay
+// is injected before the attempt.
+type FaultInjector interface {
+	Intercept(op, shard string, round, attempt int) (drop bool, delay time.Duration)
+}
+
+// ErrDropped is the injected-fault "network ate it" error.
+var errDropped = fmt.Errorf("rpc: request dropped (injected fault)")
+
+// ErrBreakerOpen is returned without touching the network while a shard's
+// circuit breaker is open.
+var ErrBreakerOpen = fmt.Errorf("rpc: circuit breaker open")
+
+// breaker is a per-shard circuit breaker: closed (normal) → open after
+// Threshold consecutive failures (calls fail fast) → half-open after
+// Cooldown (one probe allowed; success closes, failure re-opens).
+type breaker struct {
+	failures int
+	openAt   time.Time
+	open     bool
+	probing  bool
+}
+
+// Client is the router's HTTP client: typed wrappers over the wire protocol
+// with retry/backoff/jitter and per-shard breakers. Safe for concurrent use.
+type Client struct {
+	cfg   ClientConfig
+	http  *http.Client
+	Fault FaultInjector
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	rng      *rand.Rand
+	round    int
+}
+
+// NewClient builds a client. fault may be nil.
+func NewClient(cfg ClientConfig, fault FaultInjector) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:      cfg,
+		http:     &http.Client{Timeout: cfg.Timeout},
+		Fault:    fault,
+		breakers: map[string]*breaker{},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// SetRound tells the client the current router round — the coordinate fault
+// injection keys on, so chaos scenarios are expressed in rounds rather than
+// wall time.
+func (c *Client) SetRound(r int) {
+	c.mu.Lock()
+	c.round = r
+	c.mu.Unlock()
+}
+
+// allow consults the shard's breaker before an attempt.
+func (c *Client) allow(shard string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[shard]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[shard] = b
+	}
+	if !b.open {
+		return true
+	}
+	if time.Since(b.openAt) >= c.cfg.BreakerCooldown && !b.probing {
+		b.probing = true // half-open: exactly one probe
+		return true
+	}
+	return false
+}
+
+func (c *Client) record(shard string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[shard]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[shard] = b
+	}
+	if ok {
+		*b = breaker{}
+		return
+	}
+	b.probing = false
+	b.failures++
+	if b.failures >= c.cfg.BreakerThreshold {
+		b.open = true
+		b.openAt = time.Now()
+	}
+}
+
+// ResetBreaker force-closes a shard's breaker (after a respawn installs a
+// fresh process behind the same address).
+func (c *Client) ResetBreaker(shard string) {
+	c.mu.Lock()
+	delete(c.breakers, shard)
+	c.mu.Unlock()
+}
+
+// backoff returns the full-jitter sleep before retry attempt n (1-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	max := c.cfg.BackoffBase << uint(attempt-1)
+	if max > c.cfg.BackoffMax {
+		max = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(max)) + 1)
+	c.mu.Unlock()
+	return d
+}
+
+// call performs one logical request with the full discipline. out may be nil.
+func (c *Client) call(shard, method, path, op string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("rpc: encode %s: %w", op, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
+		if !c.allow(shard) {
+			return fmt.Errorf("%w: shard %s", ErrBreakerOpen, shard)
+		}
+		if c.Fault != nil {
+			c.mu.Lock()
+			round := c.round
+			c.mu.Unlock()
+			drop, delay := c.Fault.Intercept(op, shard, round, attempt)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if drop {
+				lastErr = errDropped
+				c.record(shard, false)
+				continue
+			}
+		}
+		lastErr = c.attempt(shard, method, path, body, out)
+		c.record(shard, lastErr == nil)
+		if lastErr == nil {
+			return nil
+		}
+		if _, fatal := lastErr.(*RemoteError); fatal {
+			// The shard answered and rejected the request: retrying the
+			// same request cannot succeed, and it is not a shard-health
+			// signal either.
+			c.record(shard, true)
+			return lastErr
+		}
+	}
+	return fmt.Errorf("rpc: %s %s after %d attempts: %w", op, shard, c.cfg.Retries+1, lastErr)
+}
+
+// RemoteError is an application-level rejection from a shard (HTTP 4xx/5xx
+// with an error body) — distinguished from transport errors, which drive
+// retries and the breaker.
+type RemoteError struct {
+	Shard  string
+	Status int
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: shard %s: %d %s", e.Shard, e.Status, e.Msg)
+}
+
+func (c *Client) attempt(shard, method, path string, body []byte, out any) error {
+	req, err := http.NewRequest(method, "http://"+shard+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &RemoteError{Shard: shard, Status: resp.StatusCode, Msg: msg}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("rpc: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Health probes a shard. It bypasses the breaker — it IS the probe the
+// router uses to decide whether an unresponsive shard is dead.
+func (c *Client) Health(shard string) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.attempt(shard, http.MethodGet, "/healthz", nil, &out)
+	if err == nil {
+		c.record(shard, true)
+	}
+	return out, err
+}
+
+// Configure installs the fleet spec on a shard.
+func (c *Client) Configure(shard string, spec Spec) error {
+	return c.call(shard, http.MethodPost, "/v1/configure", "configure", ConfigureRequest{Spec: spec}, &ConfigureResponse{})
+}
+
+// Admit places (or restores) a tenant on a shard.
+func (c *Client) Admit(shard, id string, ticks int) (AdmitResponse, error) {
+	var out AdmitResponse
+	err := c.call(shard, http.MethodPost, "/v1/admit", "admit", AdmitRequest{ID: id, Ticks: ticks}, &out)
+	return out, err
+}
+
+// Evict drains a tenant off a shard.
+func (c *Client) Evict(shard, id string, checkpoint bool) (EvictResponse, error) {
+	var out EvictResponse
+	err := c.call(shard, http.MethodPost, "/v1/evict", "evict", EvictRequest{ID: id, Checkpoint: checkpoint}, &out)
+	return out, err
+}
+
+// Tick advances a shard to the absolute round.
+func (c *Client) Tick(shard string, round int) (TickResponse, error) {
+	var out TickResponse
+	err := c.call(shard, http.MethodPost, "/v1/tick", "tick", TickRequest{Round: round}, &out)
+	return out, err
+}
+
+// Quotas fetches the shard's per-tenant quota allocations.
+func (c *Client) Quotas(shard string) (QuotasResponse, error) {
+	var out QuotasResponse
+	err := c.call(shard, http.MethodGet, "/v1/quotas", "quotas", nil, &out)
+	return out, err
+}
+
+// Tenants lists the shard's tenants.
+func (c *Client) Tenants(shard string) (TenantsResponse, error) {
+	var out TenantsResponse
+	err := c.call(shard, http.MethodGet, "/v1/tenants", "tenants", nil, &out)
+	return out, err
+}
+
+// Decisions streams a tenant's retained decision records.
+func (c *Client) Decisions(shard, tenant string) (DecisionsResponse, error) {
+	var out DecisionsResponse
+	err := c.call(shard, http.MethodGet, "/v1/decisions?tenant="+url.QueryEscape(tenant), "decisions", nil, &out)
+	return out, err
+}
+
+// Checkpoint snapshots every tenant on the shard.
+func (c *Client) Checkpoint(shard string) (CheckpointResponse, error) {
+	var out CheckpointResponse
+	err := c.call(shard, http.MethodPost, "/v1/checkpoint", "checkpoint", nil, &out)
+	return out, err
+}

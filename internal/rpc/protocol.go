@@ -1,0 +1,129 @@
+package rpc
+
+import "graf/internal/obs"
+
+// Wire protocol (DESIGN.md §3h). Every endpoint is HTTP/JSON; errors are
+// {"error": "..."} with a non-2xx status. Requests carry absolute state
+// (round indices, tick counts) rather than deltas, so any request can be
+// retried or duplicated without corrupting a shard — the shard applies it
+// idempotently.
+
+// TenantStatus is the per-tenant accounting a shard reports after every
+// operation. AuditLen/AuditFNV fingerprint the tenant's full audit stream;
+// the router uses them to verify lossless migration and recovery without
+// moving log bytes over the wire.
+type TenantStatus struct {
+	ID       string  `json:"id"`
+	Ticks    int     `json:"ticks"`
+	P99      float64 `json:"p99"`
+	ViolS    float64 `json:"viol_s"`
+	Degraded bool    `json:"degraded,omitempty"`
+	AuditLen int     `json:"audit_len"`
+	AuditFNV uint64  `json:"audit_fnv"`
+}
+
+// HealthResponse answers GET /healthz — the router's heartbeat probe. It is
+// served without touching the fleet mutex so a long round cannot be mistaken
+// for a dead shard.
+type HealthResponse struct {
+	OK      bool   `json:"ok"`
+	PID     int    `json:"pid"`
+	Tenants int    `json:"tenants"`
+	Round   int    `json:"round"`
+	Uptime  string `json:"uptime"`
+}
+
+// ConfigureRequest (POST /v1/configure) installs the fleet spec; the shard
+// builds an empty dynamic fleet from it. Reconfiguring a shard that already
+// holds tenants is an error — evict them first.
+type ConfigureRequest struct {
+	Spec Spec `json:"spec"`
+}
+
+type ConfigureResponse struct {
+	OK bool `json:"ok"`
+}
+
+// AdmitRequest (POST /v1/admit) places a tenant on the shard. Ticks is the
+// router's last known completed tick count: zero admits a fresh tenant,
+// positive fast-forwards the rebuilt tenant by deterministic re-execution.
+// The shard repairs and re-reads any on-disk audit log for the tenant first
+// and replays past Ticks if the log proves the previous owner got further —
+// the zero-lost-decisions guarantee.
+type AdmitRequest struct {
+	ID    string `json:"id"`
+	Ticks int    `json:"ticks"`
+}
+
+type AdmitResponse struct {
+	Status TenantStatus `json:"status"`
+	// PriorBytes is how many audit bytes the previous owner had durably
+	// recorded for this tenant (0 = fresh admit).
+	PriorBytes int `json:"prior_bytes,omitempty"`
+	// PriorVerified reports that the regenerated audit stream reproduced
+	// the prior bytes exactly (always true on success; a mismatch fails the
+	// admit).
+	PriorVerified bool `json:"prior_verified,omitempty"`
+	// ReplayedTicks counts ticks re-executed beyond the router's Ticks to
+	// cover decisions the dead owner had flushed but never reported.
+	ReplayedTicks int `json:"replayed_ticks,omitempty"`
+	// SnapshotVerified reports that the rebuilt controller state matched
+	// the tenant's latest checkpoint digest (only attempted when a
+	// checkpoint at the same tick exists).
+	SnapshotVerified bool `json:"snapshot_verified,omitempty"`
+}
+
+// EvictRequest (POST /v1/evict) drains a tenant off the shard — the first
+// half of a planned migration. With Checkpoint set the shard snapshots the
+// tenant into its checkpoint store before removal, so the target can verify
+// its rebuilt state against it.
+type EvictRequest struct {
+	ID         string `json:"id"`
+	Checkpoint bool   `json:"checkpoint"`
+}
+
+type EvictResponse struct {
+	Status TenantStatus `json:"status"`
+}
+
+// TickRequest (POST /v1/tick) advances the shard to the absolute round
+// index. Only tenants behind the round are ticked, so a duplicated or
+// retried tick is a no-op; the shard flushes every tenant's on-disk audit
+// log before answering, so the durable log is never behind what the router
+// has been told.
+type TickRequest struct {
+	Round int `json:"round"`
+}
+
+type TickResponse struct {
+	Round    int            `json:"round"`
+	Statuses []TenantStatus `json:"statuses"`
+}
+
+// QuotasResponse (GET /v1/quotas) reports current per-tenant, per-service
+// quota allocations.
+type QuotasResponse struct {
+	Quotas map[string]map[string]float64 `json:"quotas"`
+}
+
+// TenantsResponse (GET /v1/tenants) lists the shard's tenants.
+type TenantsResponse struct {
+	Statuses []TenantStatus `json:"statuses"`
+}
+
+// DecisionsResponse (GET /v1/decisions?tenant=ID) streams the tenant's
+// retained decision records.
+type DecisionsResponse struct {
+	Tenant  string       `json:"tenant"`
+	Records []obs.Record `json:"records"`
+}
+
+// CheckpointResponse (POST /v1/checkpoint) reports how many tenants were
+// snapshotted into the shard's checkpoint store.
+type CheckpointResponse struct {
+	Saved int `json:"saved"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,520 @@
+package rpc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RouterConfig parameterizes the control-plane router.
+type RouterConfig struct {
+	// Spec is the fleet description installed on every shard.
+	Spec Spec
+	// Tenants is the tenant ID population the router places.
+	Tenants []string
+	// Client tunes call discipline (timeouts, retries, breakers).
+	Client ClientConfig
+	// VNodes is the consistent-hash virtual-node count (default 64).
+	VNodes int
+	// HeartbeatMisses is how many consecutive failed health probes declare
+	// a shard dead (default 3).
+	HeartbeatMisses int
+	// HeartbeatEvery spaces the probes of a failure investigation
+	// (default 100ms).
+	HeartbeatEvery time.Duration
+	// RestartBudget bounds respawns per shard slot; once exhausted a dead
+	// shard's tenants are reassigned to survivors instead (default 1).
+	RestartBudget int
+	// Respawn, when set, restarts a dead shard slot and returns the new
+	// process's address. nil disables respawn (straight to reassignment).
+	Respawn func(slot int) (addr string, err error)
+	// CheckpointEveryRounds periodically checkpoints every shard
+	// (0 = only on demand).
+	CheckpointEveryRounds int
+	// Fault, when set, is installed into the client (chaos injection).
+	Fault FaultInjector
+	// Logf, when set, receives router progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if c.RestartBudget < 0 {
+		c.RestartBudget = 0
+	} else if c.RestartBudget == 0 {
+		c.RestartBudget = 1
+	}
+	return c
+}
+
+// tenantState is the router's authoritative record of one tenant: where it
+// lives and the last acknowledged tick count and audit fingerprint — the
+// baseline every recovery and migration is verified against.
+type tenantState struct {
+	id       string
+	shard    string // current owner address
+	pinned   bool   // placed by Migrate, exempt from ring lookup
+	ticks    int
+	auditLen int
+	auditFNV uint64
+	degraded bool
+	p99      float64
+	violS    float64
+}
+
+// shardSlot is one shard position the router manages. The slot survives the
+// process: a respawn installs a new address into the same slot.
+type shardSlot struct {
+	slot     int
+	addr     string
+	alive    bool
+	respawns int
+}
+
+// RouterStats aggregates a router run.
+type RouterStats struct {
+	Rounds             int
+	Respawns           int
+	Reassignments      int       // tenants moved off dead shards to survivors
+	Migrations         int       // planned Migrate calls completed
+	VerifiedRestores   int       // restores whose prior audit prefix matched
+	SnapshotVerified   int       // restores verified against a checkpoint digest
+	ReplayedTicks      int       // extra ticks replayed to cover flushed decisions
+	LostDecisions      int       // restores that FAILED verification
+	RecoveryBlackoutMS float64   // total wall ms tenants spent unplaced during failure recovery
+	MigrationBlackouts []float64 // per-migration wall ms between evict and restored admit
+}
+
+// Router is the thin control-plane head: it owns tenant placement (ring +
+// pins), drives the global round clock, health-checks shards, and recovers
+// from shard loss by respawn or reassignment. It holds no tenant state that
+// cannot be rebuilt from shard responses — the shards are the system of
+// record, the router is the clock and the map.
+type Router struct {
+	cfg     RouterConfig
+	client  *Client
+	ring    *Ring
+	slots   []*shardSlot
+	tenants map[string]*tenantState
+	round   int
+	stats   RouterStats
+	mu      sync.Mutex
+}
+
+// NewRouter builds a router over the given shard addresses. Call Bootstrap
+// to configure shards and place tenants.
+func NewRouter(cfg RouterConfig, shardAddrs []string) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(shardAddrs) == 0 {
+		return nil, fmt.Errorf("rpc: router needs at least one shard")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		client:  NewClient(cfg.Client, cfg.Fault),
+		ring:    NewRing(cfg.VNodes),
+		tenants: map[string]*tenantState{},
+	}
+	for i, addr := range shardAddrs {
+		r.slots = append(r.slots, &shardSlot{slot: i, addr: addr, alive: true})
+		r.ring.Add(addr)
+	}
+	for _, id := range cfg.Tenants {
+		if r.tenants[id] != nil {
+			return nil, fmt.Errorf("rpc: duplicate tenant %q", id)
+		}
+		r.tenants[id] = &tenantState{id: id}
+	}
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Client returns the router's shard client (the chaos injector hangs off
+// it).
+func (r *Router) Client() *Client { return r.client }
+
+// Stats returns a copy of the router's counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.MigrationBlackouts = append([]float64(nil), s.MigrationBlackouts...)
+	return s
+}
+
+// Round returns the last completed round.
+func (r *Router) Round() int { return r.round }
+
+// TenantStates returns a sorted snapshot of the router's tenant table.
+func (r *Router) TenantStates() []TenantStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TenantStatus, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, TenantStatus{
+			ID: t.id, Ticks: t.ticks, P99: t.p99, ViolS: t.violS,
+			Degraded: t.degraded, AuditLen: t.auditLen, AuditFNV: t.auditFNV,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ShardInfo is a read-only view of one router slot.
+type ShardInfo struct {
+	Slot     int
+	Addr     string
+	Alive    bool
+	Respawns int
+}
+
+// Shards returns the current slot table: a driver uses it to resolve slot
+// indices to live addresses (migration targets, chaos kill targets) and to
+// report the end-of-run topology.
+func (r *Router) Shards() []ShardInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ShardInfo, 0, len(r.slots))
+	for _, s := range r.slots {
+		out = append(out, ShardInfo{Slot: s.slot, Addr: s.addr, Alive: s.alive, Respawns: s.respawns})
+	}
+	return out
+}
+
+// Owner returns the shard address currently owning a tenant.
+func (r *Router) Owner(id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.tenants[id]; t != nil {
+		return t.shard
+	}
+	return ""
+}
+
+// Bootstrap configures every shard with the spec and admits every tenant at
+// its ring placement.
+func (r *Router) Bootstrap() error {
+	for _, s := range r.slots {
+		if err := r.client.Configure(s.addr, r.cfg.Spec); err != nil {
+			return fmt.Errorf("rpc: configure shard %d (%s): %w", s.slot, s.addr, err)
+		}
+	}
+	ids := make([]string, 0, len(r.tenants))
+	for id := range r.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		addr := r.ring.Lookup(id)
+		if err := r.placeTenant(id, addr); err != nil {
+			return err
+		}
+	}
+	r.logf("bootstrap: %d tenants across %d shards", len(ids), len(r.slots))
+	return nil
+}
+
+// placeTenant admits a tenant on a shard at its recorded tick count and
+// verifies the response against the router's audit fingerprint baseline.
+func (r *Router) placeTenant(id, addr string) error {
+	t := r.tenants[id]
+	resp, err := r.client.Admit(addr, id, t.ticks)
+	if err != nil {
+		return fmt.Errorf("rpc: admit %s on %s: %w", id, addr, err)
+	}
+	if resp.Status.Ticks < t.ticks {
+		return fmt.Errorf("rpc: admit %s: shard reports %d ticks, router knows %d", id, resp.Status.Ticks, t.ticks)
+	}
+	// The restored stream must contain at least the bytes the router last
+	// acknowledged; equality of the fingerprint is checked when tick counts
+	// line up exactly.
+	if resp.Status.Ticks == t.ticks && t.auditLen > 0 {
+		if resp.Status.AuditLen != t.auditLen || resp.Status.AuditFNV != t.auditFNV {
+			r.stats.LostDecisions++
+			return fmt.Errorf("rpc: admit %s: audit fingerprint mismatch (len %d/%d fnv %x/%x) — lost decisions",
+				id, resp.Status.AuditLen, t.auditLen, resp.Status.AuditFNV, t.auditFNV)
+		}
+	}
+	if resp.PriorVerified {
+		r.stats.VerifiedRestores++
+	}
+	if resp.SnapshotVerified {
+		r.stats.SnapshotVerified++
+	}
+	r.stats.ReplayedTicks += resp.ReplayedTicks
+	t.shard = addr
+	r.noteStatus(resp.Status)
+	return nil
+}
+
+func (r *Router) noteStatus(st TenantStatus) {
+	t := r.tenants[st.ID]
+	if t == nil {
+		return
+	}
+	t.ticks = st.Ticks
+	t.auditLen = st.AuditLen
+	t.auditFNV = st.AuditFNV
+	t.degraded = st.Degraded
+	t.p99 = st.P99
+	t.violS = st.ViolS
+}
+
+// aliveSlots returns the live shard slots.
+func (r *Router) aliveSlots() []*shardSlot {
+	var out []*shardSlot
+	for _, s := range r.slots {
+		if s.alive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunRounds advances the whole fleet n rounds.
+func (r *Router) RunRounds(n int) error {
+	for i := 0; i < n; i++ {
+		if err := r.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunRound advances every shard to the next absolute round, in parallel.
+// A shard that fails its tick call (after the client's retries) is
+// investigated with heartbeat probes and, if dead, recovered from — the
+// round then completes on the post-recovery topology, so one lost shard
+// never stalls the fleet.
+func (r *Router) RunRound() error {
+	r.round++
+	r.client.SetRound(r.round)
+	if r.cfg.CheckpointEveryRounds > 0 && r.round > 1 && (r.round-1)%r.cfg.CheckpointEveryRounds == 0 {
+		for _, s := range r.aliveSlots() {
+			if _, err := r.client.Checkpoint(s.addr); err != nil {
+				r.logf("round %d: checkpoint %s: %v", r.round, s.addr, err)
+			}
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		alive := r.aliveSlots()
+		if len(alive) == 0 {
+			return fmt.Errorf("rpc: round %d: no live shards", r.round)
+		}
+		type result struct {
+			slot *shardSlot
+			resp TickResponse
+			err  error
+		}
+		results := make([]result, len(alive))
+		var wg sync.WaitGroup
+		for i, s := range alive {
+			wg.Add(1)
+			go func(i int, s *shardSlot) {
+				defer wg.Done()
+				resp, err := r.client.Tick(s.addr, r.round)
+				results[i] = result{slot: s, resp: resp, err: err}
+			}(i, s)
+		}
+		wg.Wait()
+
+		var failed []*shardSlot
+		r.mu.Lock()
+		for _, res := range results {
+			if res.err != nil {
+				failed = append(failed, res.slot)
+				continue
+			}
+			for _, st := range res.resp.Statuses {
+				r.noteStatus(st)
+			}
+		}
+		r.mu.Unlock()
+		if len(failed) == 0 {
+			break
+		}
+		if attempt >= len(r.slots)+1 {
+			return fmt.Errorf("rpc: round %d: shards kept failing after %d recovery attempts", r.round, attempt)
+		}
+		for _, s := range failed {
+			if err := r.handleShardFailure(s); err != nil {
+				return err
+			}
+		}
+		// Loop: re-tick the post-recovery topology. RoundTo is idempotent,
+		// so shards that already completed this round are no-ops.
+	}
+	r.stats.Rounds++
+	return nil
+}
+
+// handleShardFailure confirms a shard is dead with heartbeat probes, then
+// recovers: respawn into the same slot while the restart budget lasts,
+// otherwise remove the shard from the ring and reassign its tenants to the
+// survivors. Every orphan is restored at its last acknowledged tick count
+// and byte-verified against its on-disk audit log — zero lost decisions.
+func (r *Router) handleShardFailure(s *shardSlot) error {
+	for probe := 0; probe < r.cfg.HeartbeatMisses; probe++ {
+		if probe > 0 {
+			time.Sleep(r.cfg.HeartbeatEvery)
+		}
+		if _, err := r.client.Health(s.addr); err == nil {
+			// Alive after all — a slow round or a transient partition. The
+			// tick will be retried by the caller's loop.
+			r.logf("shard %d (%s): unresponsive but heartbeat ok", s.slot, s.addr)
+			return nil
+		}
+	}
+	r.logf("shard %d (%s): declared dead after %d missed heartbeats", s.slot, s.addr, r.cfg.HeartbeatMisses)
+	s.alive = false
+	r.ring.Remove(s.addr)
+
+	var orphans []string
+	r.mu.Lock()
+	for id, t := range r.tenants {
+		if t.shard == s.addr {
+			orphans = append(orphans, id)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(orphans)
+
+	t0 := time.Now()
+	defer func() {
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		r.mu.Lock()
+		r.stats.RecoveryBlackoutMS += ms
+		r.mu.Unlock()
+		r.logf("shard %d: recovery of %d tenants took %.1fms", s.slot, len(orphans), ms)
+	}()
+
+	if r.cfg.Respawn != nil && s.respawns < r.cfg.RestartBudget {
+		s.respawns++
+		r.mu.Lock()
+		r.stats.Respawns++
+		r.mu.Unlock()
+		addr, err := r.cfg.Respawn(s.slot)
+		if err != nil {
+			r.logf("shard %d: respawn failed (%v); falling back to reassignment", s.slot, err)
+		} else {
+			r.client.ResetBreaker(s.addr)
+			r.client.ResetBreaker(addr)
+			if err := r.client.Configure(addr, r.cfg.Spec); err != nil {
+				return fmt.Errorf("rpc: configure respawned shard %d (%s): %w", s.slot, addr, err)
+			}
+			s.addr = addr
+			s.alive = true
+			r.ring.Add(addr)
+			r.mu.Lock()
+			for _, id := range orphans {
+				if err := r.placeTenant(id, addr); err != nil {
+					r.mu.Unlock()
+					return err
+				}
+			}
+			r.mu.Unlock()
+			r.logf("shard %d: respawned at %s, %d tenants restored", s.slot, addr, len(orphans))
+			return nil
+		}
+	}
+
+	if len(r.aliveSlots()) == 0 {
+		return fmt.Errorf("rpc: shard %d dead and no survivors to reassign %d tenants to", s.slot, len(orphans))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range orphans {
+		t := r.tenants[id]
+		var target string
+		if t.pinned {
+			// A pinned tenant lost its pin target; fall back to the ring.
+			t.pinned = false
+		}
+		target = r.ring.Lookup(id)
+		if err := r.placeTenant(id, target); err != nil {
+			return err
+		}
+		r.stats.Reassignments++
+		r.logf("tenant %s: reassigned %s → %s at tick %d", id, s.addr, target, t.ticks)
+	}
+	return nil
+}
+
+// Migrate moves one tenant to an explicit shard address: drain (evict with
+// checkpoint) on the source, rebuild + fast-forward on the target, verify
+// the audit fingerprint matches exactly. The tenant is pinned to the target
+// afterwards. Returns the migration blackout (wall time the tenant was
+// unplaced).
+func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
+	r.mu.Lock()
+	t := r.tenants[id]
+	r.mu.Unlock()
+	if t == nil {
+		return 0, fmt.Errorf("rpc: unknown tenant %q", id)
+	}
+	if t.shard == toAddr {
+		return 0, nil
+	}
+	var target *shardSlot
+	for _, s := range r.slots {
+		if s.addr == toAddr && s.alive {
+			target = s
+		}
+	}
+	if target == nil {
+		return 0, fmt.Errorf("rpc: migration target %s is not a live shard", toAddr)
+	}
+
+	t0 := time.Now()
+	ev, err := r.client.Evict(t.shard, id, true)
+	if err != nil {
+		return 0, fmt.Errorf("rpc: migrate %s: drain: %w", id, err)
+	}
+	r.mu.Lock()
+	r.noteStatus(ev.Status)
+	err = r.placeTenant(id, toAddr)
+	if err == nil {
+		t.pinned = true
+		r.stats.Migrations++
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("rpc: migrate %s: restore: %w", id, err)
+	}
+	d := time.Since(t0)
+	r.mu.Lock()
+	r.stats.MigrationBlackouts = append(r.stats.MigrationBlackouts, float64(d.Nanoseconds())/1e6)
+	r.mu.Unlock()
+	r.logf("tenant %s: migrated → %s at tick %d in %.1fms", id, toAddr, ev.Status.Ticks, float64(d.Nanoseconds())/1e6)
+	return d, nil
+}
+
+// CheckpointAll snapshots every live shard's tenants.
+func (r *Router) CheckpointAll() (int, error) {
+	total := 0
+	for _, s := range r.aliveSlots() {
+		resp, err := r.client.Checkpoint(s.addr)
+		if err != nil {
+			return total, err
+		}
+		total += resp.Saved
+	}
+	return total, nil
+}

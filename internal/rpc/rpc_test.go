@@ -1,0 +1,523 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graf/internal/app"
+	"graf/internal/chaos"
+	"graf/internal/core"
+	"graf/internal/fleet"
+	"graf/internal/gnn"
+)
+
+// testBundle builds the shard-local model artifact every test process
+// shares: an untrained but deterministic model, exactly like the fleet
+// package's own tests.
+func testBundle(t *testing.T) ModelBundle {
+	t.Helper()
+	a := app.SyntheticChain(4)
+	m := gnn.New(gnn.DefaultConfig(len(a.Services), a.Parents()), rand.New(rand.NewSource(42)))
+	n := len(a.Services)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i], hi[i] = 100, 1500
+	}
+	return ModelBundle{
+		Model:  m,
+		Bounds: core.Bounds{Lo: lo, Hi: hi},
+		SLO:    0.25, MinRate: 50, MaxRate: 400,
+	}
+}
+
+func testSpec() Spec {
+	return Spec{App: "chain-4", Shape: "const", Rate: 120, Seed: 7, TickS: 5}
+}
+
+// fastClient keeps test-time retries and backoffs tight.
+func fastClient() ClientConfig {
+	return ClientConfig{
+		Timeout:     2 * time.Second,
+		Retries:     2,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}
+}
+
+func startShard(t *testing.T, bundle ModelBundle, ckptDir, auditDir string) (*ShardServer, string) {
+	t.Helper()
+	s := &ShardServer{Bundle: bundle, CkptDir: ckptDir, AuditDir: auditDir}
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown() })
+	return s, addr
+}
+
+func tenantIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("tenant-%02d", i)
+	}
+	return ids
+}
+
+// referenceAudit runs the same spec in one static single-process fleet and
+// returns each tenant's audit bytes — the ground truth every distributed
+// run must reproduce byte-for-byte.
+func referenceAudit(t *testing.T, bundle ModelBundle, spec Spec, ids []string, rounds int) map[string][]byte {
+	t.Helper()
+	cfg, err := spec.FleetConfig(bundle, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dynamic = false
+	cfg.Shards = 1
+	cfg.Workers = 1
+	for _, id := range ids {
+		cfg.Tenants = append(cfg.Tenants, spec.TenantConfig(id))
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(float64(rounds) * cfg.TickS)
+	out := map[string][]byte{}
+	for _, tn := range f.Tenants() {
+		out[tn.ID] = append([]byte(nil), tn.AuditLog()...)
+	}
+	return out
+}
+
+func TestRingLookupStableAndMinimalMovement(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"a:1", "b:2", "c:3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := tenantIDs(200)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+		if before[k] == "" {
+			t.Fatal("empty lookup on populated ring")
+		}
+		if got := r.Lookup(k); got != before[k] {
+			t.Fatal("lookup not stable")
+		}
+	}
+	r.Remove("b:2")
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == "b:2" {
+			t.Fatal("removed member still owns keys")
+		}
+		if before[k] != "b:2" && after != before[k] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member moved — not consistent hashing", moved)
+	}
+}
+
+func TestClientRetriesAndBreaker(t *testing.T) {
+	var calls atomic.Int64
+	var failing atomic.Bool
+	failing.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if failing.Load() {
+			// Simulate a hung/dead shard: close without a response.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{OK: true})
+	}))
+	defer ts.Close()
+	shard := ts.Listener.Addr().String()
+
+	cfg := fastClient()
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	c := NewClient(cfg, nil)
+
+	// One logical call = 3 attempts (Retries=2), all failing → breaker
+	// opens at the threshold.
+	if err := c.call(shard, http.MethodGet, "/healthz", "health", nil, nil); err == nil {
+		t.Fatal("expected failure against dead shard")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 attempts, saw %d", got)
+	}
+	// Breaker now open: further calls fail fast without touching the wire.
+	if err := c.call(shard, http.MethodGet, "/healthz", "health", nil, nil); err == nil {
+		t.Fatal("expected breaker-open failure")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("breaker-open call hit the network (%d attempts)", got)
+	}
+
+	// After the cooldown, the half-open probe goes through; with the shard
+	// healthy again the breaker closes.
+	failing.Store(false)
+	time.Sleep(cfg.BreakerCooldown + 10*time.Millisecond)
+	if err := c.call(shard, http.MethodGet, "/healthz", "health", nil, nil); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if err := c.call(shard, http.MethodGet, "/healthz", "health", nil, nil); err != nil {
+		t.Fatalf("closed-breaker call failed: %v", err)
+	}
+}
+
+func TestShardServerLifecycle(t *testing.T) {
+	bundle := testBundle(t)
+	_, addr := startShard(t, bundle, t.TempDir(), t.TempDir())
+	c := NewClient(fastClient(), nil)
+
+	if _, err := c.Health(addr); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	// Tick before configure must be rejected, not crash.
+	if _, err := c.Tick(addr, 1); err == nil {
+		t.Fatal("tick on unconfigured shard accepted")
+	}
+	if err := c.Configure(addr, testSpec()); err != nil {
+		t.Fatalf("configure: %v", err)
+	}
+	if _, err := c.Admit(addr, "t-a", 0); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if _, err := c.Admit(addr, "t-a", 0); err == nil {
+		t.Fatal("duplicate admit accepted")
+	}
+	resp, err := c.Tick(addr, 3)
+	if err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	if len(resp.Statuses) != 1 || resp.Statuses[0].Ticks != 3 {
+		t.Fatalf("tick response %+v: want tenant at 3 ticks", resp)
+	}
+	// Retried tick is a no-op (idempotent).
+	resp2, err := c.Tick(addr, 3)
+	if err != nil || resp2.Statuses[0].Ticks != 3 || resp2.Statuses[0].AuditFNV != resp.Statuses[0].AuditFNV {
+		t.Fatalf("retried tick changed state: %+v vs %+v (err %v)", resp2, resp, err)
+	}
+	q, err := c.Quotas(addr)
+	if err != nil || len(q.Quotas["t-a"]) == 0 {
+		t.Fatalf("quotas: %+v err %v", q, err)
+	}
+	d, err := c.Decisions(addr, "t-a")
+	if err != nil || len(d.Records) == 0 {
+		t.Fatalf("decisions: %d records, err %v", len(d.Records), err)
+	}
+	ck, err := c.Checkpoint(addr)
+	if err != nil || ck.Saved != 1 {
+		t.Fatalf("checkpoint: %+v err %v", ck, err)
+	}
+	ev, err := c.Evict(addr, "t-a", false)
+	if err != nil || ev.Status.Ticks != 3 {
+		t.Fatalf("evict: %+v err %v", ev, err)
+	}
+	if _, err := c.Evict(addr, "t-a", false); err == nil {
+		t.Fatal("double evict accepted")
+	}
+}
+
+// Planned migration: drain on one shard, rebuild + fast-forward on another,
+// audit fingerprint verified exactly; the run then finishes byte-identical
+// to the single-process reference.
+func TestRouterMigrationLossless(t *testing.T) {
+	bundle := testBundle(t)
+	ckpt, audit := t.TempDir(), t.TempDir()
+	_, addr1 := startShard(t, bundle, ckpt, audit)
+	_, addr2 := startShard(t, bundle, ckpt, audit)
+
+	spec := testSpec()
+	ids := tenantIDs(6)
+	const rounds = 8
+	r, err := NewRouter(RouterConfig{Spec: spec, Tenants: ids, Client: fastClient()}, []string{addr1, addr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunRounds(rounds / 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move one tenant from its current shard to the other one.
+	id := ids[0]
+	from := r.Owner(id)
+	to := addr1
+	if from == addr1 {
+		to = addr2
+	}
+	d, err := r.Migrate(id, to)
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if d <= 0 {
+		t.Fatal("migration blackout not measured")
+	}
+	if got := r.Owner(id); got != to {
+		t.Fatalf("tenant on %s after migration, want %s", got, to)
+	}
+	if err := r.RunRounds(rounds / 2); err != nil {
+		t.Fatal(err)
+	}
+
+	st := r.Stats()
+	if st.Migrations != 1 || st.LostDecisions != 0 {
+		t.Fatalf("stats %+v: want 1 lossless migration", st)
+	}
+	if st.SnapshotVerified == 0 {
+		t.Fatal("migration restore was not verified against the checkpoint digest")
+	}
+
+	want := referenceAudit(t, bundle, spec, ids, rounds)
+	for _, ts := range r.TenantStates() {
+		b, err := os.ReadFile(filepath.Join(audit, fleet.SanitizeID(ts.ID)+".jsonl"))
+		if err != nil {
+			t.Fatalf("tenant %s: %v", ts.ID, err)
+		}
+		if !bytes.Equal(b, want[ts.ID]) {
+			t.Errorf("tenant %s: audit log differs from single-process reference (%d vs %d bytes)",
+				ts.ID, len(b), len(want[ts.ID]))
+		}
+	}
+}
+
+// The acceptance scenario: two shard processes, one killed mid-run without
+// warning. The router must detect the missed heartbeats, reassign the dead
+// shard's tenants to the survivor, replay their audit tails, and finish
+// with every tenant byte-identical to an unkilled single-process run.
+func TestRouterShardLossByteIdentical(t *testing.T) {
+	bundle := testBundle(t)
+	ckptDir, audit := t.TempDir(), t.TempDir()
+	s1, addr1 := startShard(t, bundle, ckptDir, audit)
+	s2, addr2 := startShard(t, bundle, ckptDir, audit)
+
+	spec := testSpec()
+	ids := tenantIDs(8)
+	const rounds = 10
+	cfg := RouterConfig{
+		Spec: spec, Tenants: ids, Client: fastClient(),
+		HeartbeatMisses: 2, HeartbeatEvery: 10 * time.Millisecond,
+		CheckpointEveryRounds: 3,
+		Respawn:               nil, // no respawn: force reassignment
+		Logf:                  t.Logf,
+	}
+	r, err := NewRouter(cfg, []string{addr1, addr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunRounds(rounds / 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL equivalent: the HTTP server dies instantly; buffered audit
+	// bytes in its tenants' recorders are lost, flushed bytes survive on
+	// disk — exactly a crashed process's disk state. Kill whichever shard
+	// owns tenants (the ring may have concentrated this small population).
+	victim, victimAddr := s1, addr1
+	owners := map[string]int{}
+	for _, id := range ids {
+		owners[r.Owner(id)]++
+	}
+	if owners[addr2] > owners[addr1] {
+		victim, victimAddr = s2, addr2
+	}
+	if owners[victimAddr] == 0 {
+		t.Fatalf("no tenants on victim shard (placement %v)", owners)
+	}
+	victim.srv.Close()
+
+	if err := r.RunRounds(rounds - rounds/2); err != nil {
+		t.Fatal(err)
+	}
+
+	st := r.Stats()
+	if st.Reassignments == 0 {
+		t.Fatalf("stats %+v: shard death did not trigger reassignment", st)
+	}
+	if st.LostDecisions != 0 {
+		t.Fatalf("stats %+v: lost decisions", st)
+	}
+	if st.RecoveryBlackoutMS <= 0 {
+		t.Fatalf("stats %+v: recovery blackout not measured", st)
+	}
+
+	want := referenceAudit(t, bundle, spec, ids, rounds)
+	for _, ts := range r.TenantStates() {
+		if ts.Ticks < rounds {
+			t.Errorf("tenant %s: only %d/%d ticks after recovery", ts.ID, ts.Ticks, rounds)
+		}
+		b, err := os.ReadFile(filepath.Join(audit, fleet.SanitizeID(ts.ID)+".jsonl"))
+		if err != nil {
+			t.Fatalf("tenant %s: %v", ts.ID, err)
+		}
+		if !bytes.Equal(b, want[ts.ID]) {
+			t.Errorf("tenant %s: audit log differs from unkilled single-process reference (%d vs %d bytes)",
+				ts.ID, len(b), len(want[ts.ID]))
+		}
+	}
+}
+
+// A respawnable shard slot is restarted in place within the restart budget,
+// and its tenants restored onto the fresh process losslessly.
+func TestRouterRespawnWithinBudget(t *testing.T) {
+	bundle := testBundle(t)
+	ckptDir, audit := t.TempDir(), t.TempDir()
+	s1, addr1 := startShard(t, bundle, ckptDir, audit)
+	s2, addr2 := startShard(t, bundle, ckptDir, audit)
+
+	spec := testSpec()
+	ids := tenantIDs(6)
+	respawned := 0
+	cfg := RouterConfig{
+		Spec: spec, Tenants: ids, Client: fastClient(),
+		HeartbeatMisses: 2, HeartbeatEvery: 10 * time.Millisecond,
+		RestartBudget: 1,
+		Respawn: func(slot int) (string, error) {
+			respawned++
+			s := &ShardServer{Bundle: bundle, CkptDir: ckptDir, AuditDir: audit}
+			addr, err := s.Serve("127.0.0.1:0")
+			return addr, err
+		},
+		Logf: t.Logf,
+	}
+	r, err := NewRouter(cfg, []string{addr1, addr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	victim := s1
+	owners := map[string]int{}
+	for _, id := range ids {
+		owners[r.Owner(id)]++
+	}
+	if owners[addr2] > owners[addr1] {
+		victim = s2
+	}
+	victim.srv.Close()
+	if err := r.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if respawned != 1 || st.Respawns != 1 {
+		t.Fatalf("respawned %d times (stats %+v), want 1", respawned, st)
+	}
+	if st.Reassignments != 0 {
+		t.Fatalf("stats %+v: respawn should not reassign", st)
+	}
+	if st.LostDecisions != 0 {
+		t.Fatalf("stats %+v: lost decisions across respawn", st)
+	}
+	want := referenceAudit(t, bundle, spec, ids, 8)
+	for _, ts := range r.TenantStates() {
+		b, err := os.ReadFile(filepath.Join(audit, fleet.SanitizeID(ts.ID)+".jsonl"))
+		if err != nil {
+			t.Fatalf("tenant %s: %v", ts.ID, err)
+		}
+		if !bytes.Equal(b, want[ts.ID]) {
+			t.Errorf("tenant %s: audit log differs from reference after respawn", ts.ID)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []Spec{
+		{},                        // no app
+		{App: "nope", Rate: 100},  // unknown app
+		{App: "chain-4", Rate: 0}, // no rate
+		{App: "chain-4", Rate: 1, Shape: "zigzag"}, // unknown shape
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%+v): invalid spec accepted", i, s)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// chaos.NetInjector must satisfy the client's FaultInjector seam
+// structurally, and the retry/backoff discipline must ride out seeded
+// request drops without losing a round or a decision.
+func TestRouterSurvivesInjectedDrops(t *testing.T) {
+	bundle := testBundle(t)
+	audit := t.TempDir()
+	_, addr1 := startShard(t, bundle, "", audit)
+	_, addr2 := startShard(t, bundle, "", audit)
+
+	spec := testSpec()
+	ids := tenantIDs(5)
+	const rounds = 6
+	inj := chaos.NewNetInjector(chaos.NetScenario{
+		Seed: 13,
+		Events: []chaos.NetEvent{
+			chaos.Drop(1, rounds, "", 0.3),
+			chaos.Delay(1, rounds, "", 0.2, 3),
+		},
+	})
+	var fault FaultInjector = inj // compile-time structural check
+	// A 30% drop storm needs more patience than the usual test client: with
+	// the default threshold, 3 consecutive dropped *attempts* (p≈2.7% per
+	// window, and the fault verdicts depend on the random listen port) open
+	// the breaker, whose cooldown then outlasts the health probes and gets
+	// a live shard declared dead. Retries=8 makes a whole-call failure
+	// 0.3^9≈2e-5 and threshold 12 makes a spurious breaker-open negligible.
+	client := fastClient()
+	client.Retries = 8
+	client.BreakerThreshold = 12
+	client.BreakerCooldown = 50 * time.Millisecond
+	r, err := NewRouter(RouterConfig{
+		Spec: spec, Tenants: ids, Client: client, Fault: fault,
+	}, []string{addr1, addr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.LostDecisions != 0 {
+		t.Fatalf("stats %+v: drops lost decisions", st)
+	}
+	want := referenceAudit(t, bundle, spec, ids, rounds)
+	for _, ts := range r.TenantStates() {
+		if ts.Ticks != rounds {
+			t.Errorf("tenant %s: %d/%d ticks under drops", ts.ID, ts.Ticks, rounds)
+		}
+		b, err := os.ReadFile(filepath.Join(audit, fleet.SanitizeID(ts.ID)+".jsonl"))
+		if err != nil || !bytes.Equal(b, want[ts.ID]) {
+			t.Errorf("tenant %s: audit log differs from reference under injected drops (err %v)", ts.ID, err)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"graf/internal/ckpt"
+	"graf/internal/fleet"
+	"graf/internal/obs"
+)
+
+// ShardServer exposes one dynamic fleet over the control-plane protocol.
+// One mutex serializes all fleet-touching handlers — the fleet's dynamic
+// API is single-owner by design, and the round cadence (one tick request
+// per TickS of simulated time) leaves the lock uncontended. /healthz never
+// takes the lock, so a slow round cannot read as a dead shard.
+type ShardServer struct {
+	// Bundle is the shard-local model artifact (same .graf file in every
+	// process).
+	Bundle ModelBundle
+	// CkptDir is the shard's checkpoint store directory ("" = none). All
+	// shards of one deployment share it: namespaced per-tenant files mean
+	// no collisions, and a migration target finds the source's snapshot.
+	CkptDir string
+	// AuditDir mirrors per-tenant audit logs to disk ("" = in-memory).
+	// Shared across shards for the same reason.
+	AuditDir string
+	// MaxReplayTicks bounds how far past the router's tick count an admit
+	// will replay to cover a dead owner's flushed-but-unreported decisions
+	// (default 4; a shard can only have been one round ahead, but partial
+	// flushes make the exact boundary fuzzy).
+	MaxReplayTicks int
+	// Logf, when set, receives one line per control-plane operation.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	fl      *fleet.Fleet
+	spec    Spec
+	round   int
+	started time.Time
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+func (s *ShardServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Handler returns the server's HTTP mux.
+func (s *ShardServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/configure", s.handleConfigure)
+	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/evict", s.handleEvict)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/quotas", s.handleQuotas)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("GET /v1/decisions", s.handleDecisions)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves until
+// Shutdown. It returns the bound address immediately; the accept loop runs
+// in a background goroutine.
+func (s *ShardServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.started = time.Now()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the shard: flush audit, checkpoint every tenant (when a
+// checkpoint dir is configured), stop the fleet and close the listener — a
+// routine restart is then indistinguishable from a warm restore.
+func (s *ShardServer) Shutdown() error {
+	s.mu.Lock()
+	var err error
+	if s.fl != nil {
+		s.fl.FlushAudit()
+		if s.CkptDir != "" {
+			_, err = s.fl.Checkpoint(s.CkptDir)
+		}
+		s.fl.Stop()
+		s.fl = nil
+	}
+	s.mu.Unlock()
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	return err
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *ShardServer) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Kill closes the server abruptly — no flush, no checkpoint, no fleet stop:
+// the in-process stand-in for SIGKILL. Whatever was durably mirrored before
+// the last acknowledged tick is all a recovering router gets to work with,
+// which is exactly the contract recovery is verified against.
+func (s *ShardServer) Kill() {
+	if s.srv != nil {
+		s.srv.Close()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Deliberately lock-free: reads of round/tenant count may be slightly
+	// stale, but the probe must answer even mid-round.
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:      true,
+		PID:     os.Getpid(),
+		Round:   s.round,
+		Uptime:  time.Since(s.started).Truncate(time.Millisecond).String(),
+		Tenants: s.tenantCount(),
+	})
+}
+
+func (s *ShardServer) tenantCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		return 0
+	}
+	return len(s.fl.Tenants())
+}
+
+func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	var req ConfigureRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl != nil && len(s.fl.Tenants()) > 0 {
+		writeErr(w, http.StatusConflict, "shard already holds %d tenants; evict before reconfiguring", len(s.fl.Tenants()))
+		return
+	}
+	cfg, err := req.Spec.FleetConfig(s.Bundle, s.AuditDir)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.fl != nil {
+		s.fl.Stop()
+	}
+	fl, err := fleet.New(cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fl.Start()
+	s.fl = fl
+	s.spec = req.Spec
+	s.round = 0
+	s.logf("configured: app=%s seed=%d tick=%gs", req.Spec.App, req.Spec.Seed, cfg.TickS)
+	writeJSON(w, http.StatusOK, ConfigureResponse{OK: true})
+}
+
+func status(t *fleet.Tenant) TenantStatus {
+	n, sum := t.AuditDigest()
+	return TenantStatus{
+		ID:       t.ID,
+		Ticks:    t.Ticks(),
+		P99:      t.LastP99(),
+		ViolS:    t.ViolationSeconds(),
+		Degraded: t.Degraded(),
+		AuditLen: n,
+		AuditFNV: sum,
+	}
+}
+
+// handleAdmit places a tenant, restoring losslessly when it lived before:
+//
+//  1. Repair + read any on-disk audit log the tenant's previous owner left
+//     (exclusive ownership is guaranteed here — the old owner is dead or
+//     has evicted).
+//  2. Rebuild the tenant from the spec (this truncates the audit file) and
+//     fast-forward it to the router's known tick count by deterministic
+//     re-execution.
+//  3. If the prior log proves the old owner got further (it flushed audit
+//     bytes for ticks it never reported), replay additional ticks until
+//     the regenerated stream covers the prior one.
+//  4. Verify the prior bytes are a byte-exact prefix of the regenerated
+//     stream — zero lost decisions, checked, not assumed — and, when a
+//     checkpoint at the same tick exists, verify the rebuilt controller
+//     state digest against it.
+func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req AdmitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Ticks < 0 {
+		writeErr(w, http.StatusBadRequest, "negative tick count")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+
+	var prior []byte
+	if s.AuditDir != "" {
+		path := filepath.Join(s.AuditDir, fleet.SanitizeID(req.ID)+".jsonl")
+		if _, err := os.Stat(path); err == nil {
+			if _, _, err := obs.RepairLog(path); err != nil {
+				writeErr(w, http.StatusInternalServerError, "repair prior audit log: %v", err)
+				return
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, "read prior audit log: %v", err)
+				return
+			}
+			prior = b
+		}
+	}
+
+	t, err := s.fl.Admit(s.specTenant(req.ID))
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	fail := func(status int, format string, args ...any) {
+		s.fl.Evict(req.ID)
+		writeErr(w, status, format, args...)
+	}
+	if err := s.fl.Resume(req.ID, req.Ticks); err != nil {
+		fail(http.StatusInternalServerError, "resume: %v", err)
+		return
+	}
+
+	resp := AdmitResponse{PriorBytes: len(prior)}
+	if len(prior) > 0 {
+		maxReplay := s.MaxReplayTicks
+		if maxReplay <= 0 {
+			maxReplay = 4
+		}
+		regen := t.AuditLog()
+		for replay := 0; len(regen) < len(prior); replay++ {
+			if replay >= maxReplay {
+				fail(http.StatusInternalServerError,
+					"tenant %s: prior audit log (%d bytes) not covered after replaying %d extra ticks (%d bytes) — lost decisions",
+					req.ID, len(prior), replay, len(regen))
+				return
+			}
+			if err := s.fl.Resume(req.ID, t.Ticks()+1); err != nil {
+				fail(http.StatusInternalServerError, "replay: %v", err)
+				return
+			}
+			resp.ReplayedTicks++
+			regen = t.AuditLog()
+		}
+		if !bytes.HasPrefix(regen, prior) {
+			fail(http.StatusInternalServerError,
+				"tenant %s: regenerated audit stream diverges from prior log — lost decisions", req.ID)
+			return
+		}
+		resp.PriorVerified = true
+	}
+
+	if s.CkptDir != "" {
+		store, err := ckpt.NewNamespacedStore(s.CkptDir, "tenant-"+fleet.SanitizeID(req.ID))
+		if err == nil {
+			snap, err := store.LoadLatest()
+			if err == nil && snap.Ticks == t.Ticks() {
+				if err := t.VerifyAgainstSnapshot(snap); err != nil {
+					fail(http.StatusInternalServerError, "snapshot verification: %v", err)
+					return
+				}
+				resp.SnapshotVerified = true
+			} else if err != nil && !errors.Is(err, ckpt.ErrNoSnapshot) {
+				fail(http.StatusInternalServerError, "load snapshot: %v", err)
+				return
+			}
+		}
+	}
+
+	s.fl.FlushAudit()
+	resp.Status = status(t)
+	s.logf("admit %s ticks=%d prior=%dB replayed=%d verified=%v/%v",
+		req.ID, req.Ticks, resp.PriorBytes, resp.ReplayedTicks, resp.PriorVerified, resp.SnapshotVerified)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// specTenant rebuilds the tenant config from the shard's installed spec.
+func (s *ShardServer) specTenant(id string) fleet.TenantConfig {
+	return s.spec.TenantConfig(id)
+}
+
+func (s *ShardServer) handleEvict(w http.ResponseWriter, r *http.Request) {
+	var req EvictRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+	t := s.fl.Tenant(req.ID)
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "unknown tenant %q", req.ID)
+		return
+	}
+	if req.Checkpoint && s.CkptDir != "" {
+		if err := s.fl.CheckpointTenant(s.CkptDir, req.ID); err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	st := status(t)
+	if _, err := s.fl.Evict(req.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.logf("evict %s ticks=%d ckpt=%v", req.ID, st.Ticks, req.Checkpoint)
+	writeJSON(w, http.StatusOK, EvictResponse{Status: st})
+}
+
+func (s *ShardServer) handleTick(w http.ResponseWriter, r *http.Request) {
+	var req TickRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Round <= 0 {
+		writeErr(w, http.StatusBadRequest, "round must be positive")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+	s.fl.RoundTo(req.Round)
+	s.round = req.Round
+	// Durable-before-acknowledged: flush every tenant's on-disk audit log
+	// before answering, so the file is never behind what the router knows.
+	s.fl.FlushAudit()
+	resp := TickResponse{Round: req.Round}
+	for _, t := range s.fl.Tenants() {
+		resp.Statuses = append(resp.Statuses, status(t))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleQuotas(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+	resp := QuotasResponse{Quotas: map[string]map[string]float64{}}
+	for _, t := range s.fl.Tenants() {
+		resp.Quotas[t.ID] = t.Quotas()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleTenants(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+	resp := TenantsResponse{}
+	for _, t := range s.fl.Tenants() {
+		resp.Statuses = append(resp.Statuses, status(t))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+	t := s.fl.Tenant(id)
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "unknown tenant %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, DecisionsResponse{Tenant: id, Records: t.Records()})
+}
+
+func (s *ShardServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fl == nil {
+		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+	if s.CkptDir == "" {
+		writeErr(w, http.StatusConflict, "shard has no checkpoint directory")
+		return
+	}
+	saved, err := s.fl.Checkpoint(s.CkptDir)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Saved: saved})
+}

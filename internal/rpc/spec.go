@@ -1,0 +1,139 @@
+// Package rpc is the multi-process fleet control plane: a stdlib HTTP/JSON
+// protocol between a thin router (tenant placement, health checking,
+// migration, shard-loss rebalancing) and N grafd shard processes, each
+// running a dynamic fleet.Fleet as its slice of the tenant population.
+//
+// The plane's load-bearing property is inherited from the fleet: tenant
+// execution is deterministic — same spec, same seed, same tick count ⇒
+// byte-identical audit logs, regardless of which process runs the tenant.
+// Migration and crash recovery therefore never serialize engine state; they
+// rebuild the tenant from its spec on the target shard and fast-forward it
+// by deterministic re-execution, then verify the regenerated audit bytes
+// against what the previous owner durably recorded and the controller-state
+// digest against the last checkpoint. Lossless is checked, not assumed.
+package rpc
+
+import (
+	"fmt"
+
+	"graf/internal/app"
+	"graf/internal/core"
+	"graf/internal/fleet"
+	"graf/internal/gnn"
+	"graf/internal/workload"
+)
+
+// Spec is the portable fleet description the router ships to every shard in
+// /v1/configure: everything needed to rebuild any tenant identically in any
+// process. Model weights are NOT in the spec — every shard process loads the
+// same .graf artifact; the spec carries only what varies per run.
+type Spec struct {
+	// App names the builtin application graph (app.ByName).
+	App string `json:"app"`
+	// Shape selects the arrival-rate shape: "const" or "surge".
+	Shape string `json:"shape"`
+	// Rate is the constant rate, or the surge base (req/s).
+	Rate float64 `json:"rate"`
+	// SurgeTo/SurgeAtS parameterize the "surge" shape (StepRate).
+	SurgeTo  float64 `json:"surge_to,omitempty"`
+	SurgeAtS float64 `json:"surge_at_s,omitempty"`
+	// Seed is the fleet seed every per-tenant engine seed derives from.
+	Seed int64 `json:"seed"`
+	// TickS is the control-tick quantum in simulated seconds.
+	TickS float64 `json:"tick_s"`
+	// WarmStart pre-provisions each tenant near expected demand.
+	WarmStart bool `json:"warm_start"`
+	// Workers sizes each shard process's tick worker pool (0 = default).
+	Workers int `json:"workers,omitempty"`
+	// AuditMemory bounds per-tenant in-memory audit retention (0 = default).
+	AuditMemory int `json:"audit_memory,omitempty"`
+}
+
+// Validate rejects specs that could not produce a deterministic fleet.
+func (s Spec) Validate() error {
+	if s.App == "" {
+		return fmt.Errorf("rpc: spec has no application")
+	}
+	if _, err := app.ByName(s.App); err != nil {
+		return err
+	}
+	switch s.Shape {
+	case "", "const", "surge":
+	default:
+		return fmt.Errorf("rpc: unknown rate shape %q", s.Shape)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("rpc: spec rate must be positive")
+	}
+	if s.TickS < 0 {
+		return fmt.Errorf("rpc: spec tick quantum must be non-negative")
+	}
+	return nil
+}
+
+// RateFn materializes the spec's arrival-rate shape. Every process building
+// a tenant from the same spec gets the same function — a migration invariant.
+func (s Spec) RateFn() func(float64) float64 {
+	if s.Shape == "surge" {
+		to, at := s.SurgeTo, s.SurgeAtS
+		if to <= 0 {
+			to = 2 * s.Rate
+		}
+		if at <= 0 {
+			at = 120
+		}
+		return workload.StepRate(s.Rate, to, at)
+	}
+	return workload.ConstRate(s.Rate)
+}
+
+// TenantConfig builds the fleet tenant description for one tenant ID. The
+// zero tenant Seed means the fleet derives it from Spec.Seed and the ID —
+// the same derivation in every process.
+func (s Spec) TenantConfig(id string) fleet.TenantConfig {
+	return fleet.TenantConfig{ID: id, Rate: s.RateFn()}
+}
+
+// ModelBundle is the shard-local model artifact: what each grafd process
+// loads from the same .graf file, combined with a spec to build its fleet.
+type ModelBundle struct {
+	Model            *gnn.Model
+	Bounds           core.Bounds
+	SLO              float64 // seconds
+	MinRate, MaxRate float64
+}
+
+// FleetConfig combines the portable spec with the shard-local model bundle
+// into a dynamic fleet configuration. auditDir is the shared per-tenant
+// audit mirror directory ("" = in-memory only).
+func (s Spec) FleetConfig(b ModelBundle, auditDir string) (fleet.Config, error) {
+	if err := s.Validate(); err != nil {
+		return fleet.Config{}, err
+	}
+	a, err := app.ByName(s.App)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	if b.Model == nil {
+		return fleet.Config{}, fmt.Errorf("rpc: model bundle has no model")
+	}
+	if b.Model.Cfg.Nodes != len(a.Services) {
+		return fleet.Config{}, fmt.Errorf("rpc: model trained for %d services, app %q has %d",
+			b.Model.Cfg.Nodes, s.App, len(a.Services))
+	}
+	return fleet.Config{
+		App:         a,
+		Model:       b.Model,
+		Bounds:      b.Bounds,
+		SLO:         b.SLO,
+		MinRate:     b.MinRate,
+		MaxRate:     b.MaxRate,
+		Workers:     s.Workers,
+		TickS:       s.TickS,
+		Seed:        s.Seed,
+		WarmStart:   s.WarmStart,
+		Dynamic:     true,
+		AuditDir:    auditDir,
+		AuditMemory: s.AuditMemory,
+	}, nil
+}
