@@ -23,8 +23,8 @@ type TenantStatus struct {
 }
 
 // HealthResponse answers GET /healthz — the router's heartbeat probe. It is
-// served without touching the fleet mutex so a long round cannot be mistaken
-// for a dead shard.
+// served entirely from atomic mirrors, never from under the fleet mutex, so
+// a long round cannot be mistaken for a dead shard.
 type HealthResponse struct {
 	OK      bool   `json:"ok"`
 	PID     int    `json:"pid"`
@@ -49,7 +49,10 @@ type ConfigureResponse struct {
 // positive fast-forwards the rebuilt tenant by deterministic re-execution.
 // The shard repairs and re-reads any on-disk audit log for the tenant first
 // and replays past Ticks if the log proves the previous owner got further —
-// the zero-lost-decisions guarantee.
+// the zero-lost-decisions guarantee. Admit is idempotent: if the tenant is
+// already resident (a retried request whose first attempt's response was
+// lost), the shard fast-forwards it to Ticks if behind and reports its
+// current status instead of rejecting.
 type AdmitRequest struct {
 	ID    string `json:"id"`
 	Ticks int    `json:"ticks"`
@@ -76,7 +79,9 @@ type AdmitResponse struct {
 // EvictRequest (POST /v1/evict) drains a tenant off the shard — the first
 // half of a planned migration. With Checkpoint set the shard snapshots the
 // tenant into its checkpoint store before removal, so the target can verify
-// its rebuilt state against it.
+// its rebuilt state against it. Evict is idempotent: evicting a tenant that
+// is not resident succeeds with Missing set rather than 404, so a retried
+// drain whose first attempt completed does not abort the migration.
 type EvictRequest struct {
 	ID         string `json:"id"`
 	Checkpoint bool   `json:"checkpoint"`
@@ -84,6 +89,10 @@ type EvictRequest struct {
 
 type EvictResponse struct {
 	Status TenantStatus `json:"status"`
+	// Missing reports the tenant was not resident — a retried evict whose
+	// first attempt already removed it (or an evict for a tenant never
+	// admitted). Status carries only the ID in that case, no accounting.
+	Missing bool `json:"missing,omitempty"`
 }
 
 // TickRequest (POST /v1/tick) advances the shard to the absolute round

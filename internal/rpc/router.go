@@ -99,6 +99,14 @@ type RouterStats struct {
 // from shard loss by respawn or reassignment. It holds no tenant state that
 // cannot be rebuilt from shard responses — the shards are the system of
 // record, the router is the clock and the map.
+//
+// Locking: r.mu guards every mutable field — the tenant table, the slot
+// table (addr/alive/respawns), the ring, the round counter, and the stats —
+// so observers (Stats, Shards, Owner, TenantStates, Round) are safe to call
+// concurrently with the round loop. The round loop itself is single-caller:
+// RunRound/Migrate/Bootstrap must not be invoked concurrently with each
+// other. Placement round-trips (placeTenant) run under the lock; the tick
+// fan-out does not.
 type Router struct {
 	cfg     RouterConfig
 	client  *Client
@@ -159,7 +167,11 @@ func (r *Router) Stats() RouterStats {
 }
 
 // Round returns the last completed round.
-func (r *Router) Round() int { return r.round }
+func (r *Router) Round() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.round
+}
 
 // TenantStates returns a sorted snapshot of the router's tenant table.
 func (r *Router) TenantStates() []TenantStatus {
@@ -210,11 +222,13 @@ func (r *Router) Owner(id string) string {
 // Bootstrap configures every shard with the spec and admits every tenant at
 // its ring placement.
 func (r *Router) Bootstrap() error {
-	for _, s := range r.slots {
-		if err := r.client.Configure(s.addr, r.cfg.Spec); err != nil {
-			return fmt.Errorf("rpc: configure shard %d (%s): %w", s.slot, s.addr, err)
+	for _, s := range r.Shards() {
+		if err := r.client.Configure(s.Addr, r.cfg.Spec); err != nil {
+			return fmt.Errorf("rpc: configure shard %d (%s): %w", s.Slot, s.Addr, err)
 		}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	ids := make([]string, 0, len(r.tenants))
 	for id := range r.tenants {
 		ids = append(ids, id)
@@ -232,6 +246,9 @@ func (r *Router) Bootstrap() error {
 
 // placeTenant admits a tenant on a shard at its recorded tick count and
 // verifies the response against the router's audit fingerprint baseline.
+// Callers must hold r.mu (the admit round-trip happens under the lock —
+// placement is serialized by design, and observers block only on Stats-style
+// reads, never on the data path).
 func (r *Router) placeTenant(id, addr string) error {
 	t := r.tenants[id]
 	resp, err := r.client.Admit(addr, id, t.ticks)
@@ -276,8 +293,8 @@ func (r *Router) noteStatus(st TenantStatus) {
 	t.violS = st.ViolS
 }
 
-// aliveSlots returns the live shard slots.
-func (r *Router) aliveSlots() []*shardSlot {
+// aliveSlotsLocked returns the live shard slots. Callers must hold r.mu.
+func (r *Router) aliveSlotsLocked() []*shardSlot {
 	var out []*shardSlot
 	for _, s := range r.slots {
 		if s.alive {
@@ -285,6 +302,43 @@ func (r *Router) aliveSlots() []*shardSlot {
 		}
 	}
 	return out
+}
+
+// aliveAddrs snapshots the live shard addresses.
+func (r *Router) aliveAddrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, s := range r.slots {
+		if s.alive {
+			out = append(out, s.addr)
+		}
+	}
+	return out
+}
+
+// placeUnplacedLocked re-places any tenant that currently has no owner (a
+// failed migration whose rollback also failed) onto its ring shard, so no
+// tenant can stay silently stalled across rounds. Callers must hold r.mu.
+func (r *Router) placeUnplacedLocked() error {
+	var ids []string
+	for id, t := range r.tenants {
+		if t.shard == "" {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		target := r.ring.Lookup(id)
+		if target == "" {
+			return fmt.Errorf("rpc: no live shards to place tenant %s", id)
+		}
+		if err := r.placeTenant(id, target); err != nil {
+			return err
+		}
+		r.logf("tenant %s: re-placed on %s after failed migration", id, target)
+	}
+	return nil
 }
 
 // RunRounds advances the whole fleet n rounds.
@@ -303,20 +357,40 @@ func (r *Router) RunRounds(n int) error {
 // round then completes on the post-recovery topology, so one lost shard
 // never stalls the fleet.
 func (r *Router) RunRound() error {
+	r.mu.Lock()
 	r.round++
-	r.client.SetRound(r.round)
-	if r.cfg.CheckpointEveryRounds > 0 && r.round > 1 && (r.round-1)%r.cfg.CheckpointEveryRounds == 0 {
-		for _, s := range r.aliveSlots() {
-			if _, err := r.client.Checkpoint(s.addr); err != nil {
-				r.logf("round %d: checkpoint %s: %v", r.round, s.addr, err)
+	round := r.round
+	err := r.placeUnplacedLocked()
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	r.client.SetRound(round)
+	if r.cfg.CheckpointEveryRounds > 0 && round > 1 && (round-1)%r.cfg.CheckpointEveryRounds == 0 {
+		for _, addr := range r.aliveAddrs() {
+			if _, err := r.client.Checkpoint(addr); err != nil {
+				r.logf("round %d: checkpoint %s: %v", round, addr, err)
 			}
 		}
 	}
 
 	for attempt := 0; ; attempt++ {
-		alive := r.aliveSlots()
+		// Snapshot the live topology under the lock; the tick fan-out itself
+		// must not hold r.mu (observers keep working during a slow round).
+		type target struct {
+			slot *shardSlot
+			addr string
+		}
+		r.mu.Lock()
+		var alive []target
+		for _, s := range r.slots {
+			if s.alive {
+				alive = append(alive, target{slot: s, addr: s.addr})
+			}
+		}
+		r.mu.Unlock()
 		if len(alive) == 0 {
-			return fmt.Errorf("rpc: round %d: no live shards", r.round)
+			return fmt.Errorf("rpc: round %d: no live shards", round)
 		}
 		type result struct {
 			slot *shardSlot
@@ -325,13 +399,13 @@ func (r *Router) RunRound() error {
 		}
 		results := make([]result, len(alive))
 		var wg sync.WaitGroup
-		for i, s := range alive {
+		for i, tgt := range alive {
 			wg.Add(1)
-			go func(i int, s *shardSlot) {
+			go func(i int, tgt target) {
 				defer wg.Done()
-				resp, err := r.client.Tick(s.addr, r.round)
-				results[i] = result{slot: s, resp: resp, err: err}
-			}(i, s)
+				resp, err := r.client.Tick(tgt.addr, round)
+				results[i] = result{slot: tgt.slot, resp: resp, err: err}
+			}(i, tgt)
 		}
 		wg.Wait()
 
@@ -351,7 +425,7 @@ func (r *Router) RunRound() error {
 			break
 		}
 		if attempt >= len(r.slots)+1 {
-			return fmt.Errorf("rpc: round %d: shards kept failing after %d recovery attempts", r.round, attempt)
+			return fmt.Errorf("rpc: round %d: shards kept failing after %d recovery attempts", round, attempt)
 		}
 		for _, s := range failed {
 			if err := r.handleShardFailure(s); err != nil {
@@ -361,7 +435,9 @@ func (r *Router) RunRound() error {
 		// Loop: re-tick the post-recovery topology. RoundTo is idempotent,
 		// so shards that already completed this round are no-ops.
 	}
+	r.mu.Lock()
 	r.stats.Rounds++
+	r.mu.Unlock()
 	return nil
 }
 
@@ -371,25 +447,33 @@ func (r *Router) RunRound() error {
 // survivors. Every orphan is restored at its last acknowledged tick count
 // and byte-verified against its on-disk audit log — zero lost decisions.
 func (r *Router) handleShardFailure(s *shardSlot) error {
+	r.mu.Lock()
+	addr := s.addr
+	r.mu.Unlock()
 	for probe := 0; probe < r.cfg.HeartbeatMisses; probe++ {
 		if probe > 0 {
 			time.Sleep(r.cfg.HeartbeatEvery)
 		}
-		if _, err := r.client.Health(s.addr); err == nil {
-			// Alive after all — a slow round or a transient partition. The
-			// tick will be retried by the caller's loop.
-			r.logf("shard %d (%s): unresponsive but heartbeat ok", s.slot, s.addr)
+		if _, err := r.client.Health(addr); err == nil {
+			// Alive after all — a slow round, a transient partition, or a
+			// breaker that opened during a blip. Close the breaker so the
+			// caller's re-tick actually reaches the shard: without the reset,
+			// an open breaker fails every re-tick instantly with
+			// ErrBreakerOpen until its cooldown elapses, burning through the
+			// recovery-attempt bound in milliseconds and aborting the round
+			// over a survivable transient.
+			r.client.ResetBreaker(addr)
+			r.logf("shard %d (%s): unresponsive but heartbeat ok; breaker reset", s.slot, addr)
 			return nil
 		}
 	}
-	r.logf("shard %d (%s): declared dead after %d missed heartbeats", s.slot, s.addr, r.cfg.HeartbeatMisses)
-	s.alive = false
-	r.ring.Remove(s.addr)
-
-	var orphans []string
+	r.logf("shard %d (%s): declared dead after %d missed heartbeats", s.slot, addr, r.cfg.HeartbeatMisses)
 	r.mu.Lock()
+	s.alive = false
+	r.ring.Remove(addr)
+	var orphans []string
 	for id, t := range r.tenants {
-		if t.shard == s.addr {
+		if t.shard == addr {
 			orphans = append(orphans, id)
 		}
 	}
@@ -405,54 +489,56 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 		r.logf("shard %d: recovery of %d tenants took %.1fms", s.slot, len(orphans), ms)
 	}()
 
-	if r.cfg.Respawn != nil && s.respawns < r.cfg.RestartBudget {
+	r.mu.Lock()
+	respawnable := r.cfg.Respawn != nil && s.respawns < r.cfg.RestartBudget
+	if respawnable {
 		s.respawns++
-		r.mu.Lock()
 		r.stats.Respawns++
-		r.mu.Unlock()
-		addr, err := r.cfg.Respawn(s.slot)
+	}
+	r.mu.Unlock()
+	if respawnable {
+		newAddr, err := r.cfg.Respawn(s.slot)
 		if err != nil {
 			r.logf("shard %d: respawn failed (%v); falling back to reassignment", s.slot, err)
 		} else {
-			r.client.ResetBreaker(s.addr)
 			r.client.ResetBreaker(addr)
-			if err := r.client.Configure(addr, r.cfg.Spec); err != nil {
-				return fmt.Errorf("rpc: configure respawned shard %d (%s): %w", s.slot, addr, err)
+			r.client.ResetBreaker(newAddr)
+			if err := r.client.Configure(newAddr, r.cfg.Spec); err != nil {
+				return fmt.Errorf("rpc: configure respawned shard %d (%s): %w", s.slot, newAddr, err)
 			}
-			s.addr = addr
-			s.alive = true
-			r.ring.Add(addr)
 			r.mu.Lock()
+			s.addr = newAddr
+			s.alive = true
+			r.ring.Add(newAddr)
 			for _, id := range orphans {
-				if err := r.placeTenant(id, addr); err != nil {
+				if err := r.placeTenant(id, newAddr); err != nil {
 					r.mu.Unlock()
 					return err
 				}
 			}
 			r.mu.Unlock()
-			r.logf("shard %d: respawned at %s, %d tenants restored", s.slot, addr, len(orphans))
+			r.logf("shard %d: respawned at %s, %d tenants restored", s.slot, newAddr, len(orphans))
 			return nil
 		}
 	}
 
-	if len(r.aliveSlots()) == 0 {
-		return fmt.Errorf("rpc: shard %d dead and no survivors to reassign %d tenants to", s.slot, len(orphans))
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.aliveSlotsLocked()) == 0 {
+		return fmt.Errorf("rpc: shard %d dead and no survivors to reassign %d tenants to", s.slot, len(orphans))
+	}
 	for _, id := range orphans {
 		t := r.tenants[id]
-		var target string
 		if t.pinned {
 			// A pinned tenant lost its pin target; fall back to the ring.
 			t.pinned = false
 		}
-		target = r.ring.Lookup(id)
+		target := r.ring.Lookup(id)
 		if err := r.placeTenant(id, target); err != nil {
 			return err
 		}
 		r.stats.Reassignments++
-		r.logf("tenant %s: reassigned %s → %s at tick %d", id, s.addr, target, t.ticks)
+		r.logf("tenant %s: reassigned %s → %s at tick %d", id, addr, target, t.ticks)
 	}
 	return nil
 }
@@ -461,56 +547,88 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 // checkpoint) on the source, rebuild + fast-forward on the target, verify
 // the audit fingerprint matches exactly. The tenant is pinned to the target
 // afterwards. Returns the migration blackout (wall time the tenant was
-// unplaced).
+// unplaced). If the restore fails after a successful drain, the tenant is
+// rolled back onto its source shard (or any survivor) so it is never left
+// running nowhere; if even that fails, it is marked unplaced and re-placed
+// at the start of the next round.
 func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 	r.mu.Lock()
 	t := r.tenants[id]
-	r.mu.Unlock()
 	if t == nil {
+		r.mu.Unlock()
 		return 0, fmt.Errorf("rpc: unknown tenant %q", id)
 	}
 	if t.shard == toAddr {
+		r.mu.Unlock()
 		return 0, nil
 	}
-	var target *shardSlot
+	fromAddr := t.shard
+	targetLive := false
 	for _, s := range r.slots {
 		if s.addr == toAddr && s.alive {
-			target = s
+			targetLive = true
 		}
 	}
-	if target == nil {
+	r.mu.Unlock()
+	if !targetLive {
 		return 0, fmt.Errorf("rpc: migration target %s is not a live shard", toAddr)
 	}
 
 	t0 := time.Now()
-	ev, err := r.client.Evict(t.shard, id, true)
-	if err != nil {
-		return 0, fmt.Errorf("rpc: migrate %s: drain: %w", id, err)
+	if fromAddr != "" {
+		ev, err := r.client.Evict(fromAddr, id, true)
+		if err != nil {
+			return 0, fmt.Errorf("rpc: migrate %s: drain: %w", id, err)
+		}
+		if !ev.Missing {
+			r.mu.Lock()
+			r.noteStatus(ev.Status)
+			r.mu.Unlock()
+		}
 	}
 	r.mu.Lock()
-	r.noteStatus(ev.Status)
-	err = r.placeTenant(id, toAddr)
-	if err == nil {
-		t.pinned = true
-		r.stats.Migrations++
+	defer r.mu.Unlock()
+	if err := r.placeTenant(id, toAddr); err != nil {
+		// Drained but not restored — the tenant is running nowhere. Roll
+		// back onto the source shard (its audit log and checkpoint are
+		// intact there), else any other survivor, so the tenant is never
+		// silently stalled for the rest of the run.
+		rbErr := fmt.Errorf("no source shard")
+		if fromAddr != "" {
+			rbErr = r.placeTenant(id, fromAddr)
+		}
+		if rbErr != nil {
+			for _, s := range r.aliveSlotsLocked() {
+				if s.addr == fromAddr || s.addr == toAddr {
+					continue
+				}
+				if rbErr = r.placeTenant(id, s.addr); rbErr == nil {
+					break
+				}
+			}
+		}
+		if rbErr != nil {
+			// Every rollback target failed too: mark the tenant unplaced so
+			// the next round's placeUnplacedLocked pass re-places it.
+			t.shard = ""
+			return 0, fmt.Errorf("rpc: migrate %s: restore failed (%v); rollback failed (%v); tenant unplaced until next round", id, err, rbErr)
+		}
+		r.logf("tenant %s: migration to %s failed; rolled back to %s", id, toAddr, t.shard)
+		return 0, fmt.Errorf("rpc: migrate %s: restore: %w (rolled back to %s)", id, err, t.shard)
 	}
-	r.mu.Unlock()
-	if err != nil {
-		return 0, fmt.Errorf("rpc: migrate %s: restore: %w", id, err)
-	}
+	t.pinned = true
+	r.stats.Migrations++
 	d := time.Since(t0)
-	r.mu.Lock()
 	r.stats.MigrationBlackouts = append(r.stats.MigrationBlackouts, float64(d.Nanoseconds())/1e6)
-	r.mu.Unlock()
-	r.logf("tenant %s: migrated → %s at tick %d in %.1fms", id, toAddr, ev.Status.Ticks, float64(d.Nanoseconds())/1e6)
+	r.logf("tenant %s: migrated %s → %s at tick %d in %.1fms", id, fromAddr, toAddr, t.ticks, float64(d.Nanoseconds())/1e6)
 	return d, nil
 }
 
 // CheckpointAll snapshots every live shard's tenants.
 func (r *Router) CheckpointAll() (int, error) {
 	total := 0
-	for _, s := range r.aliveSlots() {
-		resp, err := r.client.Checkpoint(s.addr)
+	for _, addr := range r.aliveAddrs() {
+		resp, err := r.client.Checkpoint(addr)
 		if err != nil {
 			return total, err
 		}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graf/internal/ckpt"
@@ -47,8 +48,26 @@ type ShardServer struct {
 	round   int
 	started time.Time
 
+	// healthRound/healthTenants are atomic mirrors of round and tenant
+	// count, refreshed by the mutating handlers via publishHealth, so
+	// /healthz can answer without touching s.mu even while a long tick or
+	// admit holds it past the probe timeout.
+	healthRound   atomic.Int64
+	healthTenants atomic.Int64
+
 	srv *http.Server
 	ln  net.Listener
+}
+
+// publishHealth refreshes the lock-free mirrors /healthz serves from.
+// Callers must hold s.mu.
+func (s *ShardServer) publishHealth() {
+	n := 0
+	if s.fl != nil {
+		n = len(s.fl.Tenants())
+	}
+	s.healthRound.Store(int64(s.round))
+	s.healthTenants.Store(int64(n))
 }
 
 func (s *ShardServer) logf(format string, args ...any) {
@@ -101,6 +120,7 @@ func (s *ShardServer) Shutdown() error {
 		s.fl.Stop()
 		s.fl = nil
 	}
+	s.publishHealth()
 	s.mu.Unlock()
 	if s.srv != nil {
 		s.srv.Close()
@@ -145,24 +165,18 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
-	// Deliberately lock-free: reads of round/tenant count may be slightly
-	// stale, but the probe must answer even mid-round.
+	// Deliberately lock-free: round/tenant count are read from atomic
+	// mirrors (possibly slightly stale), never from under s.mu — a tick or
+	// admit holding the mutex past the probe timeout must not make a live
+	// shard read as dead. s.started is written once before Serve starts the
+	// accept loop, so reading it here is race-free.
 	writeJSON(w, http.StatusOK, HealthResponse{
 		OK:      true,
 		PID:     os.Getpid(),
-		Round:   s.round,
+		Round:   int(s.healthRound.Load()),
 		Uptime:  time.Since(s.started).Truncate(time.Millisecond).String(),
-		Tenants: s.tenantCount(),
+		Tenants: int(s.healthTenants.Load()),
 	})
-}
-
-func (s *ShardServer) tenantCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.fl == nil {
-		return 0
-	}
-	return len(s.fl.Tenants())
 }
 
 func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +186,7 @@ func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publishHealth()
 	if s.fl != nil && len(s.fl.Tenants()) > 0 {
 		writeErr(w, http.StatusConflict, "shard already holds %d tenants; evict before reconfiguring", len(s.fl.Tenants()))
 		return
@@ -236,8 +251,28 @@ func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publishHealth()
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
+		return
+	}
+
+	if t := s.fl.Tenant(req.ID); t != nil {
+		// Idempotent retry: an earlier admit succeeded here but its response
+		// was lost or timed out in flight, and the client retried. Returning
+		// 409 would turn that lost response into a permanent bootstrap,
+		// recovery, or migration failure even though the tenant is placed
+		// correctly — instead fast-forward to the requested tick count if the
+		// tenant is behind and report its current status.
+		if t.Ticks() < req.Ticks {
+			if err := s.fl.Resume(req.ID, req.Ticks); err != nil {
+				writeErr(w, http.StatusInternalServerError, "resume: %v", err)
+				return
+			}
+			s.fl.FlushAudit()
+		}
+		s.logf("admit %s ticks=%d: already resident at tick %d (idempotent retry)", req.ID, req.Ticks, t.Ticks())
+		writeJSON(w, http.StatusOK, AdmitResponse{Status: status(t)})
 		return
 	}
 
@@ -337,13 +372,20 @@ func (s *ShardServer) handleEvict(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publishHealth()
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
 	}
 	t := s.fl.Tenant(req.ID)
 	if t == nil {
-		writeErr(w, http.StatusNotFound, "unknown tenant %q", req.ID)
+		// Idempotent retry: the tenant is already gone — an earlier evict
+		// succeeded but its response was lost, and the client retried. A 404
+		// here would fail a migration whose drain actually completed; report
+		// success instead, flagged Missing so the caller knows the Status
+		// carries no accounting.
+		s.logf("evict %s: not resident (idempotent retry)", req.ID)
+		writeJSON(w, http.StatusOK, EvictResponse{Missing: true, Status: TenantStatus{ID: req.ID}})
 		return
 	}
 	if req.Checkpoint && s.CkptDir != "" {
@@ -372,6 +414,7 @@ func (s *ShardServer) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publishHealth()
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
