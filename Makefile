@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc obs-demo ci
+.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-obs obs-demo ci
 
 all: build vet test
 
@@ -37,6 +37,15 @@ bench-json-fleetrpc:
 	$(GO) test -run '^$$' -bench '^BenchmarkFleetRPC$$' -benchtime 1x . | \
 	  $(GO) run ./cmd/benchjson -o BENCH_fleetrpc.json
 	@echo wrote BENCH_fleetrpc.json
+
+# Fleet-wide observability numbers (DESIGN.md §3i): tracing overhead per
+# tenant tick (CI holds overhead-pct under a regression ceiling; the traced
+# run must stay byte-identical) and the multi-window SLO burn-rate detection
+# times, as benchjson extra metrics in BENCH_obs.json.
+bench-json-obs:
+	$(GO) test -run '^$$' -bench '^(BenchmarkTraceOverhead|BenchmarkSLOBurn)$$' -benchtime 1x . | \
+	  $(GO) run ./cmd/benchjson -o BENCH_obs.json
+	@echo wrote BENCH_obs.json
 
 # Observability smoke demo: train a quick model, run the controller with the
 # telemetry endpoints up, self-scrape /metrics, then hold the endpoints for

@@ -275,3 +275,48 @@ func BenchmarkFleetRPC(b *testing.B) {
 		b.ReportMetric(st.LostDecisions, "lost-decisions")
 	}
 }
+
+// --- Fleet-wide observability (tracing + SLO budgets, DESIGN.md §3i) --------
+
+// BenchmarkTraceOverhead reports what distributed tracing costs one tenant
+// tick on the fleet's hot path, as benchjson metrics for BENCH_obs.json —
+// the overhead-pct metric carries a CI regression ceiling, and a traced run
+// that moves audit bytes fails outright.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, st := bench.TraceOverheadRun(benchScale())
+		printedMu.Lock()
+		if !printed[res.ID] {
+			printed[res.ID] = true
+			fmt.Println(res.Format())
+		}
+		printedMu.Unlock()
+		if !st.ByteIdentical {
+			b.Fatal("trace-overhead: tracing changed the audit stream")
+		}
+		b.ReportMetric(st.OverheadPct, "overhead-pct")
+		b.ReportMetric(st.DisabledNSPerTick, "ns/tick-disabled")
+		b.ReportMetric(st.EnabledNSPerTick, "ns/tick-enabled")
+		b.ReportMetric(st.Spans, "spans")
+	}
+}
+
+// BenchmarkSLOBurn reports the multi-window burn-rate detection times; the
+// fast window firing before the slow one is the alerting contract.
+func BenchmarkSLOBurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, st := bench.SLOBurnRun(benchScale())
+		printedMu.Lock()
+		if !printed[res.ID] {
+			printed[res.ID] = true
+			fmt.Println(res.Format())
+		}
+		printedMu.Unlock()
+		if !st.Ordered || !st.Rearmed {
+			b.Fatalf("slo-burn contract broken (ordered=%v rearmed=%v)", st.Ordered, st.Rearmed)
+		}
+		b.ReportMetric(st.FastAtS, "fast-at-s")
+		b.ReportMetric(st.SlowAtS, "slow-at-s")
+		b.ReportMetric(st.LeadS, "lead-s")
+	}
+}

@@ -35,9 +35,10 @@ type options struct {
 	lifecycle    bool
 	modelArchive string
 
-	fleetN   int
-	shards   int
-	auditDir string
+	fleetN    int
+	shards    int
+	auditDir  string
+	sloBudget float64
 
 	shardAddr string
 }
@@ -136,6 +137,12 @@ func (o options) validate() error {
 		}
 	} else if o.shards > 0 {
 		return errors.New("-shards groups a fleet's tenants; it needs -fleet")
+	}
+	if o.sloBudget < 0 || o.sloBudget >= 1 {
+		return fmt.Errorf("-slo-budget %v must be in [0,1) (fraction of time allowed in violation; 0 disables)", o.sloBudget)
+	}
+	if o.sloBudget > 0 && o.fleetN == 0 {
+		return errors.New("-slo-budget enables the fleet's per-tenant burn-rate monitor; it needs -fleet (shard processes take the budget from the router's spec)")
 	}
 
 	if o.replay != "" {

@@ -9,6 +9,7 @@ import (
 
 	"graf"
 	"graf/internal/fleet"
+	"graf/internal/obs"
 	"graf/internal/rpc"
 )
 
@@ -18,7 +19,7 @@ import (
 // spec is what makes a single-process run the byte-exact reference for a
 // distributed one.
 func fleetSpec(o options, seed int64) rpc.Spec {
-	return rpc.Spec{
+	s := rpc.Spec{
 		App:       o.appName,
 		Shape:     o.shape,
 		Rate:      o.rate,
@@ -26,6 +27,10 @@ func fleetSpec(o options, seed int64) rpc.Spec {
 		TickS:     5,
 		WarmStart: true,
 	}
+	if o.sloBudget > 0 {
+		s.SLOBudget = &obs.SLOConfig{Budget: o.sloBudget}
+	}
+	return s
 }
 
 // fleetBundle adapts the loaded model artifact to the control plane's

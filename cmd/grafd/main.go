@@ -77,6 +77,7 @@ func main() {
 	appName := flag.String("app", "online-boutique", "builtin application graph (online-boutique | social-network | robot-shop | bookinfo | chain-N)")
 	auditDir := flag.String("audit-dir", "", "with -fleet or -shard: mirror every tenant's audit log into this directory (torn tails are repaired at startup)")
 	shardAddr := flag.String("shard", "", "serve one control-plane shard on this address (host:port; port 0 picks one) and wait for a grafrouter to install the fleet spec")
+	sloBudget := flag.Float64("slo-budget", 0, "with -fleet: per-tenant SLO error budget as allowed violation fraction (e.g. 0.02); enables multi-window burn-rate telemetry (0 = off)")
 	flag.Parse()
 
 	opts := options{
@@ -88,6 +89,7 @@ func main() {
 		lifecycle: *lifecycleOn, modelArchive: *modelDir,
 		fleetN: *fleetN, shards: *shards,
 		appName: *appName, auditDir: *auditDir, shardAddr: *shardAddr,
+		sloBudget: *sloBudget,
 	}
 	if err := opts.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)

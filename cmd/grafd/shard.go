@@ -7,6 +7,7 @@ import (
 	"syscall"
 
 	"graf"
+	"graf/internal/obs"
 	"graf/internal/rpc"
 )
 
@@ -25,10 +26,16 @@ import (
 // stop the fleet) before exiting; a SIGKILL — the chaos case — leaves the
 // durable audit logs behind, which is all recovery needs.
 func runShard(tr *graf.TrainedModel, o options) int {
+	// The shard's telemetry rides the control-plane mux — /metrics,
+	// /debug/vars, and /debug/pprof/* on the same listener the router
+	// already talks to, so there is no separate -obs port to configure
+	// (and -obs is rejected in shard mode for exactly that reason). The
+	// router scrapes this endpoint to federate a fleet-wide metrics view.
 	s := &rpc.ShardServer{
 		Bundle:   fleetBundle(tr),
 		CkptDir:  o.ckpt,
 		AuditDir: o.auditDir,
+		Tel:      obs.New(obs.Options{}),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

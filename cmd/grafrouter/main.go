@@ -22,6 +22,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -32,6 +35,7 @@ import (
 
 	"graf"
 	"graf/internal/chaos"
+	"graf/internal/obs"
 	"graf/internal/rpc"
 )
 
@@ -55,6 +59,10 @@ type routerOptions struct {
 	migrate         string
 	netDrop         float64
 	netDelayMS      float64
+
+	trace     string
+	obsAddr   string
+	sloBudget float64
 }
 
 // validate rejects contradictory flag combinations before any process is
@@ -83,6 +91,9 @@ func (o routerOptions) validate() error {
 	}
 	if o.netDrop < 0 || o.netDrop >= 1 {
 		return fmt.Errorf("-net-drop %v must be in [0,1)", o.netDrop)
+	}
+	if o.sloBudget < 0 || o.sloBudget >= 1 {
+		return fmt.Errorf("-slo-budget %v must be in [0,1) (fraction of time allowed in violation; 0 disables)", o.sloBudget)
 	}
 	return nil
 }
@@ -163,6 +174,78 @@ func (p *shardProc) terminate() {
 	}
 }
 
+// scrapeShards fetches every live shard's Prometheus exposition from its
+// control-plane /metrics endpoint. Unreachable shards are skipped — the
+// caller compares the haul against the live count.
+func scrapeShards(r *rpc.Router) []obs.Exposition {
+	cl := &http.Client{Timeout: 2 * time.Second}
+	var out []obs.Exposition
+	for _, si := range r.Shards() {
+		if !si.Alive {
+			continue
+		}
+		resp, err := cl.Get("http://" + si.Addr + "/metrics")
+		if err != nil {
+			continue
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		out = append(out, obs.Exposition{Shard: si.Addr, Text: string(b)})
+	}
+	return out
+}
+
+// federate renders the fleet-wide metrics view: the router's own registry
+// merged with a live scrape of every shard, shard-labeled.
+func federate(r *rpc.Router, tel *obs.Telemetry) string {
+	return obs.MergeExpositions(append(
+		[]obs.Exposition{{Shard: "router", Text: tel.Reg.Expose()}}, scrapeShards(r)...))
+}
+
+// stitchedTrace finds the best single trace that crosses at least two
+// processes and contains every stage of the control-plane path: the router's
+// round root, the shard-side tick handler, a tenant tick, a controller
+// decision stage, and a coalesced inference batch. Returns its trace ID,
+// span count, and process count.
+func stitchedTrace(spans []obs.TraceSpan) (tid uint64, n, procs int, ok bool) {
+	type agg struct {
+		names map[string]bool
+		procs map[string]bool
+		n     int
+	}
+	byTrace := map[uint64]*agg{}
+	for _, s := range spans {
+		a := byTrace[s.Trace]
+		if a == nil {
+			a = &agg{names: map[string]bool{}, procs: map[string]bool{}}
+			byTrace[s.Trace] = a
+		}
+		name := s.Name
+		if strings.HasPrefix(name, "decision/") {
+			name = "decision"
+		}
+		a.names[name] = true
+		a.procs[s.Proc] = true
+		a.n++
+	}
+	var best *agg
+	for id, a := range byTrace {
+		full := a.names["router/round"] && a.names["shard/tick"] &&
+			a.names["tenant/tick"] && a.names["decision"] &&
+			a.names["inference/batch"] && len(a.procs) >= 2
+		if full && (best == nil || a.n > best.n) {
+			tid, best = id, a
+		}
+	}
+	if best == nil {
+		return 0, 0, 0, false
+	}
+	return tid, best.n, len(best.procs), true
+}
+
 // parseAt splits "x@round" clauses.
 func parseAt(s string) (string, int, error) {
 	head, tail, ok := strings.Cut(s, "@")
@@ -196,6 +279,9 @@ func main() {
 	flag.StringVar(&o.migrate, "migrate", "", "planned migration tenant@round:slot (e.g. tenant-03@5:1)")
 	flag.Float64Var(&o.netDrop, "net-drop", 0, "chaos: drop each control-plane request with this probability (seeded-deterministic)")
 	flag.Float64Var(&o.netDelayMS, "net-delay-ms", 0, "chaos: add this latency to ~30% of control-plane requests")
+	flag.StringVar(&o.trace, "trace", "", "enable control-plane tracing on router and every shard; write the merged Chrome trace-event JSON to this file")
+	flag.StringVar(&o.obsAddr, "obs", "", "serve the router's metrics plus a federated fleet-wide /metrics view (every shard's registry relabeled with shard=addr) on this address")
+	flag.Float64Var(&o.sloBudget, "slo-budget", 0, "per-tenant SLO error budget as allowed violation fraction (e.g. 0.02); enables multi-window burn-rate telemetry on every shard (0 = off)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -214,6 +300,12 @@ func run(o routerOptions) int {
 	spec := rpc.Spec{
 		App: o.appName, Shape: o.shape, Rate: o.rate,
 		Seed: o.seed, TickS: 5, WarmStart: true,
+		Trace: o.trace != "",
+	}
+	if o.sloBudget > 0 {
+		// The budget travels in the spec, so every shard — including a
+		// respawned one — reconstructs the identical burn-rate monitor.
+		spec.SLOBudget = &obs.SLOConfig{Budget: o.sloBudget}
 	}
 	// Fail fast if the artifact cannot realize the spec (wrong service
 	// count, bad shape) before any shard process is spawned. The shards
@@ -316,12 +408,26 @@ func run(o routerOptions) int {
 		fault = chaos.NewNetInjector(chaos.NetScenario{Name: "grafrouter", Seed: o.seed, Events: events})
 	}
 
+	// The router's own telemetry (round/migration/recovery metrics plus the
+	// client's per-shard RPC histograms) lives in one registry; -obs serves
+	// it federated with every shard's scraped registry. -trace adds a tracer
+	// whose round-root spans propagate to the shards as traceparent headers.
+	tel := obs.New(obs.Options{})
+	var tracer *obs.Tracer
+	if o.trace != "" {
+		tracer = obs.NewTracer(obs.TracerOptions{
+			Seed: obs.DeriveTraceSeed(o.seed, "router"), Proc: "router",
+		})
+	}
 	cfg := rpc.RouterConfig{
 		Spec:                  spec,
 		Client:                rpc.ClientConfig{Seed: o.seed},
 		RestartBudget:         o.restartBudget,
 		CheckpointEveryRounds: o.ckptEveryRounds,
 		Fault:                 fault,
+		Obs:                   obs.NewRouterObs(tel),
+		RPCObs:                obs.NewRPCObs(tel),
+		Tracer:                tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("router: "+format+"\n", args...)
 		},
@@ -353,6 +459,23 @@ func run(o routerOptions) int {
 	}
 	fmt.Printf("router: %d tenants, %d shards, shape=%s, %d rounds (%ds horizon)\n",
 		o.fleetN, len(addrs), o.shape, rounds, o.durS)
+	if o.obsAddr != "" {
+		ln, err := net.Listen("tcp", o.obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs listen: %v\n", err)
+			return 1
+		}
+		omux := http.NewServeMux()
+		omux.Handle("/debug/", tel.Handler())
+		omux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			io.WriteString(w, federate(r, tel))
+		})
+		srv := &http.Server{Handler: omux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("router: obs listening on %s (federated /metrics)\n", ln.Addr())
+	}
 	if err := r.Bootstrap(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -452,6 +575,69 @@ func run(o routerOptions) int {
 		st.VerifiedRestores, st.SnapshotVerified, st.ReplayedTicks, st.RecoveryBlackoutMS)
 	for i, ms := range st.MigrationBlackouts {
 		fmt.Printf("migration_blackout_ms=%.2f (migration %d)\n", ms, i)
+	}
+
+	// Federation check: scrape every live shard's /metrics (served on its
+	// control-plane mux) and merge with the router's own registry, each
+	// sample relabeled with shard=addr. Must happen before the drain below
+	// kills the endpoints.
+	if o.obsAddr != "" {
+		shardExpos := scrapeShards(r)
+		merged := obs.MergeExpositions(append(
+			[]obs.Exposition{{Shard: "router", Text: tel.Reg.Expose()}}, shardExpos...))
+		alive := 0
+		for _, si := range r.Shards() {
+			if si.Alive {
+				alive++
+			}
+		}
+		if len(shardExpos) == alive && alive > 0 {
+			fmt.Printf("federation OK: %d shards merged, %d metric families\n",
+				len(shardExpos), strings.Count(merged, "# TYPE "))
+		} else {
+			fmt.Fprintf(os.Stderr, "federation INCOMPLETE: scraped %d of %d live shards\n", len(shardExpos), alive)
+			exit = 1
+		}
+	}
+
+	// Trace assembly: pull every live shard's span buffer over /v1/traces,
+	// merge with the router's own spans, verify that one trace stitches the
+	// whole control-plane path across processes, and export Chrome JSON.
+	if o.trace != "" {
+		spans := tracer.Snapshot()
+		procs := 1
+		for _, si := range r.Shards() {
+			if !si.Alive {
+				continue
+			}
+			resp, err := r.Client().Traces(si.Addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "traces from %s: %v\n", si.Addr, err)
+				exit = 1
+				continue
+			}
+			spans = append(spans, resp.Spans...)
+			procs++
+		}
+		if tid, n, np, ok := stitchedTrace(spans); ok {
+			fmt.Printf("trace stitched: trace %016x crosses %d processes, %d spans (router/round → shard/tick → tenant/tick → decision → inference/batch)\n",
+				tid, np, n)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace NOT stitched: no single trace covers router round → shard tick → tenant stages → batched inference\n")
+			exit = 1
+		}
+		f, err := os.Create(o.trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+			exit = 1
+		} else {
+			if err := obs.ChromeTrace(f, spans); err != nil {
+				fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+				exit = 1
+			}
+			f.Close()
+			fmt.Printf("router: %d spans from %d processes written to %s\n", len(spans), procs, o.trace)
+		}
 	}
 
 	// Drain spawned shards: SIGTERM flushes + checkpoints each one.

@@ -425,7 +425,36 @@ type (
 	ObsSpan = obs.Span
 	// ReplayReport summarizes an audit-log replay (see ReplayAudit).
 	ReplayReport = core.ReplayReport
+
+	// Tracer mints deterministic distributed-trace spans: with the same
+	// seed, two runs produce byte-identical span IDs (see internal/obs and
+	// DESIGN.md §3i). Obtain one with NewTracer.
+	Tracer = obs.Tracer
+	// TracerOptions parameterizes NewTracer.
+	TracerOptions = obs.TracerOptions
+	// TraceSpan is one completed span in a tracer's buffer.
+	TraceSpan = obs.TraceSpan
+	// SpanContext identifies a span for parent/child propagation; its
+	// Traceparent() form rides HTTP headers across processes.
+	SpanContext = obs.SpanContext
+	// SLOConfig is a per-tenant SLO error budget with fast/slow burn-rate
+	// alert windows.
+	SLOConfig = obs.SLOConfig
+	// SLOAlert is one burn-rate alert firing.
+	SLOAlert = obs.SLOAlert
 )
+
+// NewTracer builds a deterministic tracer; see TracerOptions.
+func NewTracer(o TracerOptions) *Tracer { return obs.NewTracer(o) }
+
+// DeriveTraceSeed maps (run seed, process name) to a tracer seed so each
+// process of a distributed run mints IDs from a disjoint stream.
+func DeriveTraceSeed(seed int64, proc string) int64 { return obs.DeriveTraceSeed(seed, proc) }
+
+// ExportChromeTrace writes spans as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto). Output is deterministic for a given span
+// set.
+func ExportChromeTrace(w io.Writer, spans []TraceSpan) error { return obs.ChromeTrace(w, spans) }
 
 // ObservabilityConfig parameterizes Simulation.EnableObservability.
 type ObservabilityConfig struct {

@@ -146,8 +146,8 @@ func Recovery(s Scale) Result {
 	tr := BoutiquePipeline(s)
 	slo := tr.SLO
 	res := Result{
-		ID:    "recovery",
-		Title: "Cold vs. warm control-plane restart under a surge (Online Boutique, 240→300 rps, 250 ms SLO)",
+		ID:     "recovery",
+		Title:  "Cold vs. warm control-plane restart under a surge (Online Boutique, 240→300 rps, 250 ms SLO)",
 		Header: []string{"restart", "SLO-viol s", "worst p99", "reconverge ticks", "crashes", "restore"},
 	}
 	outs := map[string]recoveryOut{}

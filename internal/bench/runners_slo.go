@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"graf/internal/obs"
+)
+
+// SLOBurnStats are the machine-checked numbers of the slo-burn experiment
+// at the default burn-rate configuration, exposed separately so
+// BenchmarkSLOBurn can emit them for the BENCH_obs.json pipeline.
+type SLOBurnStats struct {
+	FastAtS float64 // sustained-violation seconds before the fast window fired
+	SlowAtS float64 // sustained-violation seconds before the slow window fired
+	LeadS   float64 // detection lead of the fast window over the slow one
+	Ordered bool    // fast fired strictly before slow in every swept config
+	Rearmed bool    // fast re-fired after a recovery in every swept config
+}
+
+// SLOBurn demonstrates the multi-window error-budget alerting contract
+// (DESIGN.md §3i): under a sustained SLO violation the fast window — sized
+// to page on incidents — fires strictly before the slow window that guards
+// the long-term budget, across every burn-rate configuration swept. The
+// ordering is pinned by TestSLOFastFiresBeforeSlow.
+func SLOBurn(s Scale) Result {
+	res, _ := SLOBurnRun(s)
+	return res
+}
+
+// SLOBurnRun is SLOBurn plus its raw stats.
+func SLOBurnRun(s Scale) (Result, SLOBurnStats) {
+	res := Result{
+		ID:     "slo-burn",
+		Title:  "SLO error-budget burn: multi-window alert ordering under a sustained violation",
+		Header: []string{"config", "budget", "fast alert s", "slow alert s", "lead s", "re-armed"},
+	}
+
+	type sweep struct {
+		name string
+		cfg  obs.SLOConfig
+	}
+	sweeps := []sweep{
+		{"default 60s/600s 10x/2x", obs.SLOConfig{}},
+		{"tight 30s/300s 10x/2x", obs.SLOConfig{FastWindowS: 30, SlowWindowS: 300}},
+		{"workbook 300s/3600s 14.4x/6x", obs.SLOConfig{
+			FastBurn: 14.4, SlowBurn: 6, FastWindowS: 300, SlowWindowS: 3600,
+		}},
+	}
+	if s.Name != "quick" {
+		sweeps = append(sweeps,
+			sweep{"loose budget 5%", obs.SLOConfig{Budget: 0.05}},
+			sweep{"tiny budget 0.5%", obs.SLOConfig{Budget: 0.005}},
+		)
+	}
+
+	// drive replays one incident against a fresh monitor: a clean steady
+	// state, then a sustained violation until both windows fire, then a
+	// recovery long enough to drain the fast window, then a second burn.
+	// Everything runs on simulated time, so the timeline is deterministic.
+	drive := func(cfg obs.SLOConfig) (fastAt, slowAt float64, rearmed bool) {
+		m := obs.NewSLOMonitor(cfg, nil)
+		eff := m.Config()
+		const tickS = 1.0
+		now := 0.0
+		tick := func(violated bool) []obs.SLOAlert {
+			now += tickS
+			return m.Observe("checkout", now, violated, tickS)
+		}
+
+		for i := 0; i < 120; i++ {
+			if alerts := tick(false); len(alerts) != 0 {
+				panic(fmt.Sprintf("slo-burn: alert %+v during clean steady state", alerts[0]))
+			}
+		}
+		onset := now
+
+		fastS := eff.FastBurn * eff.Budget * eff.FastWindowS
+		slowS := eff.SlowBurn * eff.Budget * eff.SlowWindowS
+		fastAt, slowAt = -1, -1
+		for i := 0; i < int(slowS+eff.SlowWindowS)+10 && slowAt < 0; i++ {
+			for _, a := range tick(true) {
+				switch {
+				case a.Window == "fast" && fastAt < 0:
+					fastAt = a.At - onset
+				case a.Window == "slow" && slowAt < 0:
+					slowAt = a.At - onset
+				}
+			}
+		}
+
+		// Rising-edge re-arm: recover until the fast window drains, then
+		// burn again and expect a second fast page.
+		for i := 0; i < int(eff.FastWindowS+fastS)+10; i++ {
+			tick(false)
+		}
+		for i := 0; i < int(fastS)+10 && !rearmed; i++ {
+			for _, a := range tick(true) {
+				if a.Window == "fast" {
+					rearmed = true
+				}
+			}
+		}
+		return fastAt, slowAt, rearmed
+	}
+
+	var st SLOBurnStats
+	st.Ordered, st.Rearmed = true, true
+	for i, sw := range sweeps {
+		fastAt, slowAt, rearmed := drive(sw.cfg)
+		eff := obs.NewSLOMonitor(sw.cfg, nil).Config()
+		if fastAt < 0 || slowAt < 0 || fastAt >= slowAt {
+			st.Ordered = false
+			res.Note("ORDERING REGRESSION %s: fast@%.0fs slow@%.0fs", sw.name, fastAt, slowAt)
+		}
+		if !rearmed {
+			st.Rearmed = false
+			res.Note("RE-ARM REGRESSION %s: fast alert did not re-fire after recovery", sw.name)
+		}
+		if i == 0 {
+			st.FastAtS, st.SlowAtS, st.LeadS = fastAt, slowAt, slowAt-fastAt
+		}
+		res.AddRow(sw.name, fmt.Sprintf("%.3g", eff.Budget),
+			f0(fastAt), f0(slowAt), f0(slowAt-fastAt), fmt.Sprint(rearmed))
+	}
+
+	res.Note("slo_fast_before_slow=%v (default config: fast@%.0fs, slow@%.0fs after onset, lead %.0fs)",
+		st.Ordered, st.FastAtS, st.SlowAtS, st.LeadS)
+	res.Note("thresholds: fast fires after FastBurn·Budget·FastWindowS violation-seconds, slow after SlowBurn·Budget·SlowWindowS — fast < slow by construction in every swept pair")
+	res.Note("alerts are rising-edge with re-arming on recovery; ordering is pinned by TestSLOFastFiresBeforeSlow")
+	res.Note("the monitor runs on simulated time, so the alert stream is deterministic and byte-safe in the audit log (graf_slo_* metrics carry the live view)")
+	return res, st
+}

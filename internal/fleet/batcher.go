@@ -65,6 +65,10 @@ type inferReq struct {
 	lat         float64
 	dq          []float64
 	done        chan struct{}
+	// trace is the submitting tenant's current tick span; the batch
+	// executor parents its "inference/batch" span under the first traced
+	// request it coalesced. Zero when tracing is off.
+	trace obs.SpanContext
 }
 
 // InferenceService wraps one gnn.Model behind a request channel: concurrent
@@ -96,7 +100,8 @@ type InferenceService struct {
 	batches  atomic.Int64
 	requests atomic.Int64
 
-	fobs *obs.FleetObs
+	fobs   *obs.FleetObs
+	tracer *obs.Tracer
 }
 
 // NewInferenceService builds (but does not start) a service around m.
@@ -221,6 +226,20 @@ func (s *InferenceService) execute(batch []*inferReq) {
 	s.batches.Add(1)
 	s.requests.Add(int64(len(batch)))
 	s.fobs.Batch(len(batch))
+	if s.tracer != nil {
+		// One span per coalesced forward pass, parented under the first
+		// traced request — the trace's "batch execution" leaf. Batch
+		// composition varies with scheduling, but spans never feed back
+		// into decisions, so determinism is untouched.
+		for _, r := range batch {
+			if r.trace.Valid() {
+				span := s.tracer.StartChild(r.trace, "inference/batch").
+					SetAttr("size", float64(len(batch)))
+				defer span.End()
+				break
+			}
+		}
+	}
 
 	chunks := len(batch) / 4
 	if chunks > s.cfg.Executors {
@@ -319,6 +338,11 @@ type TenantPredictor struct {
 	key    []int32
 	req    inferReq
 }
+
+// SetSpan parents the predictor's subsequent batched requests under the
+// tenant's current tick span (the zero context clears it). Called by the
+// fleet before each tick, from the tenant's owning worker.
+func (p *TenantPredictor) SetSpan(c obs.SpanContext) { p.req.trace = c }
 
 // Predict implements core.LatencyModel.
 func (p *TenantPredictor) Predict(load, quota []float64) float64 {

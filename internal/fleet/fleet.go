@@ -73,6 +73,20 @@ type Config struct {
 	// aggregates). Per-tenant audit logs are always recorded in memory.
 	Obs *obs.Telemetry
 
+	// Tracer, when non-nil, records control-plane trace spans: one
+	// "tenant/tick" span per tick with the controller's decision stages and
+	// the batcher's "inference/batch" spans nested under it. Tracing writes
+	// only to the tracer — never to the audit stream — so same-seed runs
+	// stay byte-identical with it on or off.
+	Tracer *obs.Tracer
+
+	// SLOBudget, when non-nil, enables the per-tenant error-budget monitor:
+	// violation-seconds are charged against the budget, fast/slow burn
+	// rates are published as graf_slo_* metrics, and rising-edge alerts are
+	// appended to the tenant's audit stream as "slo" records. Burn rates
+	// run on simulated time, so alerts are deterministic per tenant.
+	SLOBudget *obs.SLOConfig
+
 	// Dynamic admits an initially empty tenant set and enables runtime
 	// Admit/Evict/Resume — the RPC shard-server mode, where the router
 	// decides placement and the fleet is just this process's slice of it.
@@ -123,6 +137,7 @@ type Tenant struct {
 
 	gen       *workload.OpenLoop
 	tel       *obs.Telemetry
+	pred      *TenantPredictor // shared-service handle (nil when sharing is off)
 	audit     bytes.Buffer
 	auditFile *os.File
 
@@ -189,9 +204,17 @@ type Fleet struct {
 	shards  [][]*Tenant
 	svc     *InferenceService
 	fobs    *obs.FleetObs
+	tracer  *obs.Tracer
+	slo     *obs.SLOMonitor
 	rounds  int
 	panics  int
 	mu      sync.Mutex // guards panics count (written from workers)
+
+	// traceParent is the span tick spans nest under: the shard server's
+	// current operation span in RPC mode, or a per-round root otherwise.
+	// Written by the driving goroutine before a round, read by workers.
+	traceMu     sync.Mutex
+	traceParent obs.SpanContext
 
 	// priorAudit holds the repaired content of every per-tenant audit log
 	// found in AuditDir at startup, keyed by sanitized tenant ID. Restores
@@ -250,9 +273,17 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("fleet: SLO must be positive")
 	}
 
-	f := &Fleet{cfg: cfg, fobs: obs.NewFleetObs(cfg.Obs), priorAudit: map[string][]byte{}}
+	f := &Fleet{cfg: cfg, fobs: obs.NewFleetObs(cfg.Obs), tracer: cfg.Tracer, priorAudit: map[string][]byte{}}
+	if cfg.SLOBudget != nil {
+		var reg *obs.Registry
+		if cfg.Obs != nil {
+			reg = cfg.Obs.Reg
+		}
+		f.slo = obs.NewSLOMonitor(*cfg.SLOBudget, reg)
+	}
 	if !cfg.DisableSharing {
 		f.svc = NewInferenceService(cfg.Model, cfg.Service, f.fobs)
+		f.svc.tracer = cfg.Tracer
 	}
 	if cfg.AuditDir != "" {
 		if err := os.MkdirAll(cfg.AuditDir, 0o755); err != nil {
@@ -326,6 +357,7 @@ func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
 		mem = 16
 	}
 	t.tel = obs.New(obs.Options{SpanRing: 64, AuditW: auditW, AuditMemory: mem})
+	t.tel.SetTracer(f.tracer)
 	t.Cluster.Obs = obs.NewClusterObs(t.tel)
 
 	rate := tc.Rate
@@ -347,7 +379,8 @@ func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
 
 	var predictor core.LatencyModel = cfg.Model
 	if f.svc != nil {
-		predictor = f.svc.NewPredictor(tc.ID)
+		t.pred = f.svc.NewPredictor(tc.ID)
+		predictor = t.pred
 	}
 	an := core.NewAnalyzer(cfg.App)
 	t.Ctl = core.NewController(t.Cluster, predictor, an, cfg.Bounds, ccfg)
@@ -602,12 +635,38 @@ func (f *Fleet) rebucket() {
 	}
 }
 
+// SetTraceParent names the span the next rounds' tenant tick spans nest
+// under — the shard server sets it to its current operation span before
+// RoundTo/Resume, so a cross-process trace continues into the worker pool.
+func (f *Fleet) SetTraceParent(c obs.SpanContext) {
+	f.traceMu.Lock()
+	f.traceParent = c
+	f.traceMu.Unlock()
+}
+
+// TraceParent returns the current round-level parent context.
+func (f *Fleet) TraceParent() obs.SpanContext {
+	f.traceMu.Lock()
+	defer f.traceMu.Unlock()
+	return f.traceParent
+}
+
 // tick advances one tenant by the tick quantum, recording SLO accounting.
 // A panic anywhere inside — the simulated cluster, the controller, the
 // workload — degrades this tenant only.
 func (f *Fleet) tick(t *Tenant) {
 	if t.degraded {
 		return
+	}
+	var span *obs.ActiveSpan
+	if f.tracer != nil {
+		span = f.tracer.StartChild(f.TraceParent(), "tenant/tick").
+			SetTrack(t.ID).SetAttr("tick", float64(t.ticks+1))
+		t.tel.SetTraceParent(span.Context())
+		if t.pred != nil {
+			t.pred.SetSpan(span.Context())
+		}
+		defer span.End()
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -629,7 +688,17 @@ func (f *Fleet) tick(t *Tenant) {
 	if violated {
 		t.violS += f.cfg.TickS
 	}
+	span.SetAttr("p99", p99)
 	f.fobs.TenantTick(t.ID, p99, violated, f.cfg.TickS)
+	// The burn-rate monitor runs on simulated time, so its alerts land at
+	// the same ticks in every same-seed process — safe to record in the
+	// audit stream without breaking byte-identity across migrations.
+	for _, a := range f.slo.Observe(t.ID, to, violated, f.cfg.TickS) {
+		t.tel.Flight.Record(obs.Record{
+			Type: "slo", At: a.At, Kind: a.Window + "-burn", Detail: t.ID,
+			Summary: map[string]float64{"burn": a.Burn},
+		})
+	}
 }
 
 func (f *Fleet) publishRound() {

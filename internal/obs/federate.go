@@ -1,0 +1,117 @@
+package obs
+
+// Metrics federation: the router scrapes each shard's /metrics (the text
+// exposition this package's Registry emits) and re-exposes one merged view
+// in which every shard sample carries a shard="addr" label — the
+// Prometheus-federation shape, built on plain text because the registry's
+// exposition format is fixed and self-describing (# HELP / # TYPE comment
+// lines precede each family's samples).
+
+import "strings"
+
+// Exposition is one scraped metrics page. Shard, when non-empty, is
+// injected as a shard="..." label on every sample; the router passes "" for
+// its own registry so its native series stay unlabeled.
+type Exposition struct {
+	Shard string
+	Text  string
+}
+
+// MergeExpositions merges Prometheus text expositions into one page.
+// Families keep first-seen order; each family's HELP/TYPE header is emitted
+// once (from the first source declaring it) followed by every source's
+// samples in source order, so a family present on all shards renders as one
+// family with per-shard children rather than duplicate headers.
+func MergeExpositions(sources []Exposition) string {
+	type fam struct {
+		help, typ string
+		samples   []string
+	}
+	fams := map[string]*fam{}
+	var order []string
+	get := func(name string) *fam {
+		f, ok := fams[name]
+		if !ok {
+			f = &fam{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	for _, src := range sources {
+		cur := ""
+		for _, line := range strings.Split(src.Text, "\n") {
+			switch {
+			case line == "":
+			case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# TYPE "):
+				rest := line[len("# HELP "):]
+				name := rest
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					name = rest[:i]
+				}
+				f := get(name)
+				if strings.HasPrefix(line, "# HELP ") {
+					if f.help == "" {
+						f.help = line
+					}
+				} else if f.typ == "" {
+					f.typ = line
+				}
+				cur = name
+			case strings.HasPrefix(line, "#"):
+			default:
+				name := cur
+				if name == "" {
+					// Headerless exposition: key the family by the sample's
+					// own metric name so nothing is silently dropped.
+					if i := strings.IndexAny(line, "{ "); i >= 0 {
+						name = line[:i]
+					} else {
+						name = line
+					}
+				}
+				get(name).samples = append(get(name).samples, relabelSample(line, src.Shard))
+			}
+		}
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		f := fams[name]
+		if f.help != "" {
+			b.WriteString(f.help)
+			b.WriteByte('\n')
+		}
+		if f.typ != "" {
+			b.WriteString(f.typ)
+			b.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// relabelSample injects shard="addr" as the first label of one sample line.
+// Label values cannot contain raw newlines or braces-before-space in the
+// metric name, so the first '{' or ' ' reliably splits name from the rest.
+func relabelSample(line, shard string) string {
+	if shard == "" {
+		return line
+	}
+	tag := `shard="` + escapeLabel(shard) + `"`
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return line
+	}
+	if line[i] == '{' {
+		if i+1 < len(line) && line[i+1] == '}' {
+			return line[:i+1] + tag + line[i+1:]
+		}
+		return line[:i+1] + tag + "," + line[i+1:]
+	}
+	return line[:i] + "{" + tag + "}" + line[i:]
+}

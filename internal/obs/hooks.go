@@ -39,6 +39,7 @@ func (o *ControllerObs) Stage(name string, at float64, wallNS int64, attrs map[s
 		"Wall-clock cost of each controller decision stage.",
 		nil, Labels{"stage": name}).Observe(float64(wallNS) / 1e9)
 	o.t.Spans.Add(Span{Name: "decision/" + name, At: at, WallNS: wallNS, Attrs: attrs})
+	o.t.traceSpan("decision/"+name, wallNS, attrs)
 }
 
 // Solver records one solver run's iteration count and convergence outcome.
@@ -54,6 +55,8 @@ func (o *ControllerObs) Solver(at float64, iters int, converged bool, wallNS int
 		Labels{"converged": fmt.Sprintf("%v", converged)}).Inc()
 	o.t.Spans.Add(Span{Name: "solver", At: at, WallNS: wallNS,
 		Attrs: map[string]float64{"iters": float64(iters), "converged": b2f(converged)}})
+	o.t.traceSpan("solver", wallNS,
+		map[string]float64{"iters": float64(iters), "converged": b2f(converged)})
 }
 
 // Decision counts one completed controller step by outcome kind, records the

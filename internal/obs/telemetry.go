@@ -22,6 +22,67 @@ type Telemetry struct {
 
 	mu     sync.Mutex
 	active []chaosWindow
+
+	trcMu     sync.Mutex
+	tracer    *Tracer
+	trcParent SpanContext
+}
+
+// SetTracer attaches a control-plane tracer to the bundle; the controller
+// stage/solver hooks then mirror their measurements as trace spans parented
+// under the context set by SetTraceParent. Nil-safe.
+func (t *Telemetry) SetTracer(tr *Tracer) {
+	if t == nil {
+		return
+	}
+	t.trcMu.Lock()
+	t.tracer = tr
+	t.trcMu.Unlock()
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.trcMu.Lock()
+	defer t.trcMu.Unlock()
+	return t.tracer
+}
+
+// SetTraceParent names the span under which subsequent hook measurements
+// nest — the fleet sets it to the tenant's current tick span before running
+// the controller. Nil-safe.
+func (t *Telemetry) SetTraceParent(c SpanContext) {
+	if t == nil {
+		return
+	}
+	t.trcMu.Lock()
+	t.trcParent = c
+	t.trcMu.Unlock()
+}
+
+// TraceParent returns the current parent context (zero when unset).
+func (t *Telemetry) TraceParent() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	t.trcMu.Lock()
+	defer t.trcMu.Unlock()
+	return t.trcParent
+}
+
+// traceSpan mirrors one completed hook measurement into the tracer as a
+// child of the current parent. Without a tracer or a valid parent it is a
+// no-op, so hooks stay free when tracing is off or the work is untraced.
+func (t *Telemetry) traceSpan(name string, wallNS int64, attrs map[string]float64) {
+	t.trcMu.Lock()
+	tr, par := t.tracer, t.trcParent
+	t.trcMu.Unlock()
+	if tr == nil || !par.Valid() {
+		return
+	}
+	tr.Record(par, name, tr.now()-wallNS, wallNS, attrs)
 }
 
 type chaosWindow struct {
@@ -118,8 +179,8 @@ func (t *Telemetry) Serve(addr string) (*http.Server, error) {
 // expvar publication: expvar names are global and re-publishing panics, so
 // the "graf" var indirects through this pointer.
 var (
-	current     atomic.Pointer[Telemetry]
-	expvarOnce  sync.Once
+	current    atomic.Pointer[Telemetry]
+	expvarOnce sync.Once
 )
 
 func publishExpvar(t *Telemetry) {

@@ -10,7 +10,13 @@ import (
 	"net/url"
 	"sync"
 	"time"
+
+	"graf/internal/obs"
 )
+
+// traceparentHeader carries the caller's span context on every request, so
+// the shard can continue the trace server-side (DESIGN.md §3i).
+const traceparentHeader = "Traceparent"
 
 // ClientConfig tunes the router-side call discipline: per-attempt timeout,
 // bounded retries with exponential backoff and full jitter, and a per-shard
@@ -96,6 +102,13 @@ type Client struct {
 	cfg   ClientConfig
 	http  *http.Client
 	Fault FaultInjector
+	// Obs, when set, records request latency, attempt outcomes and breaker
+	// transitions as graf_rpc_* metrics. Tracer, when set, wraps every call
+	// in an "rpc/<op>" span with per-attempt child spans, and stamps the
+	// traceparent header on the wire. Both are nil-safe no-ops; set them
+	// before first use.
+	Obs    *obs.RPCObs
+	Tracer *obs.Tracer
 
 	mu       sync.Mutex
 	breakers map[string]*breaker
@@ -124,8 +137,10 @@ func (c *Client) SetRound(r int) {
 	c.mu.Unlock()
 }
 
-// allow consults the shard's breaker before an attempt.
-func (c *Client) allow(shard string) bool {
+// allow consults the shard's breaker before an attempt. transition is
+// non-empty when the check itself moved the breaker ("half-open" on the
+// first post-cooldown probe).
+func (c *Client) allow(shard string) (allowed bool, transition string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b := c.breakers[shard]
@@ -134,16 +149,19 @@ func (c *Client) allow(shard string) bool {
 		c.breakers[shard] = b
 	}
 	if !b.open {
-		return true
+		return true, ""
 	}
 	if time.Since(b.openAt) >= c.cfg.BreakerCooldown && !b.probing {
 		b.probing = true // half-open: exactly one probe
-		return true
+		c.Obs.BreakerTransition(shard, "half-open", obs.BreakerHalfOpen)
+		return true, "half-open"
 	}
-	return false
+	return false, ""
 }
 
-func (c *Client) record(shard string, ok bool) {
+// record feeds an attempt outcome into the shard's breaker and reports any
+// state transition it caused ("open", "closed", or "").
+func (c *Client) record(shard string, ok bool) (transition string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b := c.breakers[shard]
@@ -152,23 +170,40 @@ func (c *Client) record(shard string, ok bool) {
 		c.breakers[shard] = b
 	}
 	if ok {
+		wasOpen := b.open || b.probing
 		*b = breaker{}
-		return
+		if wasOpen {
+			c.Obs.BreakerTransition(shard, "closed", obs.BreakerClosed)
+			return "closed"
+		}
+		return ""
 	}
+	wasProbing := b.probing
 	b.probing = false
 	b.failures++
 	if b.failures >= c.cfg.BreakerThreshold {
+		wasOpen := b.open
 		b.open = true
 		b.openAt = time.Now()
+		if !wasOpen || wasProbing { // closed→open, or a failed probe re-opening
+			c.Obs.BreakerTransition(shard, "open", obs.BreakerOpen)
+			return "open"
+		}
 	}
+	return ""
 }
 
 // ResetBreaker force-closes a shard's breaker (after a respawn installs a
 // fresh process behind the same address).
 func (c *Client) ResetBreaker(shard string) {
 	c.mu.Lock()
+	b := c.breakers[shard]
+	wasOpen := b != nil && (b.open || b.probing)
 	delete(c.breakers, shard)
 	c.mu.Unlock()
+	if wasOpen {
+		c.Obs.BreakerTransition(shard, "closed", obs.BreakerClosed)
+	}
 }
 
 // backoff returns the full-jitter sleep before retry attempt n (1-based).
@@ -183,8 +218,10 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d
 }
 
-// call performs one logical request with the full discipline. out may be nil.
-func (c *Client) call(shard, method, path, op string, in, out any) error {
+// call performs one logical request with the full discipline. out may be
+// nil; parent, when given, is the span the call's "rpc/<op>" span nests
+// under (the trace then continues server-side via the traceparent header).
+func (c *Client) call(shard, method, path, op string, in, out any, parent ...obs.SpanContext) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -192,12 +229,31 @@ func (c *Client) call(shard, method, path, op string, in, out any) error {
 			return fmt.Errorf("rpc: encode %s: %w", op, err)
 		}
 	}
+	span := c.Tracer.StartChild(optCtx(parent), "rpc/"+op).SetTrack(shard)
+	start := time.Now()
+	err := c.callLoop(shard, method, path, op, body, out, span)
+	c.Obs.Request(op, shard, time.Since(start).Seconds(), err == nil)
+	if err != nil {
+		span.SetAttr("error", 1)
+	}
+	span.End()
+	return err
+}
+
+// callLoop is call's retry loop, running inside the call span.
+func (c *Client) callLoop(shard, method, path, op string, body []byte, out any, span *obs.ActiveSpan) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.backoff(attempt))
 		}
-		if !c.allow(shard) {
+		allowed, trans := c.allow(shard)
+		if trans != "" {
+			span.Event("breaker", trans)
+		}
+		if !allowed {
+			c.Obs.Attempt(op, "rejected")
+			span.Event("breaker-rejected", shard)
 			return fmt.Errorf("%w: shard %s", ErrBreakerOpen, shard)
 		}
 		if c.Fault != nil {
@@ -210,12 +266,27 @@ func (c *Client) call(shard, method, path, op string, in, out any) error {
 			}
 			if drop {
 				lastErr = errDropped
-				c.record(shard, false)
+				c.Obs.Attempt(op, "dropped")
+				span.Event("attempt-dropped", fmt.Sprintf("attempt %d", attempt))
+				if trans := c.record(shard, false); trans != "" {
+					span.Event("breaker", trans)
+				}
 				continue
 			}
 		}
-		lastErr = c.attempt(shard, method, path, body, out)
-		c.record(shard, lastErr == nil)
+		as := c.Tracer.StartChild(span.Context(), "rpc/attempt").
+			SetTrack(shard).SetAttr("attempt", float64(attempt))
+		lastErr = c.attempt(shard, method, path, body, out, as.Context())
+		if lastErr == nil {
+			c.Obs.Attempt(op, "ok")
+		} else {
+			as.SetAttr("error", 1)
+			c.Obs.Attempt(op, "error")
+		}
+		as.End()
+		if trans := c.record(shard, lastErr == nil); trans != "" {
+			span.Event("breaker", trans)
+		}
 		if lastErr == nil {
 			return nil
 		}
@@ -228,6 +299,14 @@ func (c *Client) call(shard, method, path, op string, in, out any) error {
 		}
 	}
 	return fmt.Errorf("rpc: %s %s after %d attempts: %w", op, shard, c.cfg.Retries+1, lastErr)
+}
+
+// optCtx unpacks the variadic parent-span parameter of the exported calls.
+func optCtx(parents []obs.SpanContext) obs.SpanContext {
+	if len(parents) == 0 {
+		return obs.SpanContext{}
+	}
+	return parents[0]
 }
 
 // RemoteError is an application-level rejection from a shard (HTTP 4xx/5xx
@@ -243,13 +322,16 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: shard %s: %d %s", e.Shard, e.Status, e.Msg)
 }
 
-func (c *Client) attempt(shard, method, path string, body []byte, out any) error {
+func (c *Client) attempt(shard, method, path string, body []byte, out any, trace ...obs.SpanContext) error {
 	req, err := http.NewRequest(method, "http://"+shard+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tc := optCtx(trace); tc.Valid() {
+		req.Header.Set(traceparentHeader, tc.Traceparent())
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -278,65 +360,78 @@ func (c *Client) attempt(shard, method, path string, body []byte, out any) error
 
 // Health probes a shard. It bypasses the breaker — it IS the probe the
 // router uses to decide whether an unresponsive shard is dead.
-func (c *Client) Health(shard string) (HealthResponse, error) {
+func (c *Client) Health(shard string, parent ...obs.SpanContext) (HealthResponse, error) {
 	var out HealthResponse
-	err := c.attempt(shard, http.MethodGet, "/healthz", nil, &out)
+	span := c.Tracer.StartChild(optCtx(parent), "rpc/health").SetTrack(shard)
+	err := c.attempt(shard, http.MethodGet, "/healthz", nil, &out, span.Context())
 	if err == nil {
 		c.record(shard, true)
+	} else {
+		span.SetAttr("error", 1)
 	}
+	span.End()
+	c.Obs.Attempt("health", map[bool]string{true: "ok", false: "error"}[err == nil])
 	return out, err
 }
 
 // Configure installs the fleet spec on a shard.
-func (c *Client) Configure(shard string, spec Spec) error {
-	return c.call(shard, http.MethodPost, "/v1/configure", "configure", ConfigureRequest{Spec: spec}, &ConfigureResponse{})
+func (c *Client) Configure(shard string, spec Spec, parent ...obs.SpanContext) error {
+	return c.call(shard, http.MethodPost, "/v1/configure", "configure", ConfigureRequest{Spec: spec}, &ConfigureResponse{}, parent...)
 }
 
 // Admit places (or restores) a tenant on a shard.
-func (c *Client) Admit(shard, id string, ticks int) (AdmitResponse, error) {
+func (c *Client) Admit(shard, id string, ticks int, parent ...obs.SpanContext) (AdmitResponse, error) {
 	var out AdmitResponse
-	err := c.call(shard, http.MethodPost, "/v1/admit", "admit", AdmitRequest{ID: id, Ticks: ticks}, &out)
+	err := c.call(shard, http.MethodPost, "/v1/admit", "admit", AdmitRequest{ID: id, Ticks: ticks}, &out, parent...)
 	return out, err
 }
 
 // Evict drains a tenant off a shard.
-func (c *Client) Evict(shard, id string, checkpoint bool) (EvictResponse, error) {
+func (c *Client) Evict(shard, id string, checkpoint bool, parent ...obs.SpanContext) (EvictResponse, error) {
 	var out EvictResponse
-	err := c.call(shard, http.MethodPost, "/v1/evict", "evict", EvictRequest{ID: id, Checkpoint: checkpoint}, &out)
+	err := c.call(shard, http.MethodPost, "/v1/evict", "evict", EvictRequest{ID: id, Checkpoint: checkpoint}, &out, parent...)
 	return out, err
 }
 
 // Tick advances a shard to the absolute round.
-func (c *Client) Tick(shard string, round int) (TickResponse, error) {
+func (c *Client) Tick(shard string, round int, parent ...obs.SpanContext) (TickResponse, error) {
 	var out TickResponse
-	err := c.call(shard, http.MethodPost, "/v1/tick", "tick", TickRequest{Round: round}, &out)
+	err := c.call(shard, http.MethodPost, "/v1/tick", "tick", TickRequest{Round: round}, &out, parent...)
 	return out, err
 }
 
 // Quotas fetches the shard's per-tenant quota allocations.
-func (c *Client) Quotas(shard string) (QuotasResponse, error) {
+func (c *Client) Quotas(shard string, parent ...obs.SpanContext) (QuotasResponse, error) {
 	var out QuotasResponse
-	err := c.call(shard, http.MethodGet, "/v1/quotas", "quotas", nil, &out)
+	err := c.call(shard, http.MethodGet, "/v1/quotas", "quotas", nil, &out, parent...)
 	return out, err
 }
 
 // Tenants lists the shard's tenants.
-func (c *Client) Tenants(shard string) (TenantsResponse, error) {
+func (c *Client) Tenants(shard string, parent ...obs.SpanContext) (TenantsResponse, error) {
 	var out TenantsResponse
-	err := c.call(shard, http.MethodGet, "/v1/tenants", "tenants", nil, &out)
+	err := c.call(shard, http.MethodGet, "/v1/tenants", "tenants", nil, &out, parent...)
 	return out, err
 }
 
 // Decisions streams a tenant's retained decision records.
-func (c *Client) Decisions(shard, tenant string) (DecisionsResponse, error) {
+func (c *Client) Decisions(shard, tenant string, parent ...obs.SpanContext) (DecisionsResponse, error) {
 	var out DecisionsResponse
-	err := c.call(shard, http.MethodGet, "/v1/decisions?tenant="+url.QueryEscape(tenant), "decisions", nil, &out)
+	err := c.call(shard, http.MethodGet, "/v1/decisions?tenant="+url.QueryEscape(tenant), "decisions", nil, &out, parent...)
+	return out, err
+}
+
+// Traces fetches the shard's retained trace spans, for cross-process
+// stitching by the router.
+func (c *Client) Traces(shard string, parent ...obs.SpanContext) (TracesResponse, error) {
+	var out TracesResponse
+	err := c.call(shard, http.MethodGet, "/v1/traces", "traces", nil, &out, parent...)
 	return out, err
 }
 
 // Checkpoint snapshots every tenant on the shard.
-func (c *Client) Checkpoint(shard string) (CheckpointResponse, error) {
+func (c *Client) Checkpoint(shard string, parent ...obs.SpanContext) (CheckpointResponse, error) {
 	var out CheckpointResponse
-	err := c.call(shard, http.MethodPost, "/v1/checkpoint", "checkpoint", nil, &out)
+	err := c.call(shard, http.MethodPost, "/v1/checkpoint", "checkpoint", nil, &out, parent...)
 	return out, err
 }

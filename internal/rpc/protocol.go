@@ -127,6 +127,14 @@ type DecisionsResponse struct {
 	Records []obs.Record `json:"records"`
 }
 
+// TracesResponse (GET /v1/traces) returns the shard's retained control-plane
+// trace spans; the router merges every shard's spans with its own to stitch
+// cross-process traces and export Chrome trace-event JSON.
+type TracesResponse struct {
+	Proc  string          `json:"proc"`
+	Spans []obs.TraceSpan `json:"spans"`
+}
+
 // CheckpointResponse (POST /v1/checkpoint) reports how many tenants were
 // snapshotted into the shard's checkpoint store.
 type CheckpointResponse struct {

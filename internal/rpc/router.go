@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"graf/internal/obs"
 )
 
 // RouterConfig parameterizes the control-plane router.
@@ -34,6 +36,17 @@ type RouterConfig struct {
 	CheckpointEveryRounds int
 	// Fault, when set, is installed into the client (chaos injection).
 	Fault FaultInjector
+	// Obs, when set, receives router-level metrics: round duration and
+	// failure counts, migration outcomes and blackout histograms, shard
+	// deaths / respawns / reassignments and recovery blackout.
+	Obs *obs.RouterObs
+	// RPCObs, when set, is installed on the router's shard client so every
+	// call records per-shard latency, retry, and breaker-state metrics.
+	RPCObs *obs.RPCObs
+	// Tracer, when set, roots a trace span around every round, migration,
+	// and bootstrap; the span context rides each shard call's traceparent
+	// header, so shard-side spans stitch into one cross-process trace.
+	Tracer *obs.Tracer
 	// Logf, when set, receives router progress lines.
 	Logf func(format string, args ...any)
 }
@@ -134,6 +147,8 @@ func NewRouter(cfg RouterConfig, shardAddrs []string) (*Router, error) {
 		ring:    NewRing(cfg.VNodes),
 		tenants: map[string]*tenantState{},
 	}
+	r.client.Obs = cfg.RPCObs
+	r.client.Tracer = cfg.Tracer
 	for i, addr := range shardAddrs {
 		r.slots = append(r.slots, &shardSlot{slot: i, addr: addr, alive: true})
 		r.ring.Add(addr)
@@ -222,8 +237,15 @@ func (r *Router) Owner(id string) string {
 // Bootstrap configures every shard with the spec and admits every tenant at
 // its ring placement.
 func (r *Router) Bootstrap() error {
+	var span *obs.ActiveSpan
+	if r.cfg.Tracer != nil {
+		span = r.cfg.Tracer.StartRoot("router/bootstrap").
+			SetAttr("shards", float64(len(r.slots))).
+			SetAttr("tenants", float64(len(r.tenants)))
+	}
+	defer span.End()
 	for _, s := range r.Shards() {
-		if err := r.client.Configure(s.Addr, r.cfg.Spec); err != nil {
+		if err := r.client.Configure(s.Addr, r.cfg.Spec, span.Context()); err != nil {
 			return fmt.Errorf("rpc: configure shard %d (%s): %w", s.Slot, s.Addr, err)
 		}
 	}
@@ -236,7 +258,7 @@ func (r *Router) Bootstrap() error {
 	sort.Strings(ids)
 	for _, id := range ids {
 		addr := r.ring.Lookup(id)
-		if err := r.placeTenant(id, addr); err != nil {
+		if err := r.placeTenant(id, addr, span.Context()); err != nil {
 			return err
 		}
 	}
@@ -249,9 +271,9 @@ func (r *Router) Bootstrap() error {
 // Callers must hold r.mu (the admit round-trip happens under the lock —
 // placement is serialized by design, and observers block only on Stats-style
 // reads, never on the data path).
-func (r *Router) placeTenant(id, addr string) error {
+func (r *Router) placeTenant(id, addr string, parent ...obs.SpanContext) error {
 	t := r.tenants[id]
-	resp, err := r.client.Admit(addr, id, t.ticks)
+	resp, err := r.client.Admit(addr, id, t.ticks, parent...)
 	if err != nil {
 		return fmt.Errorf("rpc: admit %s on %s: %w", id, addr, err)
 	}
@@ -365,10 +387,23 @@ func (r *Router) RunRound() error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
+	totalFailed := 0
+	var span *obs.ActiveSpan
+	if r.cfg.Tracer != nil {
+		span = r.cfg.Tracer.StartRoot("router/round").SetAttr("round", float64(round))
+	}
+	defer func() {
+		span.SetAttr("failed", float64(totalFailed)).End()
+		r.mu.Lock()
+		alive := len(r.aliveSlotsLocked())
+		r.mu.Unlock()
+		r.cfg.Obs.Round(time.Since(t0).Seconds(), alive, totalFailed)
+	}()
 	r.client.SetRound(round)
 	if r.cfg.CheckpointEveryRounds > 0 && round > 1 && (round-1)%r.cfg.CheckpointEveryRounds == 0 {
 		for _, addr := range r.aliveAddrs() {
-			if _, err := r.client.Checkpoint(addr); err != nil {
+			if _, err := r.client.Checkpoint(addr, span.Context()); err != nil {
 				r.logf("round %d: checkpoint %s: %v", round, addr, err)
 			}
 		}
@@ -403,7 +438,7 @@ func (r *Router) RunRound() error {
 			wg.Add(1)
 			go func(i int, tgt target) {
 				defer wg.Done()
-				resp, err := r.client.Tick(tgt.addr, round)
+				resp, err := r.client.Tick(tgt.addr, round, span.Context())
 				results[i] = result{slot: tgt.slot, resp: resp, err: err}
 			}(i, tgt)
 		}
@@ -424,11 +459,13 @@ func (r *Router) RunRound() error {
 		if len(failed) == 0 {
 			break
 		}
+		totalFailed += len(failed)
 		if attempt >= len(r.slots)+1 {
 			return fmt.Errorf("rpc: round %d: shards kept failing after %d recovery attempts", round, attempt)
 		}
 		for _, s := range failed {
-			if err := r.handleShardFailure(s); err != nil {
+			span.Event("shard-failure", s.addr)
+			if err := r.handleShardFailure(s, span.Context()); err != nil {
 				return err
 			}
 		}
@@ -446,15 +483,20 @@ func (r *Router) RunRound() error {
 // otherwise remove the shard from the ring and reassign its tenants to the
 // survivors. Every orphan is restored at its last acknowledged tick count
 // and byte-verified against its on-disk audit log — zero lost decisions.
-func (r *Router) handleShardFailure(s *shardSlot) error {
+func (r *Router) handleShardFailure(s *shardSlot, parent ...obs.SpanContext) error {
 	r.mu.Lock()
 	addr := s.addr
 	r.mu.Unlock()
+	var span *obs.ActiveSpan
+	if r.cfg.Tracer != nil {
+		span = r.cfg.Tracer.StartChild(optCtx(parent), "router/recover").SetTrack(addr)
+	}
+	defer span.End()
 	for probe := 0; probe < r.cfg.HeartbeatMisses; probe++ {
 		if probe > 0 {
 			time.Sleep(r.cfg.HeartbeatEvery)
 		}
-		if _, err := r.client.Health(addr); err == nil {
+		if _, err := r.client.Health(addr, span.Context()); err == nil {
 			// Alive after all — a slow round, a transient partition, or a
 			// breaker that opened during a blip. Close the breaker so the
 			// caller's re-tick actually reaches the shard: without the reset,
@@ -468,6 +510,7 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 		}
 	}
 	r.logf("shard %d (%s): declared dead after %d missed heartbeats", s.slot, addr, r.cfg.HeartbeatMisses)
+	span.Event("declared-dead", addr)
 	r.mu.Lock()
 	s.alive = false
 	r.ring.Remove(addr)
@@ -481,11 +524,15 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 	sort.Strings(orphans)
 
 	t0 := time.Now()
+	respawned := false
+	reassigned := 0
 	defer func() {
 		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
 		r.mu.Lock()
 		r.stats.RecoveryBlackoutMS += ms
 		r.mu.Unlock()
+		r.cfg.Obs.ShardDeath(respawned, reassigned, ms)
+		span.SetAttr("orphans", float64(len(orphans))).SetAttr("blackout_ms", ms)
 		r.logf("shard %d: recovery of %d tenants took %.1fms", s.slot, len(orphans), ms)
 	}()
 
@@ -503,7 +550,7 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 		} else {
 			r.client.ResetBreaker(addr)
 			r.client.ResetBreaker(newAddr)
-			if err := r.client.Configure(newAddr, r.cfg.Spec); err != nil {
+			if err := r.client.Configure(newAddr, r.cfg.Spec, span.Context()); err != nil {
 				return fmt.Errorf("rpc: configure respawned shard %d (%s): %w", s.slot, newAddr, err)
 			}
 			r.mu.Lock()
@@ -511,12 +558,14 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 			s.alive = true
 			r.ring.Add(newAddr)
 			for _, id := range orphans {
-				if err := r.placeTenant(id, newAddr); err != nil {
+				if err := r.placeTenant(id, newAddr, span.Context()); err != nil {
 					r.mu.Unlock()
 					return err
 				}
 			}
 			r.mu.Unlock()
+			respawned = true
+			span.Event("respawned", newAddr)
 			r.logf("shard %d: respawned at %s, %d tenants restored", s.slot, newAddr, len(orphans))
 			return nil
 		}
@@ -534,10 +583,11 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 			t.pinned = false
 		}
 		target := r.ring.Lookup(id)
-		if err := r.placeTenant(id, target); err != nil {
+		if err := r.placeTenant(id, target, span.Context()); err != nil {
 			return err
 		}
 		r.stats.Reassignments++
+		reassigned++
 		r.logf("tenant %s: reassigned %s → %s at tick %d", id, addr, target, t.ticks)
 	}
 	return nil
@@ -552,6 +602,19 @@ func (r *Router) handleShardFailure(s *shardSlot) error {
 // running nowhere; if even that fails, it is marked unplaced and re-placed
 // at the start of the next round.
 func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
+	var span *obs.ActiveSpan
+	if r.cfg.Tracer != nil {
+		span = r.cfg.Tracer.StartRoot("router/migrate").SetTrack(id)
+	}
+	outcome := "error"
+	defer func() {
+		span.End()
+		if outcome != "" {
+			// "ok" records its blackout inline at the success site; here we
+			// only count the failure modes (blackout is meaningless there).
+			r.cfg.Obs.Migration(outcome, 0)
+		}
+	}()
 	r.mu.Lock()
 	t := r.tenants[id]
 	if t == nil {
@@ -560,6 +623,7 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 	}
 	if t.shard == toAddr {
 		r.mu.Unlock()
+		outcome = "" // no-op move, nothing to count
 		return 0, nil
 	}
 	fromAddr := t.shard
@@ -576,7 +640,7 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 
 	t0 := time.Now()
 	if fromAddr != "" {
-		ev, err := r.client.Evict(fromAddr, id, true)
+		ev, err := r.client.Evict(fromAddr, id, true, span.Context())
 		if err != nil {
 			return 0, fmt.Errorf("rpc: migrate %s: drain: %w", id, err)
 		}
@@ -588,7 +652,7 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.placeTenant(id, toAddr); err != nil {
+	if err := r.placeTenant(id, toAddr, span.Context()); err != nil {
 		// Drained but not restored — the tenant is running nowhere. Roll
 		// back onto the source shard (its audit log and checkpoint are
 		// intact there), else any other survivor, so the tenant is never
@@ -619,8 +683,12 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 	t.pinned = true
 	r.stats.Migrations++
 	d := time.Since(t0)
-	r.stats.MigrationBlackouts = append(r.stats.MigrationBlackouts, float64(d.Nanoseconds())/1e6)
-	r.logf("tenant %s: migrated %s → %s at tick %d in %.1fms", id, fromAddr, toAddr, t.ticks, float64(d.Nanoseconds())/1e6)
+	ms := float64(d.Nanoseconds()) / 1e6
+	r.stats.MigrationBlackouts = append(r.stats.MigrationBlackouts, ms)
+	outcome = ""
+	r.cfg.Obs.Migration("ok", ms)
+	span.SetAttr("blackout_ms", ms)
+	r.logf("tenant %s: migrated %s → %s at tick %d in %.1fms", id, fromAddr, toAddr, t.ticks, ms)
 	return d, nil
 }
 

@@ -39,6 +39,11 @@ type ShardServer struct {
 	// (default 4; a shard can only have been one round ahead, but partial
 	// flushes make the exact boundary fuzzy).
 	MaxReplayTicks int
+	// Tel, when set before Serve, exposes /metrics, /debug/vars and
+	// /debug/pprof/* on the shard's own control-plane mux (the router
+	// scrapes /metrics for federation), records per-operation durations,
+	// and is handed to the fleet so graf_fleet_* series appear here too.
+	Tel *obs.Telemetry
 	// Logf, when set, receives one line per control-plane operation.
 	Logf func(format string, args ...any)
 
@@ -47,6 +52,10 @@ type ShardServer struct {
 	spec    Spec
 	round   int
 	started time.Time
+
+	// trc is the control-plane tracer, created at configure time when the
+	// spec enables tracing (atomic: /v1/traces reads it without s.mu).
+	trc atomic.Pointer[obs.Tracer]
 
 	// healthRound/healthTenants are atomic mirrors of round and tenant
 	// count, refreshed by the mutating handlers via publishHealth, so
@@ -87,8 +96,36 @@ func (s *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/quotas", s.handleQuotas)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /v1/decisions", s.handleDecisions)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	if s.Tel != nil {
+		th := s.Tel.Handler()
+		mux.Handle("GET /metrics", th)
+		mux.Handle("/debug/", th)
+	}
 	return mux
+}
+
+// traceOp continues the caller's trace server-side: it parses the
+// traceparent header and opens a "shard/<op>" child span. Nil (a no-op)
+// when tracing is not configured.
+func (s *ShardServer) traceOp(r *http.Request, op string) *obs.ActiveSpan {
+	tr := s.trc.Load()
+	if tr == nil {
+		return nil
+	}
+	parent, _ := obs.ParseTraceparent(r.Header.Get(traceparentHeader))
+	return tr.StartChild(parent, "shard/"+op)
+}
+
+// observeOp records one handler's wall-clock cost.
+func (s *ShardServer) observeOp(op string, start time.Time) {
+	if s.Tel == nil {
+		return
+	}
+	s.Tel.Reg.Histogram("graf_shard_op_seconds",
+		"Wall-clock cost of shard control-plane operations.",
+		nil, obs.Labels{"op": op}).Observe(time.Since(start).Seconds())
 }
 
 // Serve binds addr (host:port; port 0 picks a free one) and serves until
@@ -184,6 +221,7 @@ func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	defer s.observeOp("configure", time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
@@ -196,6 +234,19 @@ func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Spec.Trace {
+		// The tracer seed derives from the fleet seed plus this shard's
+		// address, so every process mints a disjoint deterministic ID stream.
+		proc := "shard:" + s.Addr()
+		s.trc.Store(obs.NewTracer(obs.TracerOptions{
+			Seed: obs.DeriveTraceSeed(req.Spec.Seed, proc),
+			Proc: proc,
+		}))
+	} else {
+		s.trc.Store(nil)
+	}
+	cfg.Obs = s.Tel
+	cfg.Tracer = s.trc.Load()
 	if s.fl != nil {
 		s.fl.Stop()
 	}
@@ -208,7 +259,7 @@ func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	s.fl = fl
 	s.spec = req.Spec
 	s.round = 0
-	s.logf("configured: app=%s seed=%d tick=%gs", req.Spec.App, req.Spec.Seed, cfg.TickS)
+	s.logf("configured: app=%s seed=%d tick=%gs trace=%v", req.Spec.App, req.Spec.Seed, cfg.TickS, req.Spec.Trace)
 	writeJSON(w, http.StatusOK, ConfigureResponse{OK: true})
 }
 
@@ -249,6 +300,9 @@ func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "negative tick count")
 		return
 	}
+	span := s.traceOp(r, "admit").SetAttr("ticks", float64(req.Ticks))
+	defer span.End()
+	defer s.observeOp("admit", time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
@@ -256,6 +310,8 @@ func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
 	}
+	// Replay/fast-forward ticks executed during this admit nest under it.
+	s.fl.SetTraceParent(span.Context())
 
 	if t := s.fl.Tenant(req.ID); t != nil {
 		// Idempotent retry: an earlier admit succeeded here but its response
@@ -370,6 +426,9 @@ func (s *ShardServer) handleEvict(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	span := s.traceOp(r, "evict")
+	defer span.End()
+	defer s.observeOp("evict", time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
@@ -412,6 +471,9 @@ func (s *ShardServer) handleTick(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "round must be positive")
 		return
 	}
+	span := s.traceOp(r, "tick").SetAttr("round", float64(req.Round))
+	defer span.End()
+	defer s.observeOp("tick", time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
@@ -419,6 +481,8 @@ func (s *ShardServer) handleTick(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
 	}
+	// Tenant tick spans executed by the worker pool nest under this span.
+	s.fl.SetTraceParent(span.Context())
 	s.fl.RoundTo(req.Round)
 	s.round = req.Round
 	// Durable-before-acknowledged: flush every tenant's on-disk audit log
@@ -475,7 +539,15 @@ func (s *ShardServer) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DecisionsResponse{Tenant: id, Records: t.Records()})
 }
 
+func (s *ShardServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.trc.Load()
+	writeJSON(w, http.StatusOK, TracesResponse{Proc: tr.Proc(), Spans: tr.Snapshot()})
+}
+
 func (s *ShardServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	span := s.traceOp(r, "checkpoint")
+	defer span.End()
+	defer s.observeOp("checkpoint", time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fl == nil {

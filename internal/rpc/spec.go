@@ -20,6 +20,7 @@ import (
 	"graf/internal/core"
 	"graf/internal/fleet"
 	"graf/internal/gnn"
+	"graf/internal/obs"
 	"graf/internal/workload"
 )
 
@@ -47,6 +48,15 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// AuditMemory bounds per-tenant in-memory audit retention (0 = default).
 	AuditMemory int `json:"audit_memory,omitempty"`
+	// Trace enables control-plane tracing in every process built from this
+	// spec; each shard derives its tracer seed from Seed plus its own
+	// address, so same-seed runs mint identical (per-process) ID streams.
+	Trace bool `json:"trace,omitempty"`
+	// SLOBudget, when set, enables the per-tenant error-budget monitor with
+	// identical configuration in every process — a determinism invariant:
+	// the single-process reference and the distributed run must charge the
+	// same budget at the same ticks.
+	SLOBudget *obs.SLOConfig `json:"slo_budget,omitempty"`
 }
 
 // Validate rejects specs that could not produce a deterministic fleet.
@@ -135,5 +145,6 @@ func (s Spec) FleetConfig(b ModelBundle, auditDir string) (fleet.Config, error) 
 		Dynamic:     true,
 		AuditDir:    auditDir,
 		AuditMemory: s.AuditMemory,
+		SLOBudget:   s.SLOBudget,
 	}, nil
 }
