@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-obs obs-demo ci
+.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-obs bench-json-overload obs-demo ci
 
 all: build vet test
 
@@ -46,6 +46,16 @@ bench-json-obs:
 	$(GO) test -run '^$$' -bench '^(BenchmarkTraceOverhead|BenchmarkSLOBurn)$$' -benchtime 1x . | \
 	  $(GO) run ./cmd/benchjson -o BENCH_obs.json
 	@echo wrote BENCH_obs.json
+
+# Overload-protection numbers (DESIGN.md §3j): the brownout ladder vs the
+# never-degrade and always-heuristic fixed policies, as benchjson extra
+# metrics in BENCH_overload.json. The benchmark fails outright if the ladder
+# loses either ordering (deadline misses vs never-degrade, violation seconds
+# vs always-heuristic) or records a non-monotone ladder walk.
+bench-json-overload:
+	$(GO) test -run '^$$' -bench '^BenchmarkOverload$$' -benchtime 1x . | \
+	  $(GO) run ./cmd/benchjson -o BENCH_overload.json
+	@echo wrote BENCH_overload.json
 
 # Observability smoke demo: train a quick model, run the controller with the
 # telemetry endpoints up, self-scrape /metrics, then hold the endpoints for

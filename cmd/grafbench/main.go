@@ -56,6 +56,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"obs-overhead":   bench.ObsOverhead,
 	"fleet":          bench.Fleet,
 	"fleet-rpc":      bench.FleetRPC,
+	"overload":       bench.Overload,
 	"slo-burn":       bench.SLOBurn,
 	"trace-overhead": bench.TraceOverhead,
 }
@@ -70,7 +71,7 @@ var order = []string{
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
 	"chaos", "recovery", "drift", "replay", "obs-overhead",
-	"fleet", "fleet-rpc", "slo-burn", "trace-overhead",
+	"fleet", "fleet-rpc", "overload", "slo-burn", "trace-overhead",
 }
 
 func main() {

@@ -3,6 +3,8 @@ package main
 import (
 	"errors"
 	"fmt"
+
+	"graf/internal/rpc"
 )
 
 // options is the parsed command line, gathered so contradictory flag
@@ -39,8 +41,11 @@ type options struct {
 	shards    int
 	auditDir  string
 	sloBudget float64
+	brownout  string
 
-	shardAddr string
+	shardAddr        string
+	maxInflight      int
+	governorBudgetMS float64
 }
 
 // validate returns the first contradiction it finds, phrased so the fix is
@@ -97,6 +102,7 @@ func (o options) validate() error {
 			{o.obs != "", "-obs"},
 			{o.smoke, "-smoke"},
 			{o.hold > 0, "-hold"},
+			{o.brownout != "", "-brownout"},
 		} {
 			if c.set {
 				return fmt.Errorf("%s drives a local run; a -shard process takes its fleet spec from the router (only -ckpt and -audit-dir apply)", c.flag)
@@ -143,6 +149,26 @@ func (o options) validate() error {
 	}
 	if o.sloBudget > 0 && o.fleetN == 0 {
 		return errors.New("-slo-budget enables the fleet's per-tenant burn-rate monitor; it needs -fleet (shard processes take the budget from the router's spec)")
+	}
+	if o.brownout != "" {
+		if o.fleetN == 0 {
+			return errors.New("-brownout scripts the fleet's degradation ladder; it needs -fleet (shard processes take the schedule from the router's spec)")
+		}
+		if _, err := rpc.ParseBrownout(o.brownout); err != nil {
+			return fmt.Errorf("-brownout: %v", err)
+		}
+	}
+	if o.maxInflight < 0 {
+		return fmt.Errorf("-max-inflight %d must be non-negative", o.maxInflight)
+	}
+	if o.maxInflight > 0 && o.shardAddr == "" {
+		return errors.New("-max-inflight bounds a shard's control-plane admission gate; it needs -shard")
+	}
+	if o.governorBudgetMS < 0 {
+		return fmt.Errorf("-governor-budget-ms %v must be non-negative", o.governorBudgetMS)
+	}
+	if o.governorBudgetMS > 0 && o.shardAddr == "" {
+		return errors.New("-governor-budget-ms runs a shard's adaptive brownout governor; it needs -shard")
 	}
 
 	if o.replay != "" {

@@ -73,6 +73,16 @@ func TestValidateAcceptsCommonInvocations(t *testing.T) {
 			o.shardAddr, o.ckpt, o.auditDir = "127.0.0.1:0", "state", "audit"
 			return o
 		}(),
+		"shard with overload protection": func() options {
+			o := base()
+			o.shardAddr, o.maxInflight, o.governorBudgetMS = "127.0.0.1:0", 16, 500
+			return o
+		}(),
+		"fleet with scripted brownout": func() options {
+			o := base()
+			o.fleetN, o.brownout = 4, "12-24:heuristic,30:warm"
+			return o
+		}(),
 	}
 	for name, o := range cases {
 		if err := o.validate(); err != nil {
@@ -122,6 +132,13 @@ func TestValidateRejectsContradictions(t *testing.T) {
 		{"shard with lifecycle", func(o *options) { o.shardAddr, o.lifecycle = "127.0.0.1:0", true }, "-lifecycle"},
 		{"shard with obs", func(o *options) { o.shardAddr, o.obs = "127.0.0.1:0", "127.0.0.1:0" }, "-obs"},
 		{"audit-dir without fleet or shard", func(o *options) { o.auditDir = "audit" }, "-audit-dir"},
+		{"brownout without fleet", func(o *options) { o.brownout = "12:heuristic" }, "-brownout"},
+		{"brownout on shard", func(o *options) { o.shardAddr, o.brownout = "127.0.0.1:0", "12:heuristic" }, "-brownout"},
+		{"brownout bad step", func(o *options) { o.fleetN, o.brownout = 4, "12:turbo" }, "ladder step"},
+		{"brownout bad range", func(o *options) { o.fleetN, o.brownout = 4, "24-12:heuristic" }, "above FROM"},
+		{"max-inflight without shard", func(o *options) { o.maxInflight = 16 }, "-max-inflight"},
+		{"negative max-inflight", func(o *options) { o.shardAddr, o.maxInflight = "127.0.0.1:0", -1 }, "-max-inflight"},
+		{"governor budget without shard", func(o *options) { o.governorBudgetMS = 500 }, "-governor-budget-ms"},
 	}
 	for _, c := range cases {
 		o := base()

@@ -30,6 +30,7 @@ func fleetSpec(o options, seed int64) rpc.Spec {
 	if o.sloBudget > 0 {
 		s.SLOBudget = &obs.SLOConfig{Budget: o.sloBudget}
 	}
+	s.Brownout, _ = rpc.ParseBrownout(o.brownout) // validated with the flags
 	return s
 }
 
@@ -147,8 +148,8 @@ run:
 			tn.ID, tn.Shard, tn.Ticks(), tn.LastP99()*1000, tn.ViolationSeconds(), status)
 	}
 	st := f.Stats()
-	fmt.Printf("fleet done: %d rounds, %d ticks in %.1fs wall (%.1f ticks/s), %d contained panics\n",
-		st.Rounds, st.Ticks, wall, float64(st.Ticks)/wall, st.Panics)
+	fmt.Printf("fleet done: %d rounds, %d ticks in %.1fs wall (%.1f ticks/s), %d contained panics, %d brownout transitions\n",
+		st.Rounds, st.Ticks, wall, float64(st.Ticks)/wall, st.Panics, st.BrownoutTransitions)
 	if st.BatchedReqs > 0 {
 		total := st.CacheHits + st.CacheMisses
 		hitPct := 0.0

@@ -78,6 +78,9 @@ func main() {
 	auditDir := flag.String("audit-dir", "", "with -fleet or -shard: mirror every tenant's audit log into this directory (torn tails are repaired at startup)")
 	shardAddr := flag.String("shard", "", "serve one control-plane shard on this address (host:port; port 0 picks one) and wait for a grafrouter to install the fleet spec")
 	sloBudget := flag.Float64("slo-budget", 0, "with -fleet: per-tenant SLO error budget as allowed violation fraction (e.g. 0.02); enables multi-window burn-rate telemetry (0 = off)")
+	brownout := flag.String("brownout", "", "with -fleet: scripted brownout schedule FROM[-TO]:STEP[,...] in ticks, e.g. 12-24:heuristic (STEP: full | warm | heuristic | hold)")
+	maxInflight := flag.Int("max-inflight", 0, "with -shard: admission-gate bound on concurrently executing control-plane requests (0 = default)")
+	governorBudgetMS := flag.Float64("governor-budget-ms", 0, "with -shard: defend this per-round wall budget with the adaptive brownout governor (0 = off)")
 	flag.Parse()
 
 	opts := options{
@@ -89,7 +92,8 @@ func main() {
 		lifecycle: *lifecycleOn, modelArchive: *modelDir,
 		fleetN: *fleetN, shards: *shards,
 		appName: *appName, auditDir: *auditDir, shardAddr: *shardAddr,
-		sloBudget: *sloBudget,
+		sloBudget: *sloBudget, brownout: *brownout,
+		maxInflight: *maxInflight, governorBudgetMS: *governorBudgetMS,
 	}
 	if err := opts.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)

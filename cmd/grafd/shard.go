@@ -8,6 +8,7 @@ import (
 
 	"graf"
 	"graf/internal/obs"
+	"graf/internal/overload"
 	"graf/internal/rpc"
 )
 
@@ -32,13 +33,21 @@ func runShard(tr *graf.TrainedModel, o options) int {
 	// (and -obs is rejected in shard mode for exactly that reason). The
 	// router scrapes this endpoint to federate a fleet-wide metrics view.
 	s := &rpc.ShardServer{
-		Bundle:   fleetBundle(tr),
-		CkptDir:  o.ckpt,
-		AuditDir: o.auditDir,
-		Tel:      obs.New(obs.Options{}),
+		Bundle:      fleetBundle(tr),
+		CkptDir:     o.ckpt,
+		AuditDir:    o.auditDir,
+		MaxInflight: o.maxInflight,
+		Tel:         obs.New(obs.Options{}),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
+	}
+	if o.governorBudgetMS > 0 {
+		// Adaptive brownout lives shard-side (scripted schedules arrive in
+		// the router's spec instead): the governor watches this shard's own
+		// round wall clock and walks its tenants down the ladder when rounds
+		// run past the budget.
+		s.Governor = &overload.GovernorConfig{BudgetMS: o.governorBudgetMS}
 	}
 	addr, err := s.Serve(o.shardAddr)
 	if err != nil {

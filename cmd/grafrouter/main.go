@@ -36,6 +36,7 @@ import (
 	"graf"
 	"graf/internal/chaos"
 	"graf/internal/obs"
+	"graf/internal/overload"
 	"graf/internal/rpc"
 )
 
@@ -59,6 +60,8 @@ type routerOptions struct {
 	migrate         string
 	netDrop         float64
 	netDelayMS      float64
+	roundBudgetMS   float64
+	brownout        string
 
 	trace     string
 	obsAddr   string
@@ -94,6 +97,12 @@ func (o routerOptions) validate() error {
 	}
 	if o.sloBudget < 0 || o.sloBudget >= 1 {
 		return fmt.Errorf("-slo-budget %v must be in [0,1) (fraction of time allowed in violation; 0 disables)", o.sloBudget)
+	}
+	if o.roundBudgetMS < 0 {
+		return fmt.Errorf("-round-budget-ms %v must be non-negative (0 disables the round deadline)", o.roundBudgetMS)
+	}
+	if _, err := rpc.ParseBrownout(o.brownout); err != nil {
+		return fmt.Errorf("-brownout: %v", err)
 	}
 	return nil
 }
@@ -279,6 +288,8 @@ func main() {
 	flag.StringVar(&o.migrate, "migrate", "", "planned migration tenant@round:slot (e.g. tenant-03@5:1)")
 	flag.Float64Var(&o.netDrop, "net-drop", 0, "chaos: drop each control-plane request with this probability (seeded-deterministic)")
 	flag.Float64Var(&o.netDelayMS, "net-delay-ms", 0, "chaos: add this latency to ~30% of control-plane requests")
+	flag.Float64Var(&o.roundBudgetMS, "round-budget-ms", 0, "end-to-end wall budget per round; the remaining budget propagates to shards as Graf-Deadline-Ms and over-budget ticks are shed, not retried (0 = unbounded)")
+	flag.StringVar(&o.brownout, "brownout", "", "scripted brownout schedule FROM[-TO]:STEP[,...] in ticks, e.g. 12-24:heuristic; installed in every shard via the fleet spec")
 	flag.StringVar(&o.trace, "trace", "", "enable control-plane tracing on router and every shard; write the merged Chrome trace-event JSON to this file")
 	flag.StringVar(&o.obsAddr, "obs", "", "serve the router's metrics plus a federated fleet-wide /metrics view (every shard's registry relabeled with shard=addr) on this address")
 	flag.Float64Var(&o.sloBudget, "slo-budget", 0, "per-tenant SLO error budget as allowed violation fraction (e.g. 0.02); enables multi-window burn-rate telemetry on every shard (0 = off)")
@@ -307,6 +318,9 @@ func run(o routerOptions) int {
 		// respawned one — reconstructs the identical burn-rate monitor.
 		spec.SLOBudget = &obs.SLOConfig{Budget: o.sloBudget}
 	}
+	// Scripted brownout rides the spec for the same reason: every shard —
+	// and the single-process reference run — degrades at the same ticks.
+	spec.Brownout, _ = rpc.ParseBrownout(o.brownout) // validated in main
 	// Fail fast if the artifact cannot realize the spec (wrong service
 	// count, bad shape) before any shard process is spawned. The shards
 	// load the same file themselves; the router never keeps the model.
@@ -432,6 +446,9 @@ func run(o routerOptions) int {
 			fmt.Printf("router: "+format+"\n", args...)
 		},
 	}
+	if o.roundBudgetMS > 0 {
+		cfg.RoundBudget = time.Duration(o.roundBudgetMS * float64(time.Millisecond))
+	}
 	if o.restartBudget == 0 {
 		cfg.RestartBudget = -1 // reassign immediately, never respawn
 	}
@@ -483,6 +500,7 @@ func run(o routerOptions) int {
 
 	start := time.Now()
 	exit := 0
+	prevRung := 0
 	for round := 1; round <= rounds; round++ {
 		if killRound == round {
 			slot := killSlot
@@ -536,6 +554,23 @@ func run(o routerOptions) int {
 			exit = 1
 			break
 		}
+		// Degradation visibility: announce when any tenant enters the
+		// brownout ladder and when the whole fleet has recovered, so an
+		// operator tailing the log sees pressure without scraping metrics.
+		rung := 0
+		for _, ts := range r.TenantStates() {
+			if ts.Brownout > rung {
+				rung = ts.Brownout
+			}
+		}
+		if rung > 0 && prevRung == 0 {
+			fmt.Printf("router: brownout enter step=%s round=%d\n", overload.Step(rung), round)
+		} else if rung == 0 && prevRung > 0 {
+			fmt.Printf("router: brownout exit round=%d\n", round)
+		} else if rung != prevRung {
+			fmt.Printf("router: brownout step=%s round=%d\n", overload.Step(rung), round)
+		}
+		prevRung = rung
 	}
 	wall := time.Since(start).Seconds()
 
@@ -561,6 +596,9 @@ func run(o routerOptions) int {
 			status = fmt.Sprintf("BEHIND (%d/%d ticks)", ts.Ticks, r.Round())
 			behind++
 		}
+		if ts.Brownout > 0 {
+			status += fmt.Sprintf(" brownout=%s", overload.Step(ts.Brownout))
+		}
 		fmt.Printf("  %-12s on %-21s ticks %3d  p99 %6.1f ms  violation %5.1fs  audit %6dB fnv %016x  %s\n",
 			ts.ID, r.Owner(ts.ID), ts.Ticks, ts.P99*1000, ts.ViolS, ts.AuditLen, ts.AuditFNV, status)
 	}
@@ -569,10 +607,29 @@ func run(o routerOptions) int {
 	if st.LostDecisions > 0 || behind > 0 {
 		exit = 1
 	}
-	fmt.Printf("router done: rounds=%d ticks=%d wall=%.1fs ticks_per_s=%.1f lost_decisions=%d migrations=%d respawns=%d reassignments=%d verified_restores=%d snapshot_verified=%d replayed_ticks=%d recovery_blackout_ms=%.1f\n",
+	// Aggregate the shards' overload counters from their health endpoints:
+	// shed work is accounted loudly, and expired_executed must be zero —
+	// a shard that ran work past its propagated deadline broke the contract.
+	var shardShed, expiredShed, expiredExecuted int64
+	for _, si := range r.Shards() {
+		if !si.Alive {
+			continue
+		}
+		if h, err := r.Client().Health(si.Addr); err == nil {
+			shardShed += h.Shed
+			expiredShed += h.ExpiredShed
+			expiredExecuted += h.ExpiredExecuted
+		}
+	}
+	if expiredExecuted > 0 {
+		fmt.Fprintf(os.Stderr, "overload: %d requests EXECUTED past their propagated deadline\n", expiredExecuted)
+		exit = 1
+	}
+	fmt.Printf("router done: rounds=%d ticks=%d wall=%.1fs ticks_per_s=%.1f lost_decisions=%d migrations=%d respawns=%d reassignments=%d verified_restores=%d snapshot_verified=%d replayed_ticks=%d recovery_blackout_ms=%.1f shed_ticks=%d partial_rounds=%d shard_shed=%d expired_shed=%d expired_executed=%d\n",
 		st.Rounds, ticksDone, wall, float64(ticksDone)/wall,
 		st.LostDecisions, st.Migrations, st.Respawns, st.Reassignments,
-		st.VerifiedRestores, st.SnapshotVerified, st.ReplayedTicks, st.RecoveryBlackoutMS)
+		st.VerifiedRestores, st.SnapshotVerified, st.ReplayedTicks, st.RecoveryBlackoutMS,
+		st.ShedTicks, st.PartialRounds, shardShed, expiredShed, expiredExecuted)
 	for i, ms := range st.MigrationBlackouts {
 		fmt.Printf("migration_blackout_ms=%.2f (migration %d)\n", ms, i)
 	}

@@ -895,23 +895,32 @@ func (c *Cluster) runStages(call *app.Call, idx int, api string, tid int64, tr *
 func (c *Cluster) OnDrain(fn func()) { c.onDoneDrain = fn }
 
 // InjectContention slows the named service's CPU work by factor (> 1) for
-// duration seconds, simulating the unexpected resource interference of §6:
-// latency spikes with no change in workload or allocated quota. Overlapping
-// injections keep the largest factor until both expire.
+// duration seconds (svc == "" contends every service), simulating the
+// unexpected resource interference of §6: latency spikes with no change in
+// workload or allocated quota. Overlapping injections keep the largest
+// factor until both expire.
 func (c *Cluster) InjectContention(svc string, factor, duration float64) {
-	d := c.Deployment(svc)
 	if factor <= 1 {
 		return
 	}
-	prev := d.contention
-	if factor > prev {
-		d.contention = factor
-	}
-	c.Eng.After(duration, func() {
-		if d.contention == factor {
-			d.contention = prev
+	apply := func(d *Deployment) {
+		prev := d.contention
+		if factor > prev {
+			d.contention = factor
 		}
-	})
+		c.Eng.After(duration, func() {
+			if d.contention == factor {
+				d.contention = prev
+			}
+		})
+	}
+	if svc == "" {
+		for _, name := range c.names {
+			apply(c.deps[name])
+		}
+		return
+	}
+	apply(c.Deployment(svc))
 }
 
 // Contention returns the service's current contention factor (1 = none).

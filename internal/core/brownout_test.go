@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/cluster"
+	"graf/internal/obs"
+	"graf/internal/sim"
+	"graf/internal/workload"
+)
+
+// brownoutRig builds the standard OnlineBoutique control loop with an audit
+// sink and zero hysteresis, so every decision takes the model path and the
+// ladder rungs are exercised on every tick they are active.
+func brownoutRig(buf *bytes.Buffer) (*sim.Engine, *Controller, *obs.Telemetry, ControllerConfig, hyperbola, *workload.OpenLoop) {
+	a := app.OnlineBoutique()
+	eng := sim.NewEngine(9)
+	cl := cluster.New(eng, a, cluster.DefaultConfig())
+	h := hyperbola{a: []float64{2, 2, 2, 2, 2, 2}, c: 0.01}
+	b := Bounds{
+		Lo: []float64{100, 100, 100, 100, 100, 100},
+		Hi: []float64{6000, 6000, 6000, 6000, 6000, 6000},
+	}
+	cfg := DefaultControllerConfig(0.150)
+	cfg.Hysteresis = 0
+	tel := obs.New(obs.Options{AuditW: buf})
+	tel.Flight.Record(obs.Record{
+		Type: "header", App: a.Name, SLO: cfg.SLO,
+		Services: a.ServiceNames(), Solver: SolverConfigMap(cfg.Solver),
+	})
+	ctl := NewController(cl, h, NewAnalyzer(a), b, cfg)
+	ctl.Obs = obs.NewControllerObs(tel)
+	gen := workload.NewOpenLoop(cl, workload.StepRate(40, 200, 30))
+	gen.Start()
+	return eng, ctl, tel, cfg, h, gen
+}
+
+// TestBrownoutLadderKindsAndReplay walks a controller down the ladder and
+// back up and checks two contracts at once: every rung stamps its distinct
+// decision kind, and the audit log — including the truncated warm solves —
+// replays bit-identically from its recorded inputs. Warm solves depend on
+// state outside their own record (the previous solve's raw output), so this
+// is the test that pins the replay-side warm-start reconstruction.
+func TestBrownoutLadderKindsAndReplay(t *testing.T) {
+	var buf bytes.Buffer
+	eng, ctl, tel, _, h, gen := brownoutRig(&buf)
+	ctl.Start()
+	eng.At(100, func() { ctl.SetBrownout(BrownoutWarm) })
+	eng.At(150, func() { ctl.SetBrownout(BrownoutHeuristic) })
+	eng.At(180, func() { ctl.SetBrownout(BrownoutHold) })
+	eng.At(210, func() { ctl.SetBrownout(BrownoutFull) })
+	eng.RunUntil(300)
+	gen.Stop()
+	ctl.Stop()
+	eng.Run()
+	if err := tel.Flight.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := obs.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, r := range log {
+		if r.Type == "decision" {
+			kinds[r.Kind]++
+		}
+	}
+	for _, k := range []string{"solve", "warm-solve", "brownout-heuristic", "brownout-hold"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q decisions recorded (kinds: %v)", k, kinds)
+		}
+	}
+
+	rep := ReplayAudit(h, log)
+	if rep.Solves == 0 {
+		t.Fatal("no solve decisions replayed")
+	}
+	if !rep.OK() {
+		for _, m := range rep.Mismatches {
+			t.Error(m)
+		}
+		t.Fatalf("brownout log not bit-identical on replay: %s", rep)
+	}
+
+	// A warm solve replayed without its warm start must not silently match:
+	// strip the Warm flag from one warm-solve record and the replay has to
+	// flag it (otherwise the flag carries no information and the
+	// reconstruction is untested).
+	for i := range log {
+		if log[i].Kind == "warm-solve" {
+			log[i].Warm = false
+			break
+		}
+	}
+	if ReplayAudit(h, log).OK() {
+		t.Error("replay accepted a warm-solve record with the Warm flag stripped")
+	}
+}
+
+// TestApplyAuditTailBrownout checks the warm-restore fold across ladder
+// transitions: a snapshot taken before the brownout window, rolled forward
+// through the tail — which contains "brownout" transition records, warm
+// solves and heuristic decisions — must land on the state a live snapshot
+// reports after the window.
+func TestApplyAuditTailBrownout(t *testing.T) {
+	var buf bytes.Buffer
+	eng, ctl, tel, cfg, _, gen := brownoutRig(&buf)
+	ctl.Start()
+
+	var early ControllerState
+	eng.At(80, func() { early = ctl.Snapshot() })
+	set := func(at float64, step int) {
+		eng.At(at, func() {
+			tel.Flight.Record(obs.Record{
+				Type: "brownout", At: eng.Now(),
+				Summary: map[string]float64{"to_step": float64(step)},
+			})
+			ctl.SetBrownout(step)
+		})
+	}
+	set(100, BrownoutWarm)
+	set(140, BrownoutHeuristic)
+	set(170, BrownoutWarm)
+	eng.RunUntil(200)
+	live := ctl.Snapshot()
+	gen.Stop()
+	ctl.Stop()
+	eng.Run()
+
+	folded := early
+	var tail []obs.Record
+	for _, r := range tel.Flight.Records() {
+		if r.At > early.At {
+			tail = append(tail, r)
+		}
+	}
+	ApplyAuditTail(&folded, tail, cfg)
+	if folded.Brownout != BrownoutWarm {
+		t.Fatalf("fold landed on rung %d, want %d", folded.Brownout, BrownoutWarm)
+	}
+	folded.At, live.At = 0, 0
+	folded.HealthStreak, live.HealthStreak = 0, 0
+	folded.Profiles, live.Profiles = nil, nil
+	if !reflect.DeepEqual(folded, live) {
+		t.Errorf("folded state diverges from live state across brownout:\nfolded: %+v\nlive:   %+v", folded, live)
+	}
+}

@@ -38,6 +38,13 @@ type ControllerState struct {
 	ModelGen int
 	Trust    int
 
+	// Brownout-ladder state: the current rung, and the previous solve's raw
+	// quota vector (the warm rung's starting point — without it a restored
+	// controller's first warm solve would descend from a different point
+	// than the uninterrupted run's).
+	Brownout int
+	LastRaw  []float64
+
 	// Profiles preserves the Workload Analyzer's learned per-API visit
 	// multiplicities. Refresh re-derives them from live traces each
 	// decision, but under trace loss the analyzer keeps serving the last
@@ -63,9 +70,13 @@ func (c *Controller) Snapshot() ControllerState {
 		Unconverged:  c.unconverged,
 		ModelGen:     c.modelGen,
 		Trust:        int(c.trust),
+		Brownout:     c.brownout,
 	}
 	if c.lastQuotas != nil {
 		s.LastQuotas = copyQuotas(c.lastQuotas)
+	}
+	if c.lastRaw != nil {
+		s.LastRaw = append([]float64(nil), c.lastRaw...)
 	}
 	if c.Analyzer != nil {
 		s.Profiles = c.Analyzer.SnapshotProfiles()
@@ -95,6 +106,11 @@ func (c *Controller) Restore(s ControllerState) {
 	c.unconverged = s.Unconverged
 	c.modelGen = s.ModelGen
 	c.trust = ModelTrust(s.Trust)
+	c.brownout = s.Brownout
+	c.lastRaw = nil
+	if s.LastRaw != nil {
+		c.lastRaw = append([]float64(nil), s.LastRaw...)
+	}
 	if c.Analyzer != nil && s.Profiles != nil {
 		c.Analyzer.RestoreProfiles(s.Profiles)
 	}
@@ -135,6 +151,19 @@ func parseHealthState(s string) (HealthState, bool) {
 func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig) {
 	for i := range tail {
 		rec := &tail[i]
+		if rec.Type == "brownout" {
+			// A ladder transition: the live path (SetBrownout) also zeroes
+			// the hysteresis reference. Brownout records are stamped at the
+			// tick boundary, which coincides exactly with checkpoint times —
+			// a transition at At == st.At happened at the start of the tick
+			// AFTER the checkpoint, so the filter is strict here.
+			if rec.At < st.At {
+				continue
+			}
+			st.Brownout = int(rec.Summary["to_step"])
+			st.LastRate = 0
+			continue
+		}
 		if rec.At <= st.At {
 			continue
 		}
@@ -150,7 +179,7 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 			continue
 		}
 		switch rec.Kind {
-		case "solve", "fallback", "fallback-model":
+		case "solve", "warm-solve", "fallback", "fallback-model":
 			st.LastRate = rec.Total
 			st.LastRateAt = rec.At
 			st.LastSLO = cfg.SLO
@@ -160,7 +189,12 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 			if rec.Applied != nil {
 				st.LastQuotas = copyQuotas(rec.Applied)
 			}
-			if cfg.BreakerBand > 0 {
+			if rec.Raw != nil {
+				st.LastRaw = append([]float64(nil), rec.Raw...)
+			}
+			// Warm short solves are breaker-exempt on the live path; the fold
+			// must not re-derive Unconverged from them either.
+			if cfg.BreakerBand > 0 && !rec.Warm {
 				if !rec.Converged && rec.Predicted > cfg.SLO*1.05 {
 					st.Unconverged++
 				} else {
@@ -192,6 +226,19 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 			}
 			if rec.Enveloped {
 				st.Stats.EnvelopeClamped++
+			}
+		case "brownout-heuristic":
+			// The heuristic rung applies quotas and advances the workload
+			// memory but runs no solve and leaves the breaker untouched.
+			st.LastRate = rec.Total
+			st.LastRateAt = rec.At
+			st.LastSLO = cfg.SLO
+			st.StaleSince = -1
+			if rec.Applied != nil {
+				st.LastQuotas = copyQuotas(rec.Applied)
+			}
+			if rec.Limited {
+				st.Stats.RateLimited++
 			}
 		case "boost":
 			// The live boost path zeroes the hysteresis reference so the

@@ -272,6 +272,14 @@ type Controller struct {
 	trust    ModelTrust
 	modelGen int
 
+	// Brownout ladder state (overload.Step semantics, kept as a plain int
+	// so core stays a leaf): 0 full solve, 1 warm-start short solve, 2
+	// heuristic quota, 3 hold last decision. Driven externally by the
+	// fleet's ladder; lastRaw is the previous solve's raw quota vector,
+	// the warm start of rung 1.
+	brownout int
+	lastRaw  []float64
+
 	// OnDecision, if set, observes every applied configuration.
 	OnDecision func(t float64, totalRate float64, sol Solution)
 
@@ -333,6 +341,35 @@ func (c *Controller) SetTrust(t ModelTrust) {
 		c.lastRate = 0
 	}
 }
+
+// Brownout levels (mirroring overload.Step — core stays import-free).
+const (
+	BrownoutFull      = 0 // full GNN solve
+	BrownoutWarm      = 1 // warm-start short solve from the last raw solution
+	BrownoutHeuristic = 2 // demand-floor heuristic, no solve, no trace refresh
+	BrownoutHold      = 3 // hold the last applied decision untouched
+)
+
+// SetBrownout sets the controller's brownout rung. A change zeroes the
+// hysteresis reference (like SetTrust) so the next tick reflects the new
+// rung immediately instead of coasting on the old one. Levels outside
+// [BrownoutFull, BrownoutHold] are clamped.
+func (c *Controller) SetBrownout(level int) {
+	if level < BrownoutFull {
+		level = BrownoutFull
+	}
+	if level > BrownoutHold {
+		level = BrownoutHold
+	}
+	if level == c.brownout {
+		return
+	}
+	c.brownout = level
+	c.lastRate = 0
+}
+
+// Brownout returns the controller's current brownout rung.
+func (c *Controller) Brownout() int { return c.brownout }
 
 // Stats returns the degraded-mode activity counters.
 func (c *Controller) Stats() HealthStats { return c.stats }
@@ -397,6 +434,17 @@ func (c *Controller) Step() {
 // every exit path labels rec.Kind and records the inputs and outputs that
 // path used, which is what makes the audit log replayable.
 func (c *Controller) step(rec *obs.Record) {
+	// Deepest brownout rung: hold the last applied decision untouched. This
+	// sits above even the boost guardrail — the rung exists to bound the
+	// decision's cost to (almost) zero while the shard digs out of overload,
+	// and a one-interval-deep ladder walk means the rung never persists long
+	// enough for the guardrail to matter.
+	if c.brownout >= BrownoutHold {
+		if rec != nil {
+			rec.Kind = "brownout-hold"
+		}
+		return
+	}
 	// Reactive guardrail: under a measured SLO violation the arrival rate
 	// under-reports demand (closed-loop throttling), so grow the current
 	// configuration instead of re-solving on a starved signal.
@@ -559,6 +607,26 @@ func (c *Controller) step(rec *obs.Record) {
 		rates = scaled
 	}
 
+	// Heuristic brownout rung: allocate from measured CPU demand, skipping
+	// both the trace refresh and the solver. The analyzer keeps serving its
+	// last learned profile, exactly as it does under trace loss. No Raw is
+	// recorded, so offline replay skips re-solving these decisions.
+	if c.brownout >= BrownoutHeuristic {
+		load := c.Analyzer.Distribute(rates)
+		quotas := c.heuristicQuotas(load, scale)
+		quotas, limited := c.limitStep(quotas)
+		c.Cluster.ApplyQuotas(quotas)
+		c.lastQuotas = quotas
+		if rec != nil {
+			rec.Kind = "brownout-heuristic"
+			rec.Load = append([]float64(nil), load...)
+			rec.Scale = scale
+			rec.Applied = copyQuotas(quotas)
+			rec.Limited = limited
+		}
+		return
+	}
+
 	tAnalyze := c.wallStart()
 	c.Analyzer.Refresh(c.Cluster.Traces())
 	load := c.Analyzer.Distribute(rates)
@@ -582,8 +650,20 @@ func (c *Controller) step(rec *obs.Record) {
 			}
 		}
 	}
+	// Warm brownout rung: a short solve warm-started from the previous raw
+	// solution. WarmSolverConfig is a pure function of the header's solver
+	// config and the warm start is the previous record's Raw, so offline
+	// replay reproduces these solves bit-identically.
+	warm := c.brownout == BrownoutWarm
+	scfg := c.Cfg.Solver
+	var warmStart []float64
+	if warm {
+		scfg = WarmSolverConfig(scfg)
+		warmStart = c.lastRaw
+	}
 	tSolve := c.wallStart()
-	sol := Solve(c.Model, load, c.Cfg.SLO, lo, hi, c.Cfg.Solver)
+	sol := SolveFrom(c.Model, load, c.Cfg.SLO, lo, hi, scfg, warmStart)
+	c.lastRaw = append(c.lastRaw[:0], sol.Quotas...)
 	c.solves++
 	if c.Obs != nil {
 		wallNS := time.Since(tSolve).Nanoseconds()
@@ -604,10 +684,14 @@ func (c *Controller) step(rec *obs.Record) {
 		rec.Predicted = sol.Predicted
 		rec.Iters = sol.Iterations
 		rec.Converged = sol.Converged
+		rec.Warm = warm
 	}
 
-	// Model circuit breaker: decide whether this solve can be trusted.
-	if c.Cfg.BreakerBand > 0 {
+	// Model circuit breaker: decide whether this solve can be trusted. A
+	// warm-rung short solve is exempt — its truncated iteration budget makes
+	// non-convergence routine, and tripping the breaker on it would turn
+	// transient overload into a model-distrust episode.
+	if c.Cfg.BreakerBand > 0 && !warm {
 		c.evalBreaker(sol)
 	}
 
@@ -641,6 +725,9 @@ func (c *Controller) step(rec *obs.Record) {
 		c.setHealth(Healthy)
 		if rec != nil {
 			rec.Kind = "solve"
+			if warm {
+				rec.Kind = "warm-solve"
+			}
 		}
 	}
 	quotas, limited := c.limitStep(quotas)

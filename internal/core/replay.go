@@ -39,9 +39,9 @@ func (r ReplayReport) String() string {
 // arithmetic, no randomness, no wall-clock reads — and encoding/json
 // round-trips float64 exactly, so any mismatch means either a different
 // model than the recording used or a behavior change in the solver. Only
-// Kind=="solve" and Kind=="fallback" decisions carry solver inputs; the
-// reactive paths (boost, hold, hysteresis, idle) made no model call and are
-// counted but not re-run.
+// "solve", "warm-solve", and "fallback" decisions carry solver inputs; the
+// reactive paths (boost, hold, hysteresis, idle, the brownout heuristic and
+// hold rungs) made no model call and are counted but not re-run.
 func ReplayAudit(m LatencyModel, log []obs.Record) ReplayReport {
 	return ReplayAuditModels(map[int]LatencyModel{0: m}, log)
 }
@@ -63,6 +63,10 @@ func ReplayAuditModels(models map[int]LatencyModel, log []obs.Record) ReplayRepo
 			break
 		}
 	}
+	// lastRaw mirrors the controller's warm-start state: the raw quota
+	// vector of the most recent recorded solve, which is where a
+	// brownout-warm short solve began its descent.
+	var lastRaw []float64
 	for i := range log {
 		rec := &log[i]
 		if rec.Type != "decision" {
@@ -72,6 +76,11 @@ func ReplayAuditModels(models map[int]LatencyModel, log []obs.Record) ReplayRepo
 		if len(rec.Load) == 0 || len(rec.Raw) == 0 {
 			continue // reactive path: no solve to reproduce
 		}
+		// This record's raw output becomes the next warm solve's start —
+		// tracked even for skipped records, exactly as the live controller
+		// updated its own lastRaw on every solve.
+		warmStart := lastRaw
+		lastRaw = rec.Raw
 		m, ok := models[rec.ModelGen]
 		if !ok || m == nil {
 			rep.SkippedGen++
@@ -90,7 +99,15 @@ func ReplayAuditModels(models map[int]LatencyModel, log []obs.Record) ReplayRepo
 			Tolerance:     hdr.Solver["tolerance"],
 			PatienceIters: int(hdr.Solver["patience_iters"]),
 		}
-		sol := Solve(m, rec.Load, hdr.SLO, rec.Lo, rec.Hi, cfg)
+		// A brownout-warm decision used the derived short-solve config and
+		// started from the previous solve's raw output; both re-derive
+		// exactly from the header and the scan state.
+		start := []float64(nil)
+		if rec.Warm {
+			cfg = WarmSolverConfig(cfg)
+			start = warmStart
+		}
+		sol := SolveFrom(m, rec.Load, hdr.SLO, rec.Lo, rec.Hi, cfg, start)
 		ok = sol.Iterations == rec.Iters && sol.Converged == rec.Converged &&
 			sol.Predicted == rec.Predicted && len(sol.Quotas) == len(rec.Raw)
 		if ok {

@@ -58,15 +58,54 @@ type Solution struct {
 // resource and penalty terms are comparable. The returned quotas satisfy
 // the model's latency estimate ≤ SLO whenever the box admits it.
 func Solve(m LatencyModel, load []float64, sloSeconds float64, lo, hi []float64, cfg SolverConfig) Solution {
+	return SolveFrom(m, load, sloSeconds, lo, hi, cfg, nil)
+}
+
+// WarmSolverConfig derives the brownout ladder's warm-start solver settings
+// from the full configuration: an eighth of the iteration budget (at least
+// 40 iterations so the LR decay schedule still has room to settle). It is a
+// pure function of cfg so offline replay can re-derive the exact settings a
+// warm-solve decision used from the audit header alone.
+func WarmSolverConfig(cfg SolverConfig) SolverConfig {
+	w := cfg
+	w.MaxIters = cfg.MaxIters / 8
+	if w.MaxIters < 40 {
+		w.MaxIters = 40
+	}
+	if w.MaxIters > cfg.MaxIters {
+		w.MaxIters = cfg.MaxIters
+	}
+	return w
+}
+
+// SolveFrom is Solve with an explicit warm start: descent begins from the
+// given raw quota vector (millicores, clamped into the box) instead of the
+// upper bounds. A nil or mis-sized start falls back to the cold start.
+// Workload deltas between adjacent ticks are small, so a warm descent from
+// the previous tick's raw solution converges in a fraction of the budget —
+// the brownout ladder's StepWarm rung.
+func SolveFrom(m LatencyModel, load []float64, sloSeconds float64, lo, hi []float64, cfg SolverConfig, start []float64) Solution {
 	n := len(load)
 	if len(lo) != n || len(hi) != n {
 		panic("core: Solve bounds must match load length")
 	}
 	// Variables in kilocores, starting at the top of the box where
-	// predicted latency is lowest.
+	// predicted latency is lowest — or at the caller's warm start.
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = hi[i] / 1000
+	}
+	if len(start) == n {
+		for i := range x {
+			s := start[i]
+			if s < lo[i] {
+				s = lo[i]
+			}
+			if s > hi[i] {
+				s = hi[i]
+			}
+			x[i] = s / 1000
+		}
 	}
 	quotas := make([]float64, n)
 	toQuotas := func() {

@@ -1,0 +1,261 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graf/internal/app"
+	"graf/internal/core"
+	"graf/internal/gnn"
+	"graf/internal/obs"
+	"graf/internal/overload"
+	"graf/internal/workload"
+)
+
+// ladderTransitions extracts the overload.Transition sequence a tenant's
+// audit records describe, for the monotonicity invariant.
+func ladderTransitions(t *testing.T, log []byte) []overload.Transition {
+	t.Helper()
+	recs, err := obs.ReadLog(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []overload.Transition
+	for _, r := range recs {
+		if r.Type != "brownout" {
+			continue
+		}
+		out = append(out, overload.Transition{
+			Round: int(r.Summary["tick"]),
+			From:  overload.Step(r.Summary["from_step"]),
+			To:    overload.Step(r.Summary["to_step"]),
+		})
+	}
+	return out
+}
+
+// TestFleetScriptedBrownoutDeterministic drives a fleet through a scripted
+// brownout window — down to hold and back — and checks the whole ladder
+// contract: per-tenant audit streams stay byte-identical across schedules,
+// the transition records form a monotone ladder walk, and every rung's
+// decision kind shows up in the stream.
+func TestFleetScriptedBrownoutDeterministic(t *testing.T) {
+	sched := []BrownoutPhase{{FromTick: 4, ToTick: 9, Step: overload.StepHold}}
+	run := func(workers, shards int) map[string][]byte {
+		cfg := testConfig(5, workers, shards)
+		cfg.Brownout = sched
+		for i := range cfg.Tenants {
+			cfg.Tenants[i].Rate = workload.StepRate(100, 160, 20)
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Run(80) // 16 ticks of 5s
+		out := map[string][]byte{}
+		for _, tn := range f.Tenants() {
+			out[tn.ID] = append([]byte(nil), tn.AuditLog()...)
+			if tn.Brownout() != overload.StepFull {
+				t.Errorf("tenant %s ended on rung %v, want full", tn.ID, tn.Brownout())
+			}
+			if tn.BrownoutTransitions() == 0 {
+				t.Errorf("tenant %s made no ladder transitions", tn.ID)
+			}
+		}
+		return out
+	}
+
+	want := run(1, 1)
+	for _, sc := range [][2]int{{4, 4}, {3, 5}} {
+		got := run(sc[0], sc[1])
+		for id, log := range want {
+			if !bytes.Equal(got[id], log) {
+				t.Errorf("workers=%d shards=%d: tenant %s audit log differs across brownout (%d vs %d bytes)",
+					sc[0], sc[1], id, len(got[id]), len(log))
+			}
+		}
+	}
+
+	for id, log := range want {
+		trans := ladderTransitions(t, log)
+		if err := overload.MonotoneTransitions(trans); err != nil {
+			t.Errorf("tenant %s: %v", id, err)
+		}
+		// Walking to hold and back means 3 rungs down + 3 rungs up.
+		if len(trans) != 6 {
+			t.Errorf("tenant %s: %d transitions, want 6 (%v)", id, len(trans), trans)
+		}
+		recs, err := obs.ReadLog(bytes.NewReader(log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := map[string]int{}
+		for _, r := range recs {
+			if r.Type == "decision" {
+				kinds[r.Kind]++
+			}
+		}
+		for _, k := range []string{"brownout-heuristic", "brownout-hold"} {
+			if kinds[k] == 0 {
+				t.Errorf("tenant %s: no %q decisions during scripted brownout (kinds: %v)", id, k, kinds)
+			}
+		}
+	}
+}
+
+// TestFleetAdaptiveBrownoutReplaysFromAudit is the determinism escape hatch
+// for adaptive brownouts: transitions chosen at run time (wall pressure, a
+// governor — anything) land in the audit stream, so a second process can
+// extract the tick-keyed schedule from the recorded bytes, install it as a
+// replay schedule, re-execute the same spec and reproduce the stream
+// byte-for-byte. This is exactly what the rpc admit path does when it
+// restores a migrated tenant that browned out on its old shard.
+func TestFleetAdaptiveBrownoutReplaysFromAudit(t *testing.T) {
+	cfg := testConfig(3, 2, 2)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	for r := 0; r < 12; r++ {
+		// An "adaptive" driver: pressure appears at round 3 and clears at 7.
+		switch r {
+		case 3:
+			f.SetBrownoutTarget(overload.StepHeuristic)
+		case 7:
+			f.SetBrownoutTarget(overload.StepFull)
+		}
+		f.Round()
+	}
+	f.Stop()
+
+	ref := map[string][]byte{}
+	scheds := map[string]map[int]overload.Step{}
+	for _, tn := range f.Tenants() {
+		ref[tn.ID] = append([]byte(nil), tn.AuditLog()...)
+		s, err := ExtractBrownoutSchedule(ref[tn.ID])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == nil {
+			t.Fatalf("tenant %s: no brownout schedule extracted", tn.ID)
+		}
+		scheds[tn.ID] = s
+	}
+
+	// Re-execute with no adaptive driver, schedules installed from bytes.
+	g, err := New(testConfig(3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range scheds {
+		if err := g.SetReplayBrownout(id, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Start()
+	g.RoundTo(12)
+	g.Stop()
+	for _, tn := range g.Tenants() {
+		if !bytes.Equal(tn.AuditLog(), ref[tn.ID]) {
+			t.Errorf("tenant %s: replayed audit differs from adaptive original (%d vs %d bytes)",
+				tn.ID, len(tn.AuditLog()), len(ref[tn.ID]))
+		}
+		if err := g.ClearReplayBrownout(tn.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFleetHeterogeneousDeterministic mixes four application topologies with
+// per-tenant SLOs and bounds in one fleet and checks audit byte-identity
+// across worker/shard schedules — per-tenant override state must be as
+// schedule-independent as the homogeneous path.
+func TestFleetHeterogeneousDeterministic(t *testing.T) {
+	apps := []*app.App{
+		app.SyntheticChain(3),
+		app.SyntheticChain(5),
+		app.Bookinfo(),
+		app.RobotShop(),
+	}
+	slos := []float64{0.2, 0.3, 0.25, 0.35}
+	mkCfg := func(workers, shards int) Config {
+		cfg := testConfig(0, workers, shards)
+		for i, a := range apps {
+			n := len(a.Services)
+			lo, hi := make([]float64, n), make([]float64, n)
+			for j := range lo {
+				lo[j], hi[j] = 100, 1500
+			}
+			m := gnn.New(gnn.DefaultConfig(n, a.Parents()), rand.New(rand.NewSource(int64(100+i))))
+			cfg.Tenants = append(cfg.Tenants, TenantConfig{
+				ID:     fmt.Sprintf("hetero-%02d", i),
+				Rate:   workload.StepRate(80, 140, 25),
+				App:    a,
+				Model:  m,
+				SLO:    slos[i],
+				Bounds: &core.Bounds{Lo: lo, Hi: hi},
+			})
+		}
+		// Two homogeneous tenants ride the shared service alongside.
+		cfg.Tenants = append(cfg.Tenants,
+			TenantConfig{ID: "shared-00", Rate: workload.ConstRate(110)},
+			TenantConfig{ID: "shared-01", Rate: workload.ConstRate(120)},
+		)
+		return cfg
+	}
+
+	run := func(workers, shards int) map[string][]byte {
+		f, err := New(mkCfg(workers, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Run(40)
+		out := map[string][]byte{}
+		for _, tn := range f.Tenants() {
+			if tn.Degraded() {
+				t.Fatalf("tenant %s degraded: %v", tn.ID, tn.PanicValue())
+			}
+			out[tn.ID] = append([]byte(nil), tn.AuditLog()...)
+		}
+		return out
+	}
+
+	want := run(1, 1)
+	if len(want) != 6 {
+		t.Fatalf("expected 6 tenants, got %d", len(want))
+	}
+	got := run(4, 3)
+	for id, log := range want {
+		if !bytes.Equal(got[id], log) {
+			t.Errorf("tenant %s: heterogeneous audit log differs across schedules (%d vs %d bytes)",
+				id, len(got[id]), len(log))
+		}
+	}
+
+	// Per-tenant SLOs must be what the controllers and accounting actually
+	// used: each override tenant's header record carries its own SLO.
+	f, err := New(mkCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range apps {
+		tn := f.Tenant(fmt.Sprintf("hetero-%02d", i))
+		if tn.SLO() != slos[i] {
+			t.Errorf("tenant %s: SLO %g, want %g", tn.ID, tn.SLO(), slos[i])
+		}
+		recs := tn.Records()
+		if len(recs) == 0 || recs[0].Type != "header" || recs[0].SLO != slos[i] {
+			t.Errorf("tenant %s: header record does not carry the per-tenant SLO", tn.ID)
+		}
+	}
+	// A mis-sized bounds override is rejected at build time, not at solve
+	// time deep inside a worker.
+	bad := mkCfg(1, 1)
+	bad.Tenants[0].Bounds = &core.Bounds{Lo: []float64{1}, Hi: []float64{2}}
+	if _, err := New(bad); err == nil {
+		t.Error("mis-sized per-tenant bounds accepted")
+	}
+}

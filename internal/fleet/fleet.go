@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"graf/internal/core"
 	"graf/internal/gnn"
 	"graf/internal/obs"
+	"graf/internal/overload"
 	"graf/internal/sim"
 	"graf/internal/workload"
 )
@@ -103,6 +105,35 @@ type Config struct {
 	// AuditMemory bounds each tenant's in-memory audit record buffer
 	// (default 16; shard servers that stream decisions set it higher).
 	AuditMemory int
+
+	// Brownout, when non-empty, is a scripted brownout schedule keyed by
+	// tick index: every tenant walks the degradation ladder toward the
+	// phase covering each tick. Scripted schedules are pure functions of
+	// the tick count, so reference and distributed runs of the same spec
+	// produce byte-identical audit streams — the CI-comparable drive mode.
+	// Adaptive (wall-pressure) brownouts use SetBrownoutTarget instead.
+	Brownout []BrownoutPhase
+}
+
+// BrownoutPhase is one interval of a scripted brownout schedule.
+type BrownoutPhase struct {
+	// FromTick (inclusive) and ToTick (exclusive) bound the phase in
+	// 0-based tick indices; ToTick <= 0 leaves it open-ended. When phases
+	// overlap, the last matching one wins.
+	FromTick, ToTick int
+	// Step is the ladder rung tenants should sit on during the phase.
+	Step overload.Step
+}
+
+// scriptedStep resolves the rung a scripted schedule wants at a tick.
+func scriptedStep(phases []BrownoutPhase, tick int) overload.Step {
+	s := overload.StepFull
+	for _, p := range phases {
+		if tick >= p.FromTick && (p.ToTick <= 0 || tick < p.ToTick) {
+			s = p.Step
+		}
+	}
+	return s
 }
 
 // TenantConfig describes one tenant application.
@@ -122,6 +153,20 @@ type TenantConfig struct {
 	// PanicAt, when positive, schedules a panic inside the tenant's tick
 	// at that simulated time — the containment path's test hook.
 	PanicAt float64
+
+	// App optionally overrides the fleet-wide application graph — a
+	// heterogeneous fleet mixes topologies in one process. Override
+	// tenants get a private (unbatched) predictor: the shared inference
+	// service serves only the fleet-wide model/topology pair.
+	App *app.App
+	// Model optionally overrides the shared latency model (private
+	// predictor, same caveat as App).
+	Model *gnn.Model
+	// SLO, when positive, overrides the fleet SLO (seconds) for this
+	// tenant's controller and violation accounting.
+	SLO float64
+	// Bounds optionally overrides the solver's per-service quota bounds.
+	Bounds *core.Bounds
 }
 
 // Tenant is one running application controller and everything tenant-scoped
@@ -146,6 +191,16 @@ type Tenant struct {
 	lastP99  float64
 	degraded bool
 	panicVal any
+
+	slo float64 // effective SLO (fleet default or per-tenant override)
+
+	// Brownout-ladder state: the rung this tenant sits on, how many
+	// transitions it has made, and — during deterministic re-execution of
+	// a migrated tenant — the tick-keyed schedule extracted from its prior
+	// audit bytes, which overrides live drive modes until released.
+	bstep   overload.Step
+	bTrans  int
+	replayB map[int]overload.Step
 }
 
 // Ticks returns how many control ticks the tenant completed.
@@ -162,6 +217,15 @@ func (t *Tenant) Degraded() bool { return t.degraded }
 
 // PanicValue returns the recovered panic value for a degraded tenant.
 func (t *Tenant) PanicValue() any { return t.panicVal }
+
+// SLO returns the tenant's effective latency objective in seconds.
+func (t *Tenant) SLO() float64 { return t.slo }
+
+// Brownout returns the ladder rung the tenant currently sits on.
+func (t *Tenant) Brownout() overload.Step { return t.bstep }
+
+// BrownoutTransitions returns how many ladder transitions the tenant made.
+func (t *Tenant) BrownoutTransitions() int { return t.bTrans }
 
 // AuditLog returns the tenant's JSONL audit stream so far. Byte-identical
 // across same-seed runs regardless of worker count, shard count or
@@ -209,6 +273,12 @@ type Fleet struct {
 	rounds  int
 	panics  int
 	mu      sync.Mutex // guards panics count (written from workers)
+
+	// btarget is the adaptive brownout target rung (SetBrownoutTarget):
+	// tenants walk one rung per tick toward it. Written by the driving
+	// goroutine or an overload governor, read by workers.
+	btargetMu sync.Mutex
+	btarget   overload.Step
 
 	// traceParent is the span tick spans nest under: the shard server's
 	// current operation span in RPC mode, or a per-round root otherwise.
@@ -334,9 +404,35 @@ func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
 		h.Write([]byte(tc.ID))
 		seed = cfg.Seed + int64(h.Sum32())
 	}
-	t := &Tenant{ID: tc.ID, Shard: shardOf(tc.ID, cfg.Shards)}
+	// Per-tenant heterogeneity: topology, model, SLO and bounds may all be
+	// overridden. An overridden topology or model cannot ride the shared
+	// batched service (it was built for the fleet-wide pair), so those
+	// tenants get a private predictor below.
+	tapp := cfg.App
+	if tc.App != nil {
+		tapp = tc.App
+	}
+	model := cfg.Model
+	if tc.Model != nil {
+		model = tc.Model
+	}
+	private := tc.App != nil || tc.Model != nil
+	slo := cfg.SLO
+	if tc.SLO > 0 {
+		slo = tc.SLO
+	}
+	bounds := cfg.Bounds
+	if tc.Bounds != nil {
+		bounds = *tc.Bounds
+	}
+	if len(bounds.Lo) != len(tapp.Services) || len(bounds.Hi) != len(tapp.Services) {
+		return nil, fmt.Errorf("fleet: tenant %s: bounds sized %d/%d for app %s with %d services",
+			tc.ID, len(bounds.Lo), len(bounds.Hi), tapp.Name, len(tapp.Services))
+	}
+
+	t := &Tenant{ID: tc.ID, Shard: shardOf(tc.ID, cfg.Shards), slo: slo}
 	t.Eng = sim.NewEngine(seed)
-	t.Cluster = cluster.New(t.Eng, cfg.App, cluster.DefaultConfig())
+	t.Cluster = cluster.New(t.Eng, tapp, cluster.DefaultConfig())
 
 	// Per-tenant telemetry: the audit stream goes to a private buffer so
 	// determinism tests can compare runs byte-for-byte; fleet-level
@@ -369,28 +465,28 @@ func (f *Fleet) buildTenant(tc TenantConfig) (*Tenant, error) {
 		t.Eng.RunUntil(60)
 	}
 
-	ccfg := core.DefaultControllerConfig(cfg.SLO)
+	ccfg := core.DefaultControllerConfig(slo)
 	if cfg.Controller != nil {
 		ccfg = *cfg.Controller
-		ccfg.SLO = cfg.SLO
+		ccfg.SLO = slo
 	}
 	ccfg.TrainedMinRate = cfg.MinRate
 	ccfg.TrainedMaxRate = cfg.MaxRate
 
-	var predictor core.LatencyModel = cfg.Model
-	if f.svc != nil {
+	var predictor core.LatencyModel = model
+	if f.svc != nil && !private {
 		t.pred = f.svc.NewPredictor(tc.ID)
 		predictor = t.pred
 	}
-	an := core.NewAnalyzer(cfg.App)
-	t.Ctl = core.NewController(t.Cluster, predictor, an, cfg.Bounds, ccfg)
+	an := core.NewAnalyzer(tapp)
+	t.Ctl = core.NewController(t.Cluster, predictor, an, bounds, ccfg)
 	t.Ctl.Obs = obs.NewControllerObs(t.tel)
 	t.tel.Flight.Record(obs.Record{
 		Type:     "header",
 		At:       t.Eng.Now(),
-		App:      cfg.App.Name,
+		App:      tapp.Name,
 		SLO:      ccfg.SLO,
-		Services: cfg.App.ServiceNames(),
+		Services: tapp.ServiceNames(),
 		Solver:   core.SolverConfigMap(ccfg.Solver),
 	})
 	t.Ctl.Start()
@@ -678,13 +774,14 @@ func (f *Fleet) tick(t *Tenant) {
 			f.fobs.TenantPanic(t.ID)
 		}
 	}()
+	f.stepBrownout(t)
 	from := t.Eng.Now()
 	to := from + f.cfg.TickS
 	t.Eng.RunUntil(to)
 	p99 := t.Cluster.E2EWindow().Quantile(0.99, from, to)
 	t.lastP99 = p99
 	t.ticks++
-	violated := p99 > f.cfg.SLO
+	violated := p99 > t.slo
 	if violated {
 		t.violS += f.cfg.TickS
 	}
@@ -699,6 +796,119 @@ func (f *Fleet) tick(t *Tenant) {
 			Summary: map[string]float64{"burn": a.Burn},
 		})
 	}
+}
+
+// stepBrownout walks the tenant one rung along the degradation ladder at a
+// tick boundary, before any of the tick's controller decisions. The desired
+// rung comes from, in precedence order: the tenant's replay schedule (set
+// while re-executing a migrated tenant), the fleet's scripted schedule, or
+// the adaptive target. Walking at most one rung per tick keeps every
+// transition sequence monotone (|Δ|=1), which the chaos invariant checker
+// asserts, and each transition is emitted into the byte-compared audit
+// stream before it takes effect — deterministic re-execution replays the
+// schedule from those records and reproduces the degraded decisions exactly.
+func (f *Fleet) stepBrownout(t *Tenant) {
+	tick := t.ticks // 0-based index of the tick about to run
+	desired := t.bstep
+	switch {
+	case t.replayB != nil:
+		if s, ok := t.replayB[tick]; ok {
+			desired = s
+		}
+	case len(f.cfg.Brownout) > 0:
+		desired = scriptedStep(f.cfg.Brownout, tick)
+	default:
+		desired = f.BrownoutTarget()
+	}
+	next := t.bstep
+	if desired > t.bstep {
+		next++
+	} else if desired < t.bstep {
+		next--
+	}
+	if next == t.bstep {
+		return
+	}
+	from := t.bstep
+	t.bstep = next
+	t.bTrans++
+	t.tel.Flight.Record(obs.Record{
+		Type: "brownout", At: t.Eng.Now(), Kind: next.String(), Detail: t.ID,
+		From: from.String(), To: next.String(),
+		Summary: map[string]float64{
+			"from_step": float64(from),
+			"to_step":   float64(next),
+			"tick":      float64(tick),
+		},
+	})
+	t.Ctl.SetBrownout(int(next))
+	f.fobs.Brownout(t.ID, from.String(), next.String(), int(next))
+}
+
+// SetBrownoutTarget sets the adaptive brownout target rung: every tenant
+// walks one rung per tick toward it (per-tenant transitions land in the
+// audit stream, so adaptive runs stay replayable from their own records).
+// Ignored while a scripted schedule is configured.
+func (f *Fleet) SetBrownoutTarget(s overload.Step) {
+	f.btargetMu.Lock()
+	f.btarget = overload.ClampStep(s)
+	f.btargetMu.Unlock()
+}
+
+// BrownoutTarget returns the current adaptive target rung.
+func (f *Fleet) BrownoutTarget() overload.Step {
+	f.btargetMu.Lock()
+	defer f.btargetMu.Unlock()
+	return f.btarget
+}
+
+// SetReplayBrownout installs a tick-keyed brownout schedule for one tenant,
+// overriding every live drive mode while it is in place — the rpc admit
+// path extracts it from the tenant's prior audit bytes (see
+// ExtractBrownoutSchedule) so deterministic re-execution walks the exact
+// rungs the original process walked, adaptively chosen or not. Call from
+// the driving goroutine, then ClearReplayBrownout once the restore is
+// verified.
+func (f *Fleet) SetReplayBrownout(id string, sched map[int]overload.Step) error {
+	t := f.Tenant(id)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %q", id)
+	}
+	t.replayB = sched
+	return nil
+}
+
+// ClearReplayBrownout releases a tenant's replay schedule: subsequent ticks
+// follow the live drive modes again.
+func (f *Fleet) ClearReplayBrownout(id string) error {
+	t := f.Tenant(id)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %q", id)
+	}
+	t.replayB = nil
+	return nil
+}
+
+// ExtractBrownoutSchedule recovers the tick-keyed brownout transitions from
+// a tenant's recorded audit bytes. A nil map means the recording never left
+// the full rung. A crash-torn final line is tolerated (the valid prefix is
+// scanned); mid-file corruption is an error.
+func ExtractBrownoutSchedule(log []byte) (map[int]overload.Step, error) {
+	recs, err := obs.ReadLog(bytes.NewReader(log))
+	if err != nil && !errors.Is(err, obs.ErrTruncatedTail) {
+		return nil, err
+	}
+	var sched map[int]overload.Step
+	for _, r := range recs {
+		if r.Type != "brownout" {
+			continue
+		}
+		if sched == nil {
+			sched = map[int]overload.Step{}
+		}
+		sched[int(r.Summary["tick"])] = overload.ClampStep(overload.Step(r.Summary["to_step"]))
+	}
+	return sched, nil
 }
 
 func (f *Fleet) publishRound() {
@@ -739,6 +949,9 @@ type Stats struct {
 	Ticks    int
 	Panics   int
 
+	// BrownoutTransitions sums per-tenant ladder transitions.
+	BrownoutTransitions int
+
 	ViolationSeconds float64 // summed over tenants
 
 	CacheHits   int64
@@ -754,6 +967,7 @@ func (f *Fleet) Stats() Stats {
 	for _, t := range f.tenants {
 		s.Ticks += t.ticks
 		s.ViolationSeconds += t.violS
+		s.BrownoutTransitions += t.bTrans
 		if t.degraded {
 			s.Degraded++
 		}

@@ -71,6 +71,20 @@ func (o *FleetObs) Round(round, tenants, degraded int) {
 		"Tenants currently degraded (panicked and quarantined).", nil).Set(float64(degraded))
 }
 
+// Brownout records one per-tenant brownout-ladder transition and the rung
+// the tenant now sits on (0=full … 3=hold).
+func (o *FleetObs) Brownout(tenant, from, to string, step int) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_fleet_brownout_transitions_total",
+		"Brownout-ladder transitions per tenant and direction.",
+		Labels{"tenant": tenant, "from": from, "to": to}).Inc()
+	o.t.Reg.Gauge("graf_fleet_brownout_step",
+		"Current brownout rung per tenant (0=full, 1=warm, 2=heuristic, 3=hold).",
+		Labels{"tenant": tenant}).Set(float64(step))
+}
+
 // Batch records one coalesced inference batch executed by the shared
 // service.
 func (o *FleetObs) Batch(size int) {

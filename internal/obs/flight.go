@@ -23,9 +23,14 @@ import (
 //     rates, distributed load vector, effective solver bounds after the
 //     demand floor, workload scale, health state, chaos events active) and
 //     outputs (raw solver quotas, prediction, iterations, applied quotas).
-//     Kind says which path the step took: "solve", "fallback", "boost",
+//     Kind says which path the step took: "solve", "warm-solve",
+//     "fallback", "brownout-heuristic", "brownout-hold", "boost",
 //     "boost-wait", "hold", "hysteresis", or "idle".
 //   - "health": a degraded-mode state transition.
+//   - "brownout": a brownout-ladder transition (From/To rung names, the
+//     tick and rung numbers in Summary). These live in the byte-compared
+//     audit stream so deterministic re-execution reproduces degraded
+//     decisions exactly.
 //   - "chaos": a fault firing.
 //   - "lifecycle": a model-lifecycle event — drift trip, retrain, gate
 //     verdict, promotion, rollback, recovery. ModelGen on decision records
@@ -66,6 +71,7 @@ type Record struct {
 	Chaos     []string           `json:"chaos,omitempty"`
 	ModelGen  int                `json:"model_gen,omitempty"` // model generation that produced the solve
 	Enveloped bool               `json:"enveloped,omitempty"` // probation envelope clamped the applied quotas
+	Warm      bool               `json:"warm,omitempty"`      // brownout warm rung: short solve from the previous Raw
 
 	// Health-transition fields.
 	From string `json:"from,omitempty"`

@@ -120,6 +120,18 @@ func (o *RouterObs) Round(seconds float64, shards, failed int) {
 	}
 }
 
+// Shed records tick calls the overload shield refused this round: work the
+// router deliberately left behind (partial round), not shard failures.
+func (o *RouterObs) Shed(ticks int) {
+	if o == nil || ticks <= 0 {
+		return
+	}
+	o.t.Reg.Counter("graf_router_shed_ticks_total",
+		"Tick calls shed by shard overload protection or round budgets.", nil).Add(float64(ticks))
+	o.t.Reg.Counter("graf_router_partial_rounds_total",
+		"Rounds completed with at least one shed tick.", nil).Inc()
+}
+
 // Migration records a tenant migration and its blackout (the window the
 // tenant was ticking nowhere). Outcomes: "ok", "rollback", "failed".
 func (o *RouterObs) Migration(outcome string, blackoutMS float64) {

@@ -1,0 +1,198 @@
+// Package overload implements the fleet's overload-protection primitives
+// (DESIGN.md §3j): the brownout degradation ladder and its hysteresis
+// governor, a bounded-inflight admission gate with per-endpoint shedding
+// priorities, and the deadline-propagation wire helpers the RPC plane uses
+// to refuse work nobody will wait for.
+//
+// The package is a leaf — stdlib only — so core, fleet, rpc, and the
+// commands can all share the same Step vocabulary without import cycles.
+package overload
+
+import "fmt"
+
+// Step is one rung of the brownout degradation ladder. Under pressure a
+// tenant's control loop walks down the ladder one rung per tick (never
+// skipping rungs), trading decision quality for bounded decision cost:
+//
+//	StepFull      full GNN gradient-descent solve (the normal path)
+//	StepWarm      warm-started short solve from the previous raw solution
+//	StepHeuristic utilization heuristic quota, no solve, no trace refresh
+//	StepHold      hold the last applied decision untouched
+//
+// Every rung emits a distinct audit-record kind, so byte-identical replay
+// and the SLO budget monitors hold across transitions.
+type Step int
+
+const (
+	StepFull Step = iota
+	StepWarm
+	StepHeuristic
+	StepHold
+
+	stepCount
+)
+
+// String names the rung for logs and audit summaries.
+func (s Step) String() string {
+	switch s {
+	case StepFull:
+		return "full"
+	case StepWarm:
+		return "warm"
+	case StepHeuristic:
+		return "heuristic"
+	case StepHold:
+		return "hold"
+	}
+	return fmt.Sprintf("step(%d)", int(s))
+}
+
+// ParseStep inverts String: it maps a rung name from a flag or config file
+// back onto the ladder.
+func ParseStep(name string) (Step, error) {
+	for s := StepFull; s < stepCount; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return StepFull, fmt.Errorf("overload: unknown ladder step %q (full | warm | heuristic | hold)", name)
+}
+
+// ClampStep bounds an externally supplied level onto the ladder.
+func ClampStep(s Step) Step {
+	if s < StepFull {
+		return StepFull
+	}
+	if s >= stepCount {
+		return StepHold
+	}
+	return s
+}
+
+// GovernorConfig tunes the adaptive pressure governor. The zero value is
+// usable after withDefaults: enter on one round over budget, exit after two
+// consecutive rounds under half budget.
+type GovernorConfig struct {
+	// BudgetMS is the round wall-clock budget the governor defends.
+	BudgetMS float64
+
+	// EnterHigh is the fraction of BudgetMS at or above which a round
+	// counts as pressure (default 1.0).
+	EnterHigh float64
+
+	// ExitLow is the fraction of BudgetMS at or below which a round counts
+	// toward recovery (default 0.5). The gap between EnterHigh and ExitLow
+	// is the hysteresis band: rounds inside it reset both streaks, so the
+	// ladder cannot oscillate on borderline rounds.
+	ExitLow float64
+
+	// EnterN is how many consecutive pressure rounds force one step down
+	// the ladder (default 1 — degrade promptly).
+	EnterN int
+
+	// ExitN is how many consecutive calm rounds allow one step back up
+	// (default 2 — recover cautiously).
+	ExitN int
+}
+
+func (c GovernorConfig) withDefaults() GovernorConfig {
+	if c.EnterHigh <= 0 {
+		c.EnterHigh = 1.0
+	}
+	if c.ExitLow <= 0 {
+		c.ExitLow = 0.5
+	}
+	if c.EnterN <= 0 {
+		c.EnterN = 1
+	}
+	if c.ExitN <= 0 {
+		c.ExitN = 2
+	}
+	return c
+}
+
+// Transition is one recorded ladder move. From and To always differ by
+// exactly one rung — the governor never jumps.
+type Transition struct {
+	Round    int
+	From, To Step
+}
+
+// Governor turns observed round wall times into a brownout target with
+// hysteresis. It is not goroutine-safe: one observer (the round loop) owns
+// it.
+type Governor struct {
+	cfg    GovernorConfig
+	step   Step
+	rounds int
+	high   int // consecutive rounds at/over EnterHigh
+	low    int // consecutive rounds at/under ExitLow
+	trans  []Transition
+}
+
+// NewGovernor builds a governor defending cfg.BudgetMS per round.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	return &Governor{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds one completed round's wall time and returns the (possibly
+// updated) target step and whether it changed this round. Moves are always
+// a single rung.
+func (g *Governor) Observe(wallMS float64) (Step, bool) {
+	g.rounds++
+	budget := g.cfg.BudgetMS
+	switch {
+	case budget > 0 && wallMS >= budget*g.cfg.EnterHigh:
+		g.high++
+		g.low = 0
+	case budget > 0 && wallMS <= budget*g.cfg.ExitLow:
+		g.low++
+		g.high = 0
+	default:
+		g.high, g.low = 0, 0
+	}
+	from := g.step
+	if g.high >= g.cfg.EnterN && g.step < StepHold {
+		g.step++
+		g.high = 0
+	} else if g.low >= g.cfg.ExitN && g.step > StepFull {
+		g.step--
+		g.low = 0
+	}
+	if g.step != from {
+		g.trans = append(g.trans, Transition{Round: g.rounds, From: from, To: g.step})
+		return g.step, true
+	}
+	return g.step, false
+}
+
+// Step returns the current target rung.
+func (g *Governor) Step() Step { return g.step }
+
+// Transitions returns the recorded ladder moves in order.
+func (g *Governor) Transitions() []Transition {
+	out := make([]Transition, len(g.trans))
+	copy(out, g.trans)
+	return out
+}
+
+// MonotoneTransitions reports whether every recorded move in trans walks
+// exactly one rung and stays on the ladder — the invariant the chaos
+// campaign checker asserts.
+func MonotoneTransitions(trans []Transition) error {
+	prev := StepFull
+	for i, tr := range trans {
+		if tr.From != prev {
+			return fmt.Errorf("transition %d: from %v, but ladder was at %v", i, tr.From, prev)
+		}
+		d := int(tr.To) - int(tr.From)
+		if d != 1 && d != -1 {
+			return fmt.Errorf("transition %d: %v -> %v skips rungs", i, tr.From, tr.To)
+		}
+		if tr.To < StepFull || tr.To > StepHold {
+			return fmt.Errorf("transition %d: %v off the ladder", i, tr.To)
+		}
+		prev = tr.To
+	}
+	return nil
+}

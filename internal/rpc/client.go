@@ -2,7 +2,9 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"graf/internal/obs"
+	"graf/internal/overload"
 )
 
 // traceparentHeader carries the caller's span context on every request, so
@@ -41,6 +44,13 @@ type ClientConfig struct {
 	BreakerCooldown time.Duration
 	// Seed makes the jitter sequence reproducible (0 = 1).
 	Seed int64
+	// OpBudget bounds each logical call end-to-end — attempts, backoff
+	// sleeps and Retry-After waits included. An attempt (or sleep) that
+	// cannot fit in the remaining budget is refused with ErrBudgetExhausted
+	// instead of started; the remaining budget is forwarded to the shard in
+	// the Graf-Deadline-Ms header so it can shed work that would complete
+	// past the deadline. 0 = unbounded (per-attempt Timeout still applies).
+	OpBudget time.Duration
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -86,6 +96,12 @@ var errDropped = fmt.Errorf("rpc: request dropped (injected fault)")
 // circuit breaker is open.
 var ErrBreakerOpen = fmt.Errorf("rpc: circuit breaker open")
 
+// ErrBudgetExhausted is returned when a call's end-to-end budget (OpBudget
+// and/or a router-stamped round deadline) cannot fit another attempt or
+// backoff sleep. It means "out of time", not "shard broken" — callers treat
+// it like shed work, not failure.
+var ErrBudgetExhausted = errors.New("rpc: op budget exhausted")
+
 // breaker is a per-shard circuit breaker: closed (normal) → open after
 // Threshold consecutive failures (calls fail fast) → half-open after
 // Cooldown (one probe allowed; success closes, failure re-opens).
@@ -114,6 +130,7 @@ type Client struct {
 	breakers map[string]*breaker
 	rng      *rand.Rand
 	round    int
+	deadline time.Time
 }
 
 // NewClient builds a client. fault may be nil.
@@ -135,6 +152,30 @@ func (c *Client) SetRound(r int) {
 	c.mu.Lock()
 	c.round = r
 	c.mu.Unlock()
+}
+
+// SetDeadline installs an absolute end-to-end deadline every subsequent call
+// must fit within — the router stamps one per round so slow shards cannot
+// stretch a round past its budget. The zero time clears it. OpBudget, when
+// also set, still applies per call; the effective deadline is the earlier.
+func (c *Client) SetDeadline(t time.Time) {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+}
+
+// callDeadline resolves the effective deadline for one logical call: the
+// earlier of the installed round deadline and now+OpBudget. Zero = unbounded.
+func (c *Client) callDeadline() time.Time {
+	c.mu.Lock()
+	d := c.deadline
+	c.mu.Unlock()
+	if c.cfg.OpBudget > 0 {
+		if od := time.Now().Add(c.cfg.OpBudget); d.IsZero() || od.Before(d) {
+			d = od
+		}
+	}
+	return d
 }
 
 // allow consults the shard's breaker before an attempt. transition is
@@ -240,12 +281,25 @@ func (c *Client) call(shard, method, path, op string, in, out any, parent ...obs
 	return err
 }
 
-// callLoop is call's retry loop, running inside the call span.
+// callLoop is call's retry loop, running inside the call span. The loop is
+// budget-aware end to end: the effective deadline is resolved once, every
+// sleep (backoff or Retry-After) that would overrun it is refused, and the
+// remaining budget rides to the shard in the Graf-Deadline-Ms header.
 func (c *Client) callLoop(shard, method, path, op string, body []byte, out any, span *obs.ActiveSpan) error {
+	deadline := c.callDeadline()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff(attempt))
+			d := c.backoff(attempt)
+			if wait := retryAfter(lastErr); wait > 0 {
+				d = wait // the shard told us when to come back
+			}
+			if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+				c.Obs.Attempt(op, "budget")
+				span.Event("budget-exhausted", fmt.Sprintf("attempt %d", attempt))
+				return fmt.Errorf("%w: %s %s: %v", ErrBudgetExhausted, op, shard, lastErr)
+			}
+			time.Sleep(d)
 		}
 		allowed, trans := c.allow(shard)
 		if trans != "" {
@@ -274,31 +328,77 @@ func (c *Client) callLoop(shard, method, path, op string, body []byte, out any, 
 				continue
 			}
 		}
+		var remaining time.Duration
+		if !deadline.IsZero() {
+			if remaining = time.Until(deadline); remaining <= 0 {
+				c.Obs.Attempt(op, "budget")
+				span.Event("budget-exhausted", fmt.Sprintf("attempt %d", attempt))
+				return fmt.Errorf("%w: %s %s: %v", ErrBudgetExhausted, op, shard, lastErr)
+			}
+		}
 		as := c.Tracer.StartChild(span.Context(), "rpc/attempt").
 			SetTrack(shard).SetAttr("attempt", float64(attempt))
-		lastErr = c.attempt(shard, method, path, body, out, as.Context())
-		if lastErr == nil {
-			c.Obs.Attempt(op, "ok")
-		} else {
+		lastErr = c.attempt(shard, method, path, body, out, remaining, as.Context())
+		outcome := "ok"
+		if lastErr != nil {
+			outcome = "error"
+			if re, isRemote := lastErr.(*RemoteError); isRemote && re.Overloaded {
+				outcome = "overloaded"
+			}
 			as.SetAttr("error", 1)
-			c.Obs.Attempt(op, "error")
 		}
+		c.Obs.Attempt(op, outcome)
 		as.End()
-		if trans := c.record(shard, lastErr == nil); trans != "" {
+		// A remote rejection means the shard is alive and answering — it
+		// feeds the breaker as a success, whatever the application verdict.
+		ok := lastErr == nil
+		if _, isRemote := lastErr.(*RemoteError); isRemote {
+			ok = true
+		}
+		if trans := c.record(shard, ok); trans != "" {
 			span.Event("breaker", trans)
 		}
 		if lastErr == nil {
 			return nil
 		}
-		if _, fatal := lastErr.(*RemoteError); fatal {
+		if re, isRemote := lastErr.(*RemoteError); isRemote {
+			if re.Overloaded {
+				// Backpressure, not failure: honor Retry-After on the next
+				// pass (budget permitting) instead of giving up.
+				span.Event("overloaded", fmt.Sprintf("retry-after %dms", re.RetryAfterMS))
+				continue
+			}
 			// The shard answered and rejected the request: retrying the
 			// same request cannot succeed, and it is not a shard-health
 			// signal either.
-			c.record(shard, true)
 			return lastErr
 		}
 	}
 	return fmt.Errorf("rpc: %s %s after %d attempts: %w", op, shard, c.cfg.Retries+1, lastErr)
+}
+
+// retryAfter extracts the shard's backpressure hint from an overloaded
+// rejection; 0 when the error carries none.
+func retryAfter(err error) time.Duration {
+	var re *RemoteError
+	if errors.As(err, &re) && re.Overloaded && re.RetryAfterMS > 0 {
+		return time.Duration(re.RetryAfterMS) * time.Millisecond
+	}
+	return 0
+}
+
+// IsOverloaded reports whether err is a shard's admission-control rejection —
+// backpressure to be absorbed, not a failure to investigate.
+func IsOverloaded(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Overloaded
+}
+
+// IsExpired reports whether err is a shard's deadline rejection: the work's
+// propagated budget was spent before the shard would have executed it.
+func IsExpired(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Expired
 }
 
 // optCtx unpacks the variadic parent-span parameter of the exported calls.
@@ -311,18 +411,25 @@ func optCtx(parents []obs.SpanContext) obs.SpanContext {
 
 // RemoteError is an application-level rejection from a shard (HTTP 4xx/5xx
 // with an error body) — distinguished from transport errors, which drive
-// retries and the breaker.
+// retries and the breaker. Overloaded/RetryAfterMS/Expired mirror the wire
+// errorResponse; use IsOverloaded/IsExpired to classify.
 type RemoteError struct {
-	Shard  string
-	Status int
-	Msg    string
+	Shard        string
+	Status       int
+	Msg          string
+	Overloaded   bool
+	RetryAfterMS int
+	Expired      bool
 }
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: shard %s: %d %s", e.Shard, e.Status, e.Msg)
 }
 
-func (c *Client) attempt(shard, method, path string, body []byte, out any, trace ...obs.SpanContext) error {
+// attempt performs one wire attempt. remaining, when positive, is the call's
+// leftover end-to-end budget: it rides to the shard as Graf-Deadline-Ms and
+// additionally bounds this attempt below the per-attempt Timeout.
+func (c *Client) attempt(shard, method, path string, body []byte, out any, remaining time.Duration, trace ...obs.SpanContext) error {
 	req, err := http.NewRequest(method, "http://"+shard+path, bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -332,6 +439,14 @@ func (c *Client) attempt(shard, method, path string, body []byte, out any, trace
 	}
 	if tc := optCtx(trace); tc.Valid() {
 		req.Header.Set(traceparentHeader, tc.Traceparent())
+	}
+	if remaining > 0 {
+		req.Header.Set(overload.HeaderDeadlineMS, overload.FormatRemaining(remaining))
+		if remaining < c.cfg.Timeout {
+			ctx, cancel := context.WithTimeout(context.Background(), remaining)
+			defer cancel()
+			req = req.WithContext(ctx)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -348,7 +463,8 @@ func (c *Client) attempt(shard, method, path string, body []byte, out any, trace
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &RemoteError{Shard: shard, Status: resp.StatusCode, Msg: msg}
+		return &RemoteError{Shard: shard, Status: resp.StatusCode, Msg: msg,
+			Overloaded: er.Overloaded, RetryAfterMS: er.RetryAfterMS, Expired: er.Expired}
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -359,11 +475,12 @@ func (c *Client) attempt(shard, method, path string, body []byte, out any, trace
 }
 
 // Health probes a shard. It bypasses the breaker — it IS the probe the
-// router uses to decide whether an unresponsive shard is dead.
+// router uses to decide whether an unresponsive shard is dead — and carries
+// no deadline: health must answer even on a shard that is shedding work.
 func (c *Client) Health(shard string, parent ...obs.SpanContext) (HealthResponse, error) {
 	var out HealthResponse
 	span := c.Tracer.StartChild(optCtx(parent), "rpc/health").SetTrack(shard)
-	err := c.attempt(shard, http.MethodGet, "/healthz", nil, &out, span.Context())
+	err := c.attempt(shard, http.MethodGet, "/healthz", nil, &out, 0, span.Context())
 	if err == nil {
 		c.record(shard, true)
 	} else {

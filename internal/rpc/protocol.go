@@ -20,6 +20,9 @@ type TenantStatus struct {
 	Degraded bool    `json:"degraded,omitempty"`
 	AuditLen int     `json:"audit_len"`
 	AuditFNV uint64  `json:"audit_fnv"`
+	// Brownout is the tenant's current degradation-ladder rung
+	// (0=full … 3=hold); see internal/overload.
+	Brownout int `json:"brownout,omitempty"`
 }
 
 // HealthResponse answers GET /healthz — the router's heartbeat probe. It is
@@ -31,6 +34,11 @@ type HealthResponse struct {
 	Tenants int    `json:"tenants"`
 	Round   int    `json:"round"`
 	Uptime  string `json:"uptime"`
+	// Overload accounting, served from the admission gate and shed counters.
+	Inflight        int   `json:"inflight,omitempty"`
+	Shed            int64 `json:"shed,omitempty"`
+	ExpiredShed     int64 `json:"expired_shed,omitempty"`
+	ExpiredExecuted int64 `json:"expired_executed,omitempty"`
 }
 
 // ConfigureRequest (POST /v1/configure) installs the fleet spec; the shard
@@ -143,4 +151,15 @@ type CheckpointResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Overloaded marks a 429-style admission rejection: the shard is alive
+	// and healthy but shedding this priority class. RetryAfterMS is its
+	// backpressure hint. Clients and the router treat this as backpressure,
+	// not shard failure — it must not trip breakers or trigger recovery.
+	Overloaded   bool `json:"overloaded,omitempty"`
+	RetryAfterMS int  `json:"retry_after_ms,omitempty"`
+	// Expired marks a 504-style deadline rejection: the request's propagated
+	// end-to-end budget was already exhausted when the shard picked it up, so
+	// the shard refused to execute it (executing expired work is the bug the
+	// overload subsystem exists to prevent).
+	Expired bool `json:"expired,omitempty"`
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,14 @@ type RouterConfig struct {
 	// CheckpointEveryRounds periodically checkpoints every shard
 	// (0 = only on demand).
 	CheckpointEveryRounds int
+	// RoundBudget, when positive, is the end-to-end wall budget each round's
+	// tick fan-out must fit in. The router stamps the client with an absolute
+	// deadline at fan-out start; every attempt forwards the remaining budget
+	// on the wire (Graf-Deadline-Ms) and refuses attempts or backoff sleeps
+	// that cannot fit. A tick the budget runs out on is SHED, not failed:
+	// the round completes partially and the next round's idempotent RoundTo
+	// catches the shard up. 0 = unbudgeted.
+	RoundBudget time.Duration
 	// Fault, when set, is installed into the client (chaos injection).
 	Fault FaultInjector
 	// Obs, when set, receives router-level metrics: round duration and
@@ -82,6 +91,7 @@ type tenantState struct {
 	degraded bool
 	p99      float64
 	violS    float64
+	brownout int // last reported degradation-ladder rung (0=full)
 }
 
 // shardSlot is one shard position the router manages. The slot survives the
@@ -105,6 +115,8 @@ type RouterStats struct {
 	LostDecisions      int       // restores that FAILED verification
 	RecoveryBlackoutMS float64   // total wall ms tenants spent unplaced during failure recovery
 	MigrationBlackouts []float64 // per-migration wall ms between evict and restored admit
+	ShedTicks          int       // tick calls shed by overload protection or round budgets
+	PartialRounds      int       // rounds completed with at least one shed tick
 }
 
 // Router is the thin control-plane head: it owns tenant placement (ring +
@@ -197,6 +209,7 @@ func (r *Router) TenantStates() []TenantStatus {
 		out = append(out, TenantStatus{
 			ID: t.id, Ticks: t.ticks, P99: t.p99, ViolS: t.violS,
 			Degraded: t.degraded, AuditLen: t.auditLen, AuditFNV: t.auditFNV,
+			Brownout: t.brownout,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -313,6 +326,7 @@ func (r *Router) noteStatus(st TenantStatus) {
 	t.degraded = st.Degraded
 	t.p99 = st.P99
 	t.violS = st.ViolS
+	t.brownout = st.Brownout
 }
 
 // aliveSlotsLocked returns the live shard slots. Callers must hold r.mu.
@@ -389,18 +403,30 @@ func (r *Router) RunRound() error {
 	}
 	t0 := time.Now()
 	totalFailed := 0
+	totalShed := 0
 	var span *obs.ActiveSpan
 	if r.cfg.Tracer != nil {
 		span = r.cfg.Tracer.StartRoot("router/round").SetAttr("round", float64(round))
 	}
 	defer func() {
-		span.SetAttr("failed", float64(totalFailed)).End()
+		span.SetAttr("failed", float64(totalFailed)).SetAttr("shed", float64(totalShed)).End()
 		r.mu.Lock()
 		alive := len(r.aliveSlotsLocked())
+		if totalShed > 0 {
+			r.stats.ShedTicks += totalShed
+			r.stats.PartialRounds++
+		}
 		r.mu.Unlock()
 		r.cfg.Obs.Round(time.Since(t0).Seconds(), alive, totalFailed)
+		r.cfg.Obs.Shed(totalShed)
 	}()
 	r.client.SetRound(round)
+	if r.cfg.RoundBudget > 0 {
+		// Stamp the round's end-to-end deadline; every shard call until the
+		// clear forwards its remaining budget on the wire.
+		r.client.SetDeadline(time.Now().Add(r.cfg.RoundBudget))
+		defer r.client.SetDeadline(time.Time{})
+	}
 	if r.cfg.CheckpointEveryRounds > 0 && round > 1 && (round-1)%r.cfg.CheckpointEveryRounds == 0 {
 		for _, addr := range r.aliveAddrs() {
 			if _, err := r.client.Checkpoint(addr, span.Context()); err != nil {
@@ -448,6 +474,18 @@ func (r *Router) RunRound() error {
 		r.mu.Lock()
 		for _, res := range results {
 			if res.err != nil {
+				if isShedErr(res.err) {
+					// Backpressure or budget exhaustion, not shard death: the
+					// shard is alive and deliberately refused (or we refused to
+					// send) this round's work. The round completes partially —
+					// RoundTo is idempotent catch-up, so the next round covers
+					// the skipped ticks. Investigating would waste heartbeats
+					// and could respawn a healthy shard.
+					totalShed++
+					span.Event("tick-shed", res.slot.addr)
+					r.logf("round %d: tick shed on %s: %v", round, res.slot.addr, res.err)
+					continue
+				}
 				failed = append(failed, res.slot)
 				continue
 			}
@@ -690,6 +728,44 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 	span.SetAttr("blackout_ms", ms)
 	r.logf("tenant %s: migrated %s → %s at tick %d in %.1fms", id, fromAddr, toAddr, t.ticks, ms)
 	return d, nil
+}
+
+// isShedErr classifies a tick error as deliberate overload shedding — an
+// admission-control 429, a deadline-expiry 504, or the client's own budget
+// refusal — as opposed to a transport failure worth investigating.
+func isShedErr(err error) bool {
+	return IsOverloaded(err) || IsExpired(err) || errors.Is(err, ErrBudgetExhausted)
+}
+
+// Settle re-ticks the current round with no deadline so shards whose ticks
+// were shed catch up. It does NOT advance the round — RoundTo is idempotent,
+// so shards that already completed it are no-ops and the per-tenant audit
+// streams stay byte-comparable to an unshed run. Call it before reading
+// final per-tenant state after budgeted rounds.
+func (r *Router) Settle() error {
+	r.mu.Lock()
+	round := r.round
+	r.mu.Unlock()
+	if round == 0 {
+		return nil
+	}
+	r.client.SetDeadline(time.Time{})
+	for _, addr := range r.aliveAddrs() {
+		// A breaker left open by a budget-starved burst is stale state here:
+		// settling runs with no deadline, so probe the shard directly instead
+		// of failing fast on the burst's verdict.
+		r.client.ResetBreaker(addr)
+		resp, err := r.client.Tick(addr, round)
+		if err != nil {
+			return fmt.Errorf("rpc: settle round %d on %s: %w", round, addr, err)
+		}
+		r.mu.Lock()
+		for _, st := range resp.Statuses {
+			r.noteStatus(st)
+		}
+		r.mu.Unlock()
+	}
+	return nil
 }
 
 // CheckpointAll snapshots every live shard's tenants.

@@ -16,6 +16,7 @@ import (
 	"graf/internal/ckpt"
 	"graf/internal/fleet"
 	"graf/internal/obs"
+	"graf/internal/overload"
 )
 
 // ShardServer exposes one dynamic fleet over the control-plane protocol.
@@ -46,12 +47,35 @@ type ShardServer struct {
 	Tel *obs.Telemetry
 	// Logf, when set, receives one line per control-plane operation.
 	Logf func(format string, args ...any)
+	// MaxInflight bounds concurrently executing control-plane requests (the
+	// admission gate; <=0 = overload.NewGate's default). Critical endpoints
+	// (healthz, configure, admit, evict, checkpoint) are never shed; ticks
+	// shed at full capacity; status reads first, at half.
+	MaxInflight int
+	// RetryAfterMS is the backpressure hint attached to shed verdicts
+	// (<=0 = gate default).
+	RetryAfterMS int
+	// Governor, when set, drives the fleet's adaptive brownout target from
+	// observed round wall times: rounds over budget walk every tenant one
+	// rung down the degradation ladder, calm rounds walk them back up.
+	Governor *overload.GovernorConfig
 
 	mu      sync.Mutex
 	fl      *fleet.Fleet
 	spec    Spec
 	round   int
 	started time.Time
+	gov     *overload.Governor // lazily built from Governor; guarded by mu
+
+	gateOnce sync.Once
+	gate     *overload.Gate
+
+	// Overload accounting. expiredShed counts requests refused because their
+	// propagated deadline had already passed; expiredExecuted is the
+	// invariant tripwire — work that began executing past its deadline — and
+	// must stay zero.
+	expiredShed     atomic.Int64
+	expiredExecuted atomic.Int64
 
 	// trc is the control-plane tracer, created at configure time when the
 	// spec enables tracing (atomic: /v1/traces reads it without s.mu).
@@ -85,25 +109,96 @@ func (s *ShardServer) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the server's HTTP mux.
+// Handler returns the server's HTTP mux. Every route passes through the
+// overload shield with its shedding priority: recovery-critical endpoints
+// are never shed, ticks shed at full capacity, status reads first.
 func (s *ShardServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/configure", s.handleConfigure)
-	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
-	mux.HandleFunc("POST /v1/evict", s.handleEvict)
-	mux.HandleFunc("POST /v1/tick", s.handleTick)
-	mux.HandleFunc("GET /v1/quotas", s.handleQuotas)
-	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
-	mux.HandleFunc("GET /v1/decisions", s.handleDecisions)
-	mux.HandleFunc("GET /v1/traces", s.handleTraces)
-	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /healthz", s.shielded("health", overload.PriCritical, s.handleHealth))
+	mux.HandleFunc("POST /v1/configure", s.shielded("configure", overload.PriCritical, s.handleConfigure))
+	mux.HandleFunc("POST /v1/admit", s.shielded("admit", overload.PriCritical, s.handleAdmit))
+	mux.HandleFunc("POST /v1/evict", s.shielded("evict", overload.PriCritical, s.handleEvict))
+	mux.HandleFunc("POST /v1/tick", s.shielded("tick", overload.PriHigh, s.handleTick))
+	mux.HandleFunc("GET /v1/quotas", s.shielded("quotas", overload.PriLow, s.handleQuotas))
+	mux.HandleFunc("GET /v1/tenants", s.shielded("tenants", overload.PriLow, s.handleTenants))
+	mux.HandleFunc("GET /v1/decisions", s.shielded("decisions", overload.PriLow, s.handleDecisions))
+	mux.HandleFunc("GET /v1/traces", s.shielded("traces", overload.PriLow, s.handleTraces))
+	mux.HandleFunc("POST /v1/checkpoint", s.shielded("checkpoint", overload.PriCritical, s.handleCheckpoint))
 	if s.Tel != nil {
 		th := s.Tel.Handler()
 		mux.Handle("GET /metrics", th)
 		mux.Handle("/debug/", th)
 	}
 	return mux
+}
+
+// admission returns the shard's admission gate, built on first use.
+func (s *ShardServer) admission() *overload.Gate {
+	s.gateOnce.Do(func() {
+		s.gate = overload.NewGate(s.MaxInflight, s.RetryAfterMS)
+	})
+	return s.gate
+}
+
+// shielded wraps a handler in the overload shield: (1) deadline shedding —
+// a request whose propagated Graf-Deadline-Ms budget is already spent is
+// refused with a typed 504 before any work happens, and an unexpired budget
+// is re-anchored onto the request context so the handler can re-check after
+// queueing; (2) admission control — the bounded-inflight gate sheds by
+// priority with a typed 429 carrying a Retry-After hint. Both verdicts are
+// backpressure, not failure: the client and router must not feed them into
+// breakers or recovery.
+func (s *ShardServer) shielded(op string, pri overload.Priority, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rem, ok := overload.ParseRemaining(r.Header.Get(overload.HeaderDeadlineMS)); ok {
+			if rem <= 0 {
+				s.expiredShed.Add(1)
+				s.countShed(op, "expired")
+				writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+					Error:   fmt.Sprintf("%s: deadline expired before work started", op),
+					Expired: true,
+				})
+				return
+			}
+			r = r.WithContext(overload.WithDeadline(r.Context(), time.Now().Add(rem)))
+		}
+		release, err := s.admission().Enter(pri)
+		if err != nil {
+			var ov *overload.ErrOverloaded
+			errors.As(err, &ov)
+			s.countShed(op, "overloaded")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error:        fmt.Sprintf("%s shed: %v", op, err),
+				Overloaded:   true,
+				RetryAfterMS: ov.RetryAfterMS,
+			})
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// countShed records one shed verdict as a metric.
+func (s *ShardServer) countShed(op, reason string) {
+	if s.Tel == nil {
+		return
+	}
+	s.Tel.Reg.Counter("graf_shard_shed_total",
+		"Control-plane requests shed by admission control or deadline expiry.",
+		obs.Labels{"op": op, "reason": reason}).Inc()
+}
+
+// guardExpired is the executed-past-deadline tripwire, called with the clock
+// reading taken at the moment execution begins. The deadline shed in
+// shielded/handleTick runs first on every path with the same reading, so
+// this counter stays zero; the chaos invariant checker and the CI smoke
+// drill assert exactly that — "no expired work executed" is a checked
+// property, not an assumed one.
+func (s *ShardServer) guardExpired(r *http.Request, startedAt time.Time) {
+	if dl, ok := overload.DeadlineFrom(r.Context()); ok && !startedAt.Before(dl) {
+		s.expiredExecuted.Add(1)
+	}
 }
 
 // traceOp continues the caller's trace server-side: it parses the
@@ -207,12 +302,17 @@ func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// admit holding the mutex past the probe timeout must not make a live
 	// shard read as dead. s.started is written once before Serve starts the
 	// accept loop, so reading it here is race-free.
+	gs := s.admission().Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		OK:      true,
-		PID:     os.Getpid(),
-		Round:   int(s.healthRound.Load()),
-		Uptime:  time.Since(s.started).Truncate(time.Millisecond).String(),
-		Tenants: int(s.healthTenants.Load()),
+		OK:              true,
+		PID:             os.Getpid(),
+		Round:           int(s.healthRound.Load()),
+		Uptime:          time.Since(s.started).Truncate(time.Millisecond).String(),
+		Tenants:         int(s.healthTenants.Load()),
+		Inflight:        gs.Inflight,
+		Shed:            gs.TotalShed(),
+		ExpiredShed:     s.expiredShed.Load(),
+		ExpiredExecuted: s.expiredExecuted.Load(),
 	})
 }
 
@@ -273,6 +373,7 @@ func status(t *fleet.Tenant) TenantStatus {
 		Degraded: t.Degraded(),
 		AuditLen: n,
 		AuditFNV: sum,
+		Brownout: int(t.Brownout()),
 	}
 }
 
@@ -358,6 +459,24 @@ func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		s.fl.Evict(req.ID)
 		writeErr(w, status, format, args...)
 	}
+	// If the previous owner browned the tenant out (adaptively — scripted
+	// schedules are already in the spec), its transitions are in the prior
+	// audit bytes. Install them as a replay schedule BEFORE re-execution so
+	// the regenerated stream walks the same ladder at the same ticks and the
+	// byte-prefix verification below still holds.
+	var replaySched map[int]overload.Step
+	if len(prior) > 0 {
+		if replaySched, err = fleet.ExtractBrownoutSchedule(prior); err != nil {
+			fail(http.StatusInternalServerError, "extract brownout schedule: %v", err)
+			return
+		}
+		if replaySched != nil {
+			if err := s.fl.SetReplayBrownout(req.ID, replaySched); err != nil {
+				fail(http.StatusInternalServerError, "install brownout schedule: %v", err)
+				return
+			}
+		}
+	}
 	if err := s.fl.Resume(req.ID, req.Ticks); err != nil {
 		fail(http.StatusInternalServerError, "resume: %v", err)
 		return
@@ -406,6 +525,15 @@ func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
 				fail(http.StatusInternalServerError, "load snapshot: %v", err)
 				return
 			}
+		}
+	}
+
+	// Replay is done and verified; future ticks follow the live drivers
+	// (scripted schedule or adaptive target) from the rung replay landed on.
+	if replaySched != nil {
+		if err := s.fl.ClearReplayBrownout(req.ID); err != nil {
+			fail(http.StatusInternalServerError, "clear brownout schedule: %v", err)
+			return
 		}
 	}
 
@@ -481,10 +609,35 @@ func (s *ShardServer) handleTick(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
 	}
+	// A tick that queued behind the mutex past its propagated deadline is
+	// shed here, after the lock: nobody is waiting for its result anymore,
+	// and RoundTo is idempotent catch-up — the next round's tick covers the
+	// skipped work. One clock reading serves both the shed and the tripwire.
+	now := time.Now()
+	if dl, ok := overload.DeadlineFrom(r.Context()); ok && !now.Before(dl) {
+		s.expiredShed.Add(1)
+		s.countShed("tick", "expired")
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+			Error:   fmt.Sprintf("tick round %d: deadline expired while queued", req.Round),
+			Expired: true,
+		})
+		return
+	}
+	s.guardExpired(r, now)
 	// Tenant tick spans executed by the worker pool nest under this span.
 	s.fl.SetTraceParent(span.Context())
 	s.fl.RoundTo(req.Round)
 	s.round = req.Round
+	if s.Governor != nil {
+		if s.gov == nil {
+			s.gov = overload.NewGovernor(*s.Governor)
+		}
+		wallMS := float64(time.Since(now)) / float64(time.Millisecond)
+		if step, changed := s.gov.Observe(wallMS); changed {
+			s.logf("governor: round %d took %.0fms, brownout target -> %v", req.Round, wallMS, step)
+		}
+		s.fl.SetBrownoutTarget(s.gov.Step())
+	}
 	// Durable-before-acknowledged: flush every tenant's on-disk audit log
 	// before answering, so the file is never behind what the router knows.
 	s.fl.FlushAudit()

@@ -15,12 +15,15 @@ package rpc
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"graf/internal/app"
 	"graf/internal/core"
 	"graf/internal/fleet"
 	"graf/internal/gnn"
 	"graf/internal/obs"
+	"graf/internal/overload"
 	"graf/internal/workload"
 )
 
@@ -57,6 +60,53 @@ type Spec struct {
 	// the single-process reference and the distributed run must charge the
 	// same budget at the same ticks.
 	SLOBudget *obs.SLOConfig `json:"slo_budget,omitempty"`
+	// Brownout, when non-empty, is the scripted tick-keyed brownout
+	// schedule installed in every process built from this spec. Like
+	// SLOBudget it is a determinism invariant: the schedule is a pure
+	// function of the tick index, so the single-process reference and the
+	// distributed run degrade identically and stay byte-comparable.
+	// Adaptive (governor-driven) brownouts live shard-side instead and are
+	// replayed from audit bytes on restore.
+	Brownout []fleet.BrownoutPhase `json:"brownout,omitempty"`
+}
+
+// ParseBrownout parses a -brownout flag into a scripted schedule. The flag
+// is a comma-separated list of phases, each FROM[-TO]:STEP with tick indices
+// (TO exclusive; omitted = until the end of the run) and a ladder rung name:
+//
+//	12-24:heuristic        ticks 12..23 at the heuristic rung
+//	12-24:heuristic,30:warm  ...then warm from tick 30 onward
+//
+// Later phases win on overlap, matching fleet.BrownoutPhase semantics.
+func ParseBrownout(s string) ([]fleet.BrownoutPhase, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var sched []fleet.BrownoutPhase
+	for _, part := range strings.Split(s, ",") {
+		rangeS, stepS, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("rpc: brownout phase %q: want FROM[-TO]:STEP", part)
+		}
+		step, err := overload.ParseStep(stepS)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: brownout phase %q: %v", part, err)
+		}
+		fromS, toS, ranged := strings.Cut(rangeS, "-")
+		from, err := strconv.Atoi(fromS)
+		if err != nil || from < 0 {
+			return nil, fmt.Errorf("rpc: brownout phase %q: FROM tick %q must be a non-negative integer", part, fromS)
+		}
+		to := 0
+		if ranged {
+			to, err = strconv.Atoi(toS)
+			if err != nil || to <= from {
+				return nil, fmt.Errorf("rpc: brownout phase %q: TO tick %q must be an integer above FROM", part, toS)
+			}
+		}
+		sched = append(sched, fleet.BrownoutPhase{FromTick: from, ToTick: to, Step: step})
+	}
+	return sched, nil
 }
 
 // Validate rejects specs that could not produce a deterministic fleet.
@@ -146,5 +196,6 @@ func (s Spec) FleetConfig(b ModelBundle, auditDir string) (fleet.Config, error) 
 		AuditDir:    auditDir,
 		AuditMemory: s.AuditMemory,
 		SLOBudget:   s.SLOBudget,
+		Brownout:    s.Brownout,
 	}, nil
 }
