@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-obs bench-json-overload obs-demo ci
+.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-router bench-json-obs bench-json-overload obs-demo ci
 
 all: build vet test
 
@@ -37,6 +37,16 @@ bench-json-fleetrpc:
 	$(GO) test -run '^$$' -bench '^BenchmarkFleetRPC$$' -benchtime 1x . | \
 	  $(GO) run ./cmd/benchjson -o BENCH_fleetrpc.json
 	@echo wrote BENCH_fleetrpc.json
+
+# Crash-safe router numbers (DESIGN.md §3k): standby takeover blackout after
+# a SIGKILL mid-migration, with the zero-lost-decisions / zero-fenced-writes
+# invariants enforced inside the benchmark, as benchjson extra metrics in
+# BENCH_router.json. CI holds takeover-blackout-ms under a regression
+# ceiling.
+bench-json-router:
+	$(GO) test -run '^$$' -bench '^BenchmarkRouterFailover$$' -benchtime 1x . | \
+	  $(GO) run ./cmd/benchjson -o BENCH_router.json
+	@echo wrote BENCH_router.json
 
 # Fleet-wide observability numbers (DESIGN.md §3i): tracing overhead per
 # tenant tick (CI holds overhead-pct under a regression ceiling; the traced

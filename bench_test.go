@@ -276,6 +276,39 @@ func BenchmarkFleetRPC(b *testing.B) {
 	}
 }
 
+// --- Crash-safe router (durable placement + epoch fencing, DESIGN.md §3k) ---
+
+// BenchmarkRouterFailover reports the router-failover drill as benchjson
+// metrics for BENCH_router.json — the takeover-blackout metric carries a CI
+// regression ceiling — and fails outright on any integrity breach: a lost
+// decision, a stale-epoch mutation accepted by a shard, a migration record
+// not rolled forward, or a post-takeover audit that is not byte-identical
+// to the uninterrupted reference.
+func BenchmarkRouterFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, st := bench.RouterFailoverRun(benchScale())
+		printedMu.Lock()
+		if !printed[res.ID] {
+			printed[res.ID] = true
+			fmt.Println(res.Format())
+		}
+		printedMu.Unlock()
+		if !st.ByteIdentical || st.LostDecisions > 0 {
+			b.Fatalf("router-failover lost decisions (byteIdentical=%v lost=%v)", st.ByteIdentical, st.LostDecisions)
+		}
+		if st.FencedAccepted > 0 {
+			b.Fatalf("router-failover accepted %v stale-epoch mutations (must be 0)", st.FencedAccepted)
+		}
+		if st.MigrationAction != "rolled-forward" {
+			b.Fatalf("mid-flight migration resolved as %q, want rolled-forward", st.MigrationAction)
+		}
+		b.ReportMetric(st.TakeoverBlackoutMS, "takeover-blackout-ms")
+		b.ReportMetric(st.LostDecisions, "lost-decisions")
+		b.ReportMetric(st.FencedAccepted, "fenced-accepted")
+		b.ReportMetric(st.FencedRejected, "fenced-rejected")
+	}
+}
+
 // --- Overload protection (brownout ladder, DESIGN.md §3j) -------------------
 
 // BenchmarkOverload reports the overload-policy comparison as benchjson

@@ -21,44 +21,45 @@ import (
 )
 
 var runners = map[string]func(bench.Scale) bench.Result{
-	"fig01":          bench.Fig01InstanceCreation,
-	"fig02":          bench.Fig02SurgeInstances,
-	"fig03":          bench.Fig03SurgeLatency,
-	"fig06":          bench.Fig06LatencyCurves,
-	"fig07":          bench.Fig07CascadingEffect,
-	"tab01":          bench.Tab01Hyperparameters,
-	"tab02":          bench.Tab02PredictionError,
-	"fig11":          bench.Fig11MPNNAblation,
-	"fig12":          bench.Fig12LossHeatmap,
-	"fig13":          bench.Fig13SearchSpace,
-	"fig14":          bench.Fig14TotalCPU,
-	"fig15":          bench.Fig15PerMSBoutique,
-	"fig16":          bench.Fig16PerMSSocial,
-	"fig17":          bench.Fig17SLOTargeting,
-	"fig18":          bench.Fig18UserScaling,
-	"fig19":          bench.Fig19CostBenefit,
-	"tab03":          bench.Tab03Budget,
-	"fig20":          bench.Fig20AzureReplay,
-	"fig21":          bench.Fig21SurgeComparison,
-	"fig22":          bench.Fig22Convergence,
-	"abl-loss":       bench.AblationLoss,
-	"abl-steps":      bench.AblationSteps,
-	"abl-solver":     bench.AblationSolver,
-	"abl-sampler":    bench.AblationSampler,
-	"abl-integer":    bench.AblationInteger,
-	"abl-anomaly":    bench.AblationAnomaly,
-	"scalability":    bench.Scalability,
-	"abl-partition":  bench.AblationPartition,
-	"chaos":          bench.ChaosRobustness,
-	"recovery":       bench.Recovery,
-	"drift":          bench.Drift,
-	"replay":         bench.ObsReplay,
-	"obs-overhead":   bench.ObsOverhead,
-	"fleet":          bench.Fleet,
-	"fleet-rpc":      bench.FleetRPC,
-	"overload":       bench.Overload,
-	"slo-burn":       bench.SLOBurn,
-	"trace-overhead": bench.TraceOverhead,
+	"fig01":           bench.Fig01InstanceCreation,
+	"fig02":           bench.Fig02SurgeInstances,
+	"fig03":           bench.Fig03SurgeLatency,
+	"fig06":           bench.Fig06LatencyCurves,
+	"fig07":           bench.Fig07CascadingEffect,
+	"tab01":           bench.Tab01Hyperparameters,
+	"tab02":           bench.Tab02PredictionError,
+	"fig11":           bench.Fig11MPNNAblation,
+	"fig12":           bench.Fig12LossHeatmap,
+	"fig13":           bench.Fig13SearchSpace,
+	"fig14":           bench.Fig14TotalCPU,
+	"fig15":           bench.Fig15PerMSBoutique,
+	"fig16":           bench.Fig16PerMSSocial,
+	"fig17":           bench.Fig17SLOTargeting,
+	"fig18":           bench.Fig18UserScaling,
+	"fig19":           bench.Fig19CostBenefit,
+	"tab03":           bench.Tab03Budget,
+	"fig20":           bench.Fig20AzureReplay,
+	"fig21":           bench.Fig21SurgeComparison,
+	"fig22":           bench.Fig22Convergence,
+	"abl-loss":        bench.AblationLoss,
+	"abl-steps":       bench.AblationSteps,
+	"abl-solver":      bench.AblationSolver,
+	"abl-sampler":     bench.AblationSampler,
+	"abl-integer":     bench.AblationInteger,
+	"abl-anomaly":     bench.AblationAnomaly,
+	"scalability":     bench.Scalability,
+	"abl-partition":   bench.AblationPartition,
+	"chaos":           bench.ChaosRobustness,
+	"recovery":        bench.Recovery,
+	"drift":           bench.Drift,
+	"replay":          bench.ObsReplay,
+	"obs-overhead":    bench.ObsOverhead,
+	"fleet":           bench.Fleet,
+	"fleet-rpc":       bench.FleetRPC,
+	"router-failover": bench.RouterFailover,
+	"overload":        bench.Overload,
+	"slo-burn":        bench.SLOBurn,
+	"trace-overhead":  bench.TraceOverhead,
 }
 
 // order runs cheap observation experiments first and groups the ones that
@@ -71,7 +72,7 @@ var order = []string{
 	"abl-loss", "abl-steps", "abl-solver", "abl-sampler",
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
 	"chaos", "recovery", "drift", "replay", "obs-overhead",
-	"fleet", "fleet-rpc", "overload", "slo-burn", "trace-overhead",
+	"fleet", "fleet-rpc", "router-failover", "overload", "slo-burn", "trace-overhead",
 }
 
 func main() {

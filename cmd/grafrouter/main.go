@@ -13,13 +13,30 @@
 //	grafrouter ... -migrate tenant-03@5:1  # drain → checkpoint → restore on
 //	                                       # shard 1, verified byte-identical
 //
+// Crash-safe router & failover (-state-dir, DESIGN.md §3k):
+//
+//	grafrouter ... -state-dir s -router-addr :7171 \
+//	  -migrate tenant-03@5:other -crash-after-drain   # primary: self-SIGKILL
+//	                                                  # mid-migration
+//	grafrouter ... -state-dir s -standby HOST:7171    # standby: probe, take
+//	                                                  # over on sustained miss
+//	grafrouter ... -state-dir s -resume               # warm restart in place
+//
+// A resumed or standby router bumps the fencing epoch, reconciles its
+// checkpointed placement against every shard's reported residency, rolls a
+// mid-flight migration forward or back, and continues the round sequence;
+// the dead generation's writes are rejected by every shard
+// (`fenced_writes_accepted=0` on the summary line).
+//
 // The run exits non-zero if any tenant lost a decision, failed verification,
-// or finished behind the round clock. `lost_decisions=0` on the summary line
-// is the machine-checked success marker.
+// finished behind the round clock, or if any shard accepted a stale-epoch
+// mutation. `lost_decisions=0` on the summary line is the machine-checked
+// success marker.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +83,16 @@ type routerOptions struct {
 	trace     string
 	obsAddr   string
 	sloBudget float64
+
+	// Crash safety & failover (DESIGN.md §3k).
+	stateDir        string
+	resume          bool
+	routerAddr      string
+	standby         string
+	standbyMisses   int
+	standbyEveryMS  float64
+	crashAfterDrain bool
+	crashAtRound    int
 }
 
 // validate rejects contradictory flag combinations before any process is
@@ -77,8 +104,32 @@ func (o routerOptions) validate() error {
 	if o.spawn > 0 && o.shards != "" {
 		return fmt.Errorf("-spawn starts shard processes and -shards attaches to running ones: pick one")
 	}
-	if o.spawn <= 0 && o.shards == "" {
+	takeover := o.resume || o.standby != ""
+	if o.spawn <= 0 && o.shards == "" && !takeover {
 		return fmt.Errorf("need -spawn N or -shards addr,addr")
+	}
+	if takeover {
+		if o.stateDir == "" {
+			return fmt.Errorf("-resume/-standby restore the router from its durable state: they need -state-dir")
+		}
+		if o.spawn > 0 {
+			return fmt.Errorf("-resume/-standby attach to the previous generation's shards (recorded in -state-dir); they cannot -spawn a new fleet")
+		}
+		if o.killShard != "" {
+			return fmt.Errorf("-kill-shard SIGKILLs a spawned child; a resumed/standby router spawned none")
+		}
+	}
+	if o.resume && o.standby != "" {
+		return fmt.Errorf("-resume takes over immediately and -standby waits for the primary to die: pick one")
+	}
+	if o.crashAfterDrain && o.migrate == "" {
+		return fmt.Errorf("-crash-after-drain fires inside a migration's drain window: it needs -migrate")
+	}
+	if (o.crashAfterDrain || o.crashAtRound > 0) && o.stateDir == "" {
+		return fmt.Errorf("a scripted router crash without -state-dir leaves nothing to resume from")
+	}
+	if o.standby != "" && o.standbyMisses <= 0 {
+		return fmt.Errorf("-standby-misses %d must be positive", o.standbyMisses)
 	}
 	if o.fleetN <= 0 {
 		return fmt.Errorf("-fleet %d must be positive", o.fleetN)
@@ -255,6 +306,47 @@ func stitchedTrace(spans []obs.TraceSpan) (tid uint64, n, procs int, ok bool) {
 	return tid, best.n, len(best.procs), true
 }
 
+// waitForPrimaryFailure blocks until the primary's /v1/router/healthz has
+// failed `misses` consecutive probes after having answered at least once,
+// and returns the instant of the last successful probe — where the takeover
+// blackout clock starts. If the primary never answers within a 60s grace
+// (it was already dead when the standby started), leadership is claimed
+// immediately.
+func waitForPrimaryFailure(primary string, every time.Duration, misses int) time.Time {
+	timeout := 2 * every
+	if timeout < 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	cl := &http.Client{Timeout: timeout}
+	url := "http://" + primary + "/v1/router/healthz"
+	grace := time.Now().Add(60 * time.Second)
+	lastOK := time.Time{}
+	sawHealthy := false
+	consecutive := 0
+	for {
+		resp, err := cl.Get(url)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		switch {
+		case ok:
+			sawHealthy, consecutive = true, 0
+			lastOK = time.Now()
+		case sawHealthy:
+			consecutive++
+			if consecutive >= misses {
+				return lastOK
+			}
+		case time.Now().After(grace):
+			fmt.Fprintln(os.Stderr, "standby: primary never answered within the grace window — claiming leadership")
+			return time.Now()
+		}
+		time.Sleep(every)
+	}
+}
+
 // parseAt splits "x@round" clauses.
 func parseAt(s string) (string, int, error) {
 	head, tail, ok := strings.Cut(s, "@")
@@ -293,6 +385,14 @@ func main() {
 	flag.StringVar(&o.trace, "trace", "", "enable control-plane tracing on router and every shard; write the merged Chrome trace-event JSON to this file")
 	flag.StringVar(&o.obsAddr, "obs", "", "serve the router's metrics plus a federated fleet-wide /metrics view (every shard's registry relabeled with shard=addr) on this address")
 	flag.Float64Var(&o.sloBudget, "slo-budget", 0, "per-tenant SLO error budget as allowed violation fraction (e.g. 0.02); enables multi-window burn-rate telemetry on every shard (0 = off)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "durable router state directory: placement, round clock, migration records, and the fencing epoch are checkpointed here (\"\" = in-memory router, no crash safety)")
+	flag.BoolVar(&o.resume, "resume", false, "warm-restore the router from -state-dir: bump the fencing epoch, reconcile placement against every shard's reported residency, and continue the round sequence")
+	flag.StringVar(&o.routerAddr, "router-addr", "", "serve the router's own /v1/router/healthz on this address (the standby's probe target)")
+	flag.StringVar(&o.standby, "standby", "", "run as a hot standby: probe the primary router's /v1/router/healthz at this host:port and take over (epoch bump + reconcile) after sustained failure")
+	flag.IntVar(&o.standbyMisses, "standby-misses", 5, "consecutive failed primary probes that trigger the standby's takeover")
+	flag.Float64Var(&o.standbyEveryMS, "standby-every-ms", 100, "primary probe interval (ms)")
+	flag.BoolVar(&o.crashAfterDrain, "crash-after-drain", false, "drill: self-SIGKILL at the migrate-after-drain crash site — the migrated tenant is resident nowhere, only the durable migration record knows where it was headed")
+	flag.IntVar(&o.crashAtRound, "crash-at-round", 0, "drill: self-SIGKILL at the start of this round (0 = never)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -352,10 +452,13 @@ func run(o routerOptions) int {
 			procs = append(procs, p)
 			addrs = append(addrs, p.addr)
 		}
-	} else {
+	} else if o.shards != "" {
 		addrs = strings.Split(o.shards, ",")
 		procs = make([]*shardProc, len(addrs))
 	}
+	// -resume/-standby: addrs stays empty — the shard set is recorded in the
+	// durable state and rebuilt by ResumeRouter.
+	takeover := o.resume || o.standby != ""
 
 	// Parse the chaos/migration schedules now that slots exist. Slot "max"
 	// resolves at kill time to the spawned shard owning the most tenants —
@@ -398,7 +501,9 @@ func run(o routerOptions) int {
 			migSlot = -2
 		} else {
 			slot, errS := strconv.Atoi(slotS)
-			if errS != nil || slot < 0 || slot >= len(addrs) {
+			// A resumed/standby router learns its shard set from the durable
+			// state, so the upper bound is checked at migration time instead.
+			if errS != nil || slot < 0 || (!takeover && slot >= len(addrs)) {
 				fmt.Fprintf(os.Stderr, "grafrouter: -migrate slot %q out of range (0..%d, or \"other\")\n", slotS, len(addrs)-1)
 				return 2
 			}
@@ -449,6 +554,21 @@ func run(o routerOptions) int {
 	if o.roundBudgetMS > 0 {
 		cfg.RoundBudget = time.Duration(o.roundBudgetMS * float64(time.Millisecond))
 	}
+	cfg.StateDir = o.stateDir
+	if o.crashAfterDrain {
+		// The drill's worst-case crash: SIGKILL ourselves inside the
+		// migration window, after the drain, before the restore. No rollback,
+		// no cleanup — exactly what the failpoint seam promises. The standby
+		// (or a -resume restart) must roll the move forward from the durable
+		// migration record.
+		cfg.Failpoint = func(site string) error {
+			if site == "migrate-after-drain" {
+				fmt.Printf("router: CRASH — self-SIGKILL at %s\n", site)
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+			return nil
+		}
+	}
 	if o.restartBudget == 0 {
 		cfg.RestartBudget = -1 // reassign immediately, never respawn
 	}
@@ -469,13 +589,58 @@ func run(o routerOptions) int {
 		cfg.Tenants = append(cfg.Tenants, fmt.Sprintf("tenant-%02d", i))
 	}
 
-	r, err := rpc.NewRouter(cfg, addrs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	var r *rpc.Router
+	takeoverBlackoutMS := -1.0
+	if takeover {
+		deadAt := time.Now()
+		if o.standby != "" {
+			every := time.Duration(o.standbyEveryMS * float64(time.Millisecond))
+			if every < 10*time.Millisecond {
+				every = 10 * time.Millisecond
+			}
+			fmt.Printf("standby: probing primary %s every %s (%d misses → takeover)\n",
+				o.standby, every, o.standbyMisses)
+			deadAt = waitForPrimaryFailure(o.standby, every, o.standbyMisses)
+			fmt.Println("standby: primary declared dead — taking over")
+		}
+		rr, rep, err := rpc.ResumeRouter(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		r = rr
+		takeoverBlackoutMS = float64(time.Since(deadAt).Nanoseconds()) / 1e6
+		_ = rep // already logged by the reconcile pass through cfg.Logf
+		fmt.Printf("router: resumed epoch=%d at round %d/%d, takeover_blackout_ms=%.1f\n",
+			r.Epoch(), r.Round(), rounds, takeoverBlackoutMS)
+	} else {
+		rr, err := rpc.NewRouter(cfg, addrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		r = rr
 	}
 	fmt.Printf("router: %d tenants, %d shards, shape=%s, %d rounds (%ds horizon)\n",
-		o.fleetN, len(addrs), o.shape, rounds, o.durS)
+		o.fleetN, len(r.Shards()), o.shape, rounds, o.durS)
+	if o.routerAddr != "" {
+		ln, err := net.Listen("tcp", o.routerAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "router-addr listen: %v\n", err)
+			return 1
+		}
+		rmux := http.NewServeMux()
+		rmux.HandleFunc("/v1/router/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(rpc.RouterHealth{
+				OK: true, PID: os.Getpid(), Epoch: r.Epoch(), Round: r.Round(), Fenced: r.Fenced(),
+			})
+		})
+		rsrv := &http.Server{Handler: rmux}
+		go rsrv.Serve(ln)
+		defer rsrv.Close()
+		fmt.Printf("router: healthz on %s\n", ln.Addr())
+	}
 	if o.obsAddr != "" {
 		ln, err := net.Listen("tcp", o.obsAddr)
 		if err != nil {
@@ -493,15 +658,21 @@ func run(o routerOptions) int {
 		defer srv.Close()
 		fmt.Printf("router: obs listening on %s (federated /metrics)\n", ln.Addr())
 	}
-	if err := r.Bootstrap(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	if !takeover {
+		if err := r.Bootstrap(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 
 	start := time.Now()
 	exit := 0
 	prevRung := 0
-	for round := 1; round <= rounds; round++ {
+	for round := r.Round() + 1; round <= rounds; round++ {
+		if o.crashAtRound == round {
+			fmt.Printf("router: CRASH — self-SIGKILL at round %d\n", round)
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
 		if killRound == round {
 			slot := killSlot
 			if slot == killSlotMax {
@@ -539,7 +710,10 @@ func run(o routerOptions) int {
 					}
 				}
 			}
-			if slot < 0 {
+			if slot >= len(r.Shards()) {
+				fmt.Fprintf(os.Stderr, "migrate: slot %d out of range (%d shards in the restored ring)\n", slot, len(r.Shards()))
+				exit = 1
+			} else if slot < 0 {
 				fmt.Fprintf(os.Stderr, "migrate: no live shard other than %s for %s\n", r.Owner(migTenant), migTenant)
 				exit = 1
 			} else if d, err := r.Migrate(migTenant, r.Shards()[slot].Addr); err != nil {
@@ -610,7 +784,7 @@ func run(o routerOptions) int {
 	// Aggregate the shards' overload counters from their health endpoints:
 	// shed work is accounted loudly, and expired_executed must be zero —
 	// a shard that ran work past its propagated deadline broke the contract.
-	var shardShed, expiredShed, expiredExecuted int64
+	var shardShed, expiredShed, expiredExecuted, fencedAccepted, fencedRejected int64
 	for _, si := range r.Shards() {
 		if !si.Alive {
 			continue
@@ -619,17 +793,31 @@ func run(o routerOptions) int {
 			shardShed += h.Shed
 			expiredShed += h.ExpiredShed
 			expiredExecuted += h.ExpiredExecuted
+			fencedAccepted += h.FencedAccepted
+			fencedRejected += h.FencedRejected
 		}
 	}
 	if expiredExecuted > 0 {
 		fmt.Fprintf(os.Stderr, "overload: %d requests EXECUTED past their propagated deadline\n", expiredExecuted)
 		exit = 1
 	}
-	fmt.Printf("router done: rounds=%d ticks=%d wall=%.1fs ticks_per_s=%.1f lost_decisions=%d migrations=%d respawns=%d reassignments=%d verified_restores=%d snapshot_verified=%d replayed_ticks=%d recovery_blackout_ms=%.1f shed_ticks=%d partial_rounds=%d shard_shed=%d expired_shed=%d expired_executed=%d\n",
+	if fencedAccepted > 0 {
+		fmt.Fprintf(os.Stderr, "fencing: %d stale-epoch mutations EXECUTED on a shard\n", fencedAccepted)
+		exit = 1
+	}
+	if r.Fenced() {
+		fmt.Fprintln(os.Stderr, "fencing: this router generation was FENCED (a newer epoch owns the fleet)")
+		exit = 1
+	}
+	fmt.Printf("router done: rounds=%d ticks=%d wall=%.1fs ticks_per_s=%.1f lost_decisions=%d migrations=%d respawns=%d reassignments=%d verified_restores=%d snapshot_verified=%d replayed_ticks=%d recovery_blackout_ms=%.1f shed_ticks=%d partial_rounds=%d shard_shed=%d expired_shed=%d expired_executed=%d epoch=%d persist_errors=%d fenced_writes_accepted=%d fenced_writes_rejected=%d\n",
 		st.Rounds, ticksDone, wall, float64(ticksDone)/wall,
 		st.LostDecisions, st.Migrations, st.Respawns, st.Reassignments,
 		st.VerifiedRestores, st.SnapshotVerified, st.ReplayedTicks, st.RecoveryBlackoutMS,
-		st.ShedTicks, st.PartialRounds, shardShed, expiredShed, expiredExecuted)
+		st.ShedTicks, st.PartialRounds, shardShed, expiredShed, expiredExecuted,
+		r.Epoch(), st.PersistErrors, fencedAccepted, fencedRejected)
+	if takeoverBlackoutMS >= 0 {
+		fmt.Printf("takeover_blackout_ms=%.1f\n", takeoverBlackoutMS)
+	}
 	for i, ms := range st.MigrationBlackouts {
 		fmt.Printf("migration_blackout_ms=%.2f (migration %d)\n", ms, i)
 	}

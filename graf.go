@@ -44,6 +44,7 @@ import (
 	"graf/internal/gnn"
 	"graf/internal/lifecycle"
 	"graf/internal/obs"
+	"graf/internal/rpc"
 	"graf/internal/sim"
 	"graf/internal/workload"
 )
@@ -926,6 +927,18 @@ func Solve(t *TrainedModel, load []float64, slo time.Duration) Solution {
 func DistributeWorkload(a *App, apiRates map[string]float64) []float64 {
 	return core.NewAnalyzer(a).Distribute(apiRates)
 }
+
+// ErrFencedEpoch matches (via errors.Is) the typed 409 a shard returns for a
+// mutation stamped with a stale router epoch — the sender is a router
+// generation that lost leadership to a resumed or standby successor
+// (DESIGN.md §3k). Fencing is fatal to the sender's round loop: retrying
+// cannot succeed, a newer generation owns the fleet.
+var ErrFencedEpoch = rpc.ErrFencedEpoch
+
+// IsFencedEpoch reports whether err is (or wraps) a stale-epoch rejection —
+// the signal for a router generation to stand down as a zombie rather than
+// treat the shard as failed.
+func IsFencedEpoch(err error) bool { return rpc.IsFenced(err) }
 
 // --- Fleet mode (sharded multi-tenant control plane, DESIGN.md §3g) ---------
 

@@ -32,6 +32,12 @@ const (
 	// KillAt/ShouldKill and performs the kill — keeping chaos free of
 	// process-management dependencies.
 	NetShardKill
+	// NetRouterKill marks the ROUTER for death at the start of the window —
+	// the control plane's brain, not a limb. As with NetShardKill the driver
+	// polls RouterKillAt and performs the kill (SIGKILL the primary, or trip
+	// an in-process failpoint); the standby's takeover and the resumed
+	// fleet's audit integrity are then the properties under test.
+	NetRouterKill
 )
 
 // String names the network fault kind.
@@ -45,6 +51,8 @@ func (k NetFaultKind) String() string {
 		return "net-partition"
 	case NetShardKill:
 		return "shard-kill"
+	case NetRouterKill:
+		return "router-kill"
 	default:
 		return "unknown"
 	}
@@ -102,6 +110,12 @@ func Partition(fromRound, toRound int, shard string) NetEvent {
 // ShardKill returns a shard-death event.
 func ShardKill(atRound int, shard string) NetEvent {
 	return NetEvent{Kind: NetShardKill, FromRound: atRound, Shard: shard}
+}
+
+// RouterKill returns a router-death event: the primary router is killed at
+// the start of the round (mid-migration when the drill schedules one there).
+func RouterKill(atRound int) NetEvent {
+	return NetEvent{Kind: NetRouterKill, FromRound: atRound}
 }
 
 // NetInjector evaluates a NetScenario against outbound control-plane
@@ -179,4 +193,15 @@ func (n *NetInjector) KillAt(shard string) int {
 func (n *NetInjector) ShouldKill(shard string, round int) bool {
 	at := n.KillAt(shard)
 	return at >= 0 && at == round
+}
+
+// RouterKillAt returns the round at which the router is scripted to die
+// (-1 = never). The driver polls it and performs the kill.
+func (n *NetInjector) RouterKillAt() int {
+	for _, e := range n.sc.Events {
+		if e.Kind == NetRouterKill {
+			return e.FromRound
+		}
+	}
+	return -1
 }

@@ -68,6 +68,14 @@ type Snapshot struct {
 	// hooks. Empty when no lifecycle manager is attached; gob decodes old
 	// snapshots without the field to an empty slice.
 	Lifecycle []byte
+
+	// Opaque carries a store-owner-defined payload for snapshots that are
+	// not controller checkpoints at all — the fleet router persists its
+	// placement/epoch state as a gob blob here (namespace "router"), reusing
+	// the same framed envelope, generation rotation, and quarantine fallback
+	// without ckpt learning the router's schema. Empty for controller
+	// snapshots; gob decodes old snapshots without the field to empty.
+	Opaque []byte
 }
 
 // headerLen is magic[8] + version u32 + payloadLen u64 + crc32 u32.

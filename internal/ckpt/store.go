@@ -34,6 +34,14 @@ type Store struct {
 	// set aside during LoadLatest.
 	OnQuarantine func(file, reason string)
 
+	// WriteFault, if set, intercepts the encoded bytes just before they hit
+	// the filesystem in Save. Tests inject write-path faults through it: an
+	// error return simulates ENOSPC (Save must fail without advancing the
+	// generation counter), and a mutated/truncated byte slice simulates a
+	// short write that the kernel "accepted" (the resulting generation must
+	// fail validation on load and fall back). Production code leaves it nil.
+	WriteFault func(path string, data []byte) ([]byte, error)
+
 	lastGen int // highest generation ever saved or seen
 }
 
@@ -95,12 +103,29 @@ func (s *Store) generations() ([]int, error) {
 
 // Save persists snap as the next generation and prunes old ones. It returns
 // the generation number and the encoded size.
+//
+// Failure leaves the store exactly where it was: the generation counter does
+// not advance (the next Save reuses the number) and snap.Generation is rolled
+// back to its pre-call value, so a caller that checkpoints in-memory state
+// never ends up holding a generation stamp that exists nowhere on disk.
 func (s *Store) Save(snap *Snapshot) (gen, size int, err error) {
+	prevGen := snap.Generation
 	gen = s.lastGen + 1
 	snap.Generation = gen
+	defer func() {
+		if err != nil {
+			snap.Generation = prevGen
+		}
+	}()
 	data, err := EncodeSnapshot(snap)
 	if err != nil {
 		return 0, 0, err
+	}
+	if s.WriteFault != nil {
+		data, err = s.WriteFault(s.path(gen), data)
+		if err != nil {
+			return 0, 0, err
+		}
 	}
 	if err := WriteFileAtomic(s.path(gen), data, 0o644); err != nil {
 		return 0, 0, err

@@ -1,0 +1,151 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestSaveENOSPCSurfacesAndDoesNotAdvance injects a full-disk failure into
+// the store's write path and asserts the three crash-safety invariants the
+// router leans on: the error is returned (not swallowed), the previous
+// generation stays loadable, and neither the store's generation counter nor
+// the caller's snapshot stamp advances past what is actually on disk.
+func TestSaveENOSPCSurfacesAndDoesNotAdvance(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewNamespacedStore(dir, "router")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := &Snapshot{At: 1, Opaque: []byte("generation-one")}
+	gen1, _, err := s.Save(good)
+	if err != nil {
+		t.Fatalf("seed save: %v", err)
+	}
+	if gen1 != 1 {
+		t.Fatalf("seed generation = %d, want 1", gen1)
+	}
+
+	s.WriteFault = func(path string, data []byte) ([]byte, error) {
+		return nil, &os.PathError{Op: "write", Path: path, Err: syscall.ENOSPC}
+	}
+	bad := &Snapshot{At: 2, Opaque: []byte("never-lands")}
+	if _, _, err := s.Save(bad); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Save under ENOSPC returned %v, want ENOSPC", err)
+	}
+	if bad.Generation != 0 {
+		t.Fatalf("failed Save left snap.Generation = %d, want 0 (rolled back)", bad.Generation)
+	}
+
+	// Previous generation must still load.
+	snap, err := s.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest after failed save: %v", err)
+	}
+	if string(snap.Opaque) != "generation-one" {
+		t.Fatalf("LoadLatest returned %q, want the pre-fault generation", snap.Opaque)
+	}
+
+	// The counter did not advance: the next successful save reuses the
+	// generation number the failed attempt would have burned.
+	s.WriteFault = nil
+	gen2, _, err := s.Save(&Snapshot{At: 3, Opaque: []byte("generation-two")})
+	if err != nil {
+		t.Fatalf("save after fault cleared: %v", err)
+	}
+	if gen2 != gen1+1 {
+		t.Fatalf("post-fault generation = %d, want %d (counter must not advance on failure)", gen2, gen1+1)
+	}
+
+	// And nothing from the failed attempt litters the directory.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("failed save left temp file %s behind", e.Name())
+		}
+	}
+}
+
+// TestSaveShortWriteQuarantinedOnLoad simulates a short write the kernel
+// "accepted" — the newest generation lands truncated — and asserts LoadLatest
+// quarantines it and falls back to the previous valid generation.
+func TestSaveShortWriteQuarantinedOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewNamespacedStore(dir, "router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Save(&Snapshot{At: 1, Opaque: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.WriteFault = func(path string, data []byte) ([]byte, error) {
+		return data[:len(data)/2], nil // torn in half, silently
+	}
+	if _, _, err := s.Save(&Snapshot{At: 2, Opaque: []byte("torn")}); err != nil {
+		t.Fatalf("short write is silent at save time, got %v", err)
+	}
+	s.WriteFault = nil
+
+	var quarantined []string
+	s.OnQuarantine = func(file, reason string) { quarantined = append(quarantined, file) }
+	snap, err := s.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if string(snap.Opaque) != "good" {
+		t.Fatalf("LoadLatest returned %q, want fallback to the valid generation", snap.Opaque)
+	}
+	if len(quarantined) != 1 {
+		t.Fatalf("quarantined %v, want exactly the torn generation", quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantined[0]+".corrupt")); err != nil {
+		t.Fatalf("torn generation not preserved as .corrupt: %v", err)
+	}
+}
+
+// TestOpaqueRoundTrip pins the gob compatibility contract for the new field:
+// snapshots written without Opaque decode with it empty, and an Opaque-only
+// snapshot survives a save/load cycle byte-for-byte.
+func TestOpaqueRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewNamespacedStore(dir, "router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte{0x00, 0xff, 0x42, 0x00, 0x13}
+	if _, _, err := s.Save(&Snapshot{At: 7, Opaque: blob}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.Opaque) != string(blob) {
+		t.Fatalf("Opaque round-trip mismatch: got %x want %x", snap.Opaque, blob)
+	}
+
+	legacy, err := DecodeSnapshot(mustEncode(t, &Snapshot{At: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Opaque) != 0 {
+		t.Fatalf("legacy snapshot decoded with non-empty Opaque: %x", legacy.Opaque)
+	}
+}
+
+func mustEncode(t *testing.T, snap *Snapshot) []byte {
+	t.Helper()
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -176,7 +176,10 @@ func ReadLog(r io.Reader) ([]Record, error) {
 	var tailErr error
 	for sc.Scan() {
 		line++
-		if len(sc.Bytes()) == 0 {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			// Blank (or whitespace-only) lines are skipped, matching the
+			// byte-offset scan in RepairLog — the two must agree on what
+			// counts as a record or repair would not converge.
 			continue
 		}
 		if tailErr != nil {

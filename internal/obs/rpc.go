@@ -148,6 +148,32 @@ func (o *RouterObs) Migration(outcome string, blackoutMS float64) {
 	}
 }
 
+// Reconcile records one anti-entropy pass of a resumed/standby router:
+// tenants confirmed where the checkpoint said, residency corrections adopted
+// from shard reports, orphans re-placed, and duplicate residencies evicted.
+func (o *RouterObs) Reconcile(epoch uint64, confirmed, adopted, orphaned, dupEvicted int) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_router_reconciles_total",
+		"Anti-entropy reconcile passes run by resumed or standby routers.", nil).Inc()
+	o.t.Reg.Gauge("graf_router_epoch",
+		"This router generation's fencing epoch.", nil).Set(float64(epoch))
+	add := func(name, help, outcome string, n int) {
+		if n > 0 {
+			o.t.Reg.Counter(name, help, Labels{"outcome": outcome}).Add(float64(n))
+		}
+	}
+	add("graf_router_reconcile_tenants_total",
+		"Tenants processed by reconcile passes, by outcome.", "confirmed", confirmed)
+	add("graf_router_reconcile_tenants_total",
+		"Tenants processed by reconcile passes, by outcome.", "adopted", adopted)
+	add("graf_router_reconcile_tenants_total",
+		"Tenants processed by reconcile passes, by outcome.", "orphaned", orphaned)
+	add("graf_router_reconcile_tenants_total",
+		"Tenants processed by reconcile passes, by outcome.", "dup-evicted", dupEvicted)
+}
+
 // ShardDeath records a confirmed shard failure and how it was resolved:
 // respawned in place or removed from the ring with tenants reassigned.
 func (o *RouterObs) ShardDeath(respawned bool, reassigned int, blackoutMS float64) {

@@ -14,6 +14,10 @@ import (
 // once the budget is gone.
 const HeaderDeadlineMS = "Graf-Deadline-Ms"
 
+// maxDuration is the largest representable budget; header values whose
+// millisecond count would overflow it are rejected as malformed.
+const maxDuration = time.Duration(1<<63 - 1)
+
 // FormatRemaining renders a remaining budget as the header value, rounding
 // up so a positive remainder never serializes to "0" (which would mean
 // already expired). Non-positive budgets return "0".
@@ -21,7 +25,15 @@ func FormatRemaining(d time.Duration) string {
 	if d <= 0 {
 		return "0"
 	}
-	ms := (d + time.Millisecond - 1) / time.Millisecond
+	// Ceil without the usual +((1ms)-1) trick: that addition overflows for
+	// budgets within a millisecond of the Duration ceiling.
+	ms := d / time.Millisecond
+	if d%time.Millisecond != 0 && ms < maxDuration/time.Millisecond {
+		// Round up, except in the topmost partial millisecond of the
+		// representable range, where rounding up would serialize a value
+		// the parser must reject as unrepresentable.
+		ms++
+	}
 	return strconv.FormatInt(int64(ms), 10)
 }
 
@@ -33,7 +45,9 @@ func ParseRemaining(h string) (time.Duration, bool) {
 		return 0, false
 	}
 	ms, err := strconv.ParseInt(h, 10, 64)
-	if err != nil || ms < 0 {
+	if err != nil || ms < 0 || ms > int64(maxDuration/time.Millisecond) {
+		// Values past the overflow point would wrap negative when widened to
+		// a Duration — a ~292-year budget is malformed, not a deadline.
 		return 0, false
 	}
 	return time.Duration(ms) * time.Millisecond, true

@@ -1,0 +1,87 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseRemaining hammers the Graf-Deadline-Ms wire parser. The header
+// crosses a trust boundary (any process can stamp it), so the parser must
+// never panic, never fabricate budget from a malformed value, and never
+// return a negative duration with ok=true — a negative budget would read as
+// "already expired" in some call sites and as "no deadline" in others.
+func FuzzParseRemaining(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"0",
+		"1",
+		"1500",
+		"-3",
+		"abc",
+		"12.5",
+		" 12",
+		"12 ",
+		"+7",
+		"0x10",
+		"9223372036854775807",  // int64 max: parses, but widening to Duration overflows
+		"99999999999999999999", // past int64: ParseInt itself fails
+		"9223372036854",        // largest ms count that still fits a Duration
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, h string) {
+		d, ok := ParseRemaining(h)
+		if !ok {
+			if d != 0 {
+				t.Fatalf("ParseRemaining(%q) = %v with ok=false, want 0", h, d)
+			}
+			return
+		}
+		if d < 0 {
+			t.Fatalf("ParseRemaining(%q) = %v with ok=true: negative budget accepted", h, d)
+		}
+		if d%time.Millisecond != 0 {
+			t.Fatalf("ParseRemaining(%q) = %v: sub-millisecond budget from an integer-ms header", h, d)
+		}
+		// Round-trip: whatever the parser accepts, the formatter must
+		// re-serialize to a value the parser maps back to the same budget.
+		d2, ok2 := ParseRemaining(FormatRemaining(d))
+		if !ok2 || d2 != d {
+			t.Fatalf("round-trip broke: %q -> %v -> %q -> (%v, %v)", h, d, FormatRemaining(d), d2, ok2)
+		}
+	})
+}
+
+// FuzzFormatRemaining checks the formatter side: any duration serializes to
+// a header the parser accepts, positive remainders never collapse to "0"
+// (which would mean already-expired), and ceil rounding costs at most 1ms.
+func FuzzFormatRemaining(f *testing.F) {
+	for _, seed := range []int64{0, -1, 1, 999_999, int64(time.Millisecond), int64(time.Second), 1<<62 - 1} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, ns int64) {
+		d := time.Duration(ns)
+		h := FormatRemaining(d)
+		got, ok := ParseRemaining(h)
+		if !ok {
+			t.Fatalf("FormatRemaining(%v) = %q: parser rejects own output", d, h)
+		}
+		if d <= 0 {
+			if got != 0 {
+				t.Fatalf("FormatRemaining(%v) = %q parsed to %v, want 0", d, h, got)
+			}
+			return
+		}
+		if got > d && got-d >= time.Millisecond {
+			t.Fatalf("ceil rounding overshot: %v -> %q -> %v", d, h, got)
+		}
+		if got < d {
+			// Rounding up is the rule; rounding down is tolerated only in
+			// the topmost partial millisecond, where ceil would serialize
+			// an unrepresentable value.
+			if d <= maxDuration-time.Millisecond || d-got >= time.Millisecond {
+				t.Fatalf("round-trip lost budget: %v -> %q -> %v", d, h, got)
+			}
+		}
+	})
+}

@@ -10,7 +10,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graf/internal/obs"
@@ -102,6 +104,14 @@ var ErrBreakerOpen = fmt.Errorf("rpc: circuit breaker open")
 // it like shed work, not failure.
 var ErrBudgetExhausted = errors.New("rpc: op budget exhausted")
 
+// ErrFencedEpoch is the typed match target for a shard's 409 stale-epoch
+// rejection: the caller's Graf-Epoch is older than the highest the shard has
+// seen, meaning a newer router generation has taken over. errors.Is(err,
+// ErrFencedEpoch) matches through the RemoteError the wire rejection arrives
+// as. Fencing is fatal to the sender — it has lost leadership and must stop
+// mutating the fleet, not retry.
+var ErrFencedEpoch = errors.New("rpc: fenced stale epoch")
+
 // breaker is a per-shard circuit breaker: closed (normal) → open after
 // Threshold consecutive failures (calls fail fast) → half-open after
 // Cooldown (one probe allowed; success closes, failure re-opens).
@@ -126,6 +136,11 @@ type Client struct {
 	Obs    *obs.RPCObs
 	Tracer *obs.Tracer
 
+	// epoch, when non-zero, rides every request as the Graf-Epoch header —
+	// the router generation's fencing token (atomic: attempts read it
+	// without c.mu).
+	epoch atomic.Uint64
+
 	mu       sync.Mutex
 	breakers map[string]*breaker
 	rng      *rand.Rand
@@ -143,6 +158,18 @@ func NewClient(cfg ClientConfig, fault FaultInjector) *Client {
 		breakers: map[string]*breaker{},
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
+}
+
+// SetEpoch installs the router generation's fencing epoch; every subsequent
+// request carries it in the Graf-Epoch header. Zero (the default) sends no
+// header — epoch-unaware callers keep working against fenced shards.
+func (c *Client) SetEpoch(e uint64) {
+	c.epoch.Store(e)
+}
+
+// Epoch returns the installed fencing epoch (0 = none).
+func (c *Client) Epoch() uint64 {
+	return c.epoch.Load()
 }
 
 // SetRound tells the client the current router round — the coordinate fault
@@ -401,6 +428,14 @@ func IsExpired(err error) bool {
 	return errors.As(err, &re) && re.Expired
 }
 
+// IsFenced reports whether err is a shard's stale-epoch rejection — the
+// sender has lost router leadership and must stop mutating the fleet.
+// Equivalent to errors.Is(err, ErrFencedEpoch).
+func IsFenced(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Fenced
+}
+
 // optCtx unpacks the variadic parent-span parameter of the exported calls.
 func optCtx(parents []obs.SpanContext) obs.SpanContext {
 	if len(parents) == 0 {
@@ -411,8 +446,8 @@ func optCtx(parents []obs.SpanContext) obs.SpanContext {
 
 // RemoteError is an application-level rejection from a shard (HTTP 4xx/5xx
 // with an error body) — distinguished from transport errors, which drive
-// retries and the breaker. Overloaded/RetryAfterMS/Expired mirror the wire
-// errorResponse; use IsOverloaded/IsExpired to classify.
+// retries and the breaker. Overloaded/RetryAfterMS/Expired/Fenced mirror the
+// wire errorResponse; use IsOverloaded/IsExpired/IsFenced to classify.
 type RemoteError struct {
 	Shard        string
 	Status       int
@@ -420,10 +455,20 @@ type RemoteError struct {
 	Overloaded   bool
 	RetryAfterMS int
 	Expired      bool
+	// Fenced marks a stale-epoch rejection; Epoch is the shard's fence (the
+	// highest epoch it has seen — ours was lower).
+	Fenced bool
+	Epoch  uint64
 }
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: shard %s: %d %s", e.Shard, e.Status, e.Msg)
+}
+
+// Is lets errors.Is match the typed sentinels a remote rejection can carry:
+// errors.Is(err, ErrFencedEpoch) is true for a fenced rejection.
+func (e *RemoteError) Is(target error) bool {
+	return target == ErrFencedEpoch && e.Fenced
 }
 
 // attempt performs one wire attempt. remaining, when positive, is the call's
@@ -439,6 +484,9 @@ func (c *Client) attempt(shard, method, path string, body []byte, out any, remai
 	}
 	if tc := optCtx(trace); tc.Valid() {
 		req.Header.Set(traceparentHeader, tc.Traceparent())
+	}
+	if e := c.epoch.Load(); e > 0 {
+		req.Header.Set(epochHeader, strconv.FormatUint(e, 10))
 	}
 	if remaining > 0 {
 		req.Header.Set(overload.HeaderDeadlineMS, overload.FormatRemaining(remaining))
@@ -464,7 +512,8 @@ func (c *Client) attempt(shard, method, path string, body []byte, out any, remai
 			msg = er.Error
 		}
 		return &RemoteError{Shard: shard, Status: resp.StatusCode, Msg: msg,
-			Overloaded: er.Overloaded, RetryAfterMS: er.RetryAfterMS, Expired: er.Expired}
+			Overloaded: er.Overloaded, RetryAfterMS: er.RetryAfterMS, Expired: er.Expired,
+			Fenced: er.Fenced, Epoch: er.Epoch}
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {

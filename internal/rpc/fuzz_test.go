@@ -1,0 +1,74 @@
+package rpc
+
+import (
+	"testing"
+
+	"graf/internal/overload"
+)
+
+// FuzzParseBrownout hammers the -brownout flag parser. The flag reaches
+// every process in a fleet via the shared Spec, so the parser must never
+// panic, must reject malformed schedules instead of silently mangling them
+// (a half-parsed schedule would break single-process/distributed byte
+// comparability), and must be deterministic: the same string parses to the
+// same schedule in every process.
+func FuzzParseBrownout(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"   ",
+		"0:full",
+		"12-24:heuristic",
+		"12-24:heuristic,30:warm",
+		"0-5:hold,5-10:warm,10:full",
+		"5",
+		":",
+		"5:",
+		":warm",
+		"3:nosuchstep",
+		"-1:warm",
+		"4-2:warm",  // TO below FROM
+		"4-4:warm",  // TO equal to FROM
+		"1-2:warm,", // trailing comma -> empty phase
+		"a-b:warm",
+		"1.5:warm",
+		"1-2:warm:extra",
+		"9999999999999999999999:warm",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseBrownout(s)
+		if err != nil {
+			if sched != nil {
+				t.Fatalf("ParseBrownout(%q) returned a partial schedule alongside error %v", s, err)
+			}
+			return
+		}
+		for i, ph := range sched {
+			if ph.FromTick < 0 {
+				t.Fatalf("ParseBrownout(%q) phase %d: negative FromTick %d", s, i, ph.FromTick)
+			}
+			if ph.ToTick != 0 && ph.ToTick <= ph.FromTick {
+				t.Fatalf("ParseBrownout(%q) phase %d: ToTick %d not above FromTick %d", s, i, ph.ToTick, ph.FromTick)
+			}
+			if ph.Step != overload.ClampStep(ph.Step) {
+				t.Fatalf("ParseBrownout(%q) phase %d: step %v off the ladder", s, i, ph.Step)
+			}
+		}
+		// Determinism: a second parse of the same flag must yield the
+		// identical schedule — this is what keeps the distributed run and
+		// the single-process reference degrading in lockstep.
+		again, err2 := ParseBrownout(s)
+		if err2 != nil {
+			t.Fatalf("ParseBrownout(%q) second parse errored: %v", s, err2)
+		}
+		if len(again) != len(sched) {
+			t.Fatalf("ParseBrownout(%q) nondeterministic: %d phases then %d", s, len(sched), len(again))
+		}
+		for i := range sched {
+			if again[i] != sched[i] {
+				t.Fatalf("ParseBrownout(%q) nondeterministic at phase %d: %+v vs %+v", s, i, sched[i], again[i])
+			}
+		}
+	})
+}

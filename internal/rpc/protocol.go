@@ -39,6 +39,26 @@ type HealthResponse struct {
 	Shed            int64 `json:"shed,omitempty"`
 	ExpiredShed     int64 `json:"expired_shed,omitempty"`
 	ExpiredExecuted int64 `json:"expired_executed,omitempty"`
+	// Epoch is the highest router epoch this shard has seen on a mutating
+	// request — the fence a zombie router's writes are rejected against.
+	// FencedRejected counts stale-epoch mutations refused; FencedAccepted is
+	// the invariant tripwire (a stale-epoch mutation that executed) and must
+	// stay zero.
+	Epoch          uint64 `json:"epoch,omitempty"`
+	FencedRejected int64  `json:"fenced_rejected,omitempty"`
+	FencedAccepted int64  `json:"fenced_accepted,omitempty"`
+}
+
+// RouterHealth answers GET /v1/router/healthz on the *router's* own control
+// address (grafrouter -router-addr) — the standby's liveness probe. Sustained
+// probe failure is the takeover trigger; Fenced lets an operator spot a
+// zombie generation that is still running but has lost leadership.
+type RouterHealth struct {
+	OK     bool   `json:"ok"`
+	PID    int    `json:"pid"`
+	Epoch  uint64 `json:"epoch"`
+	Round  int    `json:"round"`
+	Fenced bool   `json:"fenced"`
 }
 
 // ConfigureRequest (POST /v1/configure) installs the fleet spec; the shard
@@ -162,4 +182,20 @@ type errorResponse struct {
 	// the shard refused to execute it (executing expired work is the bug the
 	// overload subsystem exists to prevent).
 	Expired bool `json:"expired,omitempty"`
+	// Fenced marks a 409 stale-epoch rejection: the request's Graf-Epoch is
+	// older than the highest this shard has seen, so the sender is a router
+	// generation that lost leadership. Epoch carries the shard's fence so the
+	// zombie can see exactly how far behind it is. Fenced is fatal to the
+	// sender's round loop — retrying cannot succeed, a newer router owns the
+	// fleet.
+	Fenced bool   `json:"fenced,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
 }
+
+// epochHeader carries the router generation's epoch on every mutating shard
+// RPC (DESIGN.md §3k). Shards remember the highest epoch seen and reject
+// anything older with a typed 409, so a zombie router that lost leadership
+// can never double-drive a migration or re-admit a tenant. Read-only
+// endpoints are deliberately unfenced: a stale router reading status is
+// harmless, and the standby needs /v1/tenants before it owns an epoch.
+const epochHeader = "Graf-Epoch"

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"graf/internal/ckpt"
 	"graf/internal/obs"
 )
 
@@ -43,6 +45,20 @@ type RouterConfig struct {
 	// the round completes partially and the next round's idempotent RoundTo
 	// catches the shard up. 0 = unbudgeted.
 	RoundBudget time.Duration
+	// StateDir, when set, makes the router crash-safe: ring membership,
+	// placement, the round counter, migration-in-progress records, and
+	// restart-budget counters are checkpointed into StateDir's "router"
+	// namespace at round boundaries and every placement mutation, and the
+	// router fences all mutating shard RPCs with a persisted epoch
+	// (Graf-Epoch) that ResumeRouter bumps on restore/takeover. "" keeps the
+	// PR-6 in-memory router: no persistence, no fencing.
+	StateDir string
+	// Failpoint, when set, is consulted at named crash sites
+	// ("migrate-after-drain"); returning an error aborts the operation
+	// exactly as a SIGKILL would — no rollback, no cleanup — so crash-window
+	// behavior is testable in-process. The process drill installs a
+	// self-SIGKILL here instead. nil in production.
+	Failpoint func(site string) error
 	// Fault, when set, is installed into the client (chaos injection).
 	Fault FaultInjector
 	// Obs, when set, receives router-level metrics: round duration and
@@ -117,6 +133,7 @@ type RouterStats struct {
 	MigrationBlackouts []float64 // per-migration wall ms between evict and restored admit
 	ShedTicks          int       // tick calls shed by overload protection or round budgets
 	PartialRounds      int       // rounds completed with at least one shed tick
+	PersistErrors      int       // router-state checkpoints that failed to land
 }
 
 // Router is the thin control-plane head: it owns tenant placement (ring +
@@ -141,6 +158,18 @@ type Router struct {
 	round   int
 	stats   RouterStats
 	mu      sync.Mutex
+
+	// Crash safety (nil/zero when cfg.StateDir is empty). store is the
+	// durable generation store; epoch is this router generation's fencing
+	// token (immutable after construction); migration is the in-flight
+	// migration record, persisted so a successor can roll it forward or
+	// back. fenced flips permanently when any shard rejects this generation
+	// as stale — the router has lost leadership and must stop mutating the
+	// fleet and the shared store.
+	store     *ckpt.Store
+	epoch     uint64
+	migration *migrationRecord
+	fenced    atomic.Bool
 }
 
 // NewRouter builds a router over the given shard addresses. Call Bootstrap
@@ -161,6 +190,21 @@ func NewRouter(cfg RouterConfig, shardAddrs []string) (*Router, error) {
 	}
 	r.client.Obs = cfg.RPCObs
 	r.client.Tracer = cfg.Tracer
+	if cfg.StateDir != "" {
+		store, err := openRouterStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		r.store = store
+		// A fresh router over a state dir with history is a new generation:
+		// its epoch must exceed every predecessor's so the shards' fences
+		// lock all of them out the moment this one first writes.
+		r.epoch = 1
+		if prev, err := loadRouterState(cfg.StateDir); err == nil {
+			r.epoch = prev.Epoch + 1
+		}
+		r.client.SetEpoch(r.epoch)
+	}
 	for i, addr := range shardAddrs {
 		r.slots = append(r.slots, &shardSlot{slot: i, addr: addr, alive: true})
 		r.ring.Add(addr)
@@ -183,6 +227,28 @@ func (r *Router) logf(format string, args ...any) {
 // Client returns the router's shard client (the chaos injector hangs off
 // it).
 func (r *Router) Client() *Client { return r.client }
+
+// Epoch returns this router generation's fencing epoch (0 = fencing off —
+// no StateDir configured). Immutable after construction.
+func (r *Router) Epoch() uint64 { return r.epoch }
+
+// Fenced reports whether any shard has rejected this generation as stale —
+// a newer router owns the fleet and this one must stop.
+func (r *Router) Fenced() bool { return r.fenced.Load() }
+
+// noteFenced latches the lost-leadership flag from an error (nil-safe) and
+// reports whether err was a fencing rejection. A fenced router stops
+// persisting immediately: its snapshots would overwrite its successor's in
+// the shared store.
+func (r *Router) noteFenced(err error) bool {
+	if !IsFenced(err) {
+		return false
+	}
+	if !r.fenced.Swap(true) {
+		r.logf("router: FENCED at epoch %d — a newer generation owns the fleet", r.epoch)
+	}
+	return true
+}
 
 // Stats returns a copy of the router's counters.
 func (r *Router) Stats() RouterStats {
@@ -275,7 +341,8 @@ func (r *Router) Bootstrap() error {
 			return err
 		}
 	}
-	r.logf("bootstrap: %d tenants across %d shards", len(ids), len(r.slots))
+	r.persistLocked()
+	r.logf("bootstrap: %d tenants across %d shards (epoch %d)", len(ids), len(r.slots), r.epoch)
 	return nil
 }
 
@@ -288,6 +355,7 @@ func (r *Router) placeTenant(id, addr string, parent ...obs.SpanContext) error {
 	t := r.tenants[id]
 	resp, err := r.client.Admit(addr, id, t.ticks, parent...)
 	if err != nil {
+		r.noteFenced(err)
 		return fmt.Errorf("rpc: admit %s on %s: %w", id, addr, err)
 	}
 	if resp.Status.Ticks < t.ticks {
@@ -312,6 +380,7 @@ func (r *Router) placeTenant(id, addr string, parent ...obs.SpanContext) error {
 	r.stats.ReplayedTicks += resp.ReplayedTicks
 	t.shard = addr
 	r.noteStatus(resp.Status)
+	r.persistLocked()
 	return nil
 }
 
@@ -471,9 +540,19 @@ func (r *Router) RunRound() error {
 		wg.Wait()
 
 		var failed []*shardSlot
+		var fencedErr error
 		r.mu.Lock()
 		for _, res := range results {
 			if res.err != nil {
+				if r.noteFenced(res.err) {
+					// Lost leadership: a newer router generation has taken
+					// over and the shard fences this one out. Fatal, and
+					// deliberately not a "failure" — investigating would
+					// find a perfectly healthy shard, and retrying can never
+					// succeed. The process must stop driving the fleet.
+					fencedErr = res.err
+					continue
+				}
 				if isShedErr(res.err) {
 					// Backpressure or budget exhaustion, not shard death: the
 					// shard is alive and deliberately refused (or we refused to
@@ -494,6 +573,9 @@ func (r *Router) RunRound() error {
 			}
 		}
 		r.mu.Unlock()
+		if fencedErr != nil {
+			return fmt.Errorf("rpc: round %d: router lost leadership: %w", round, fencedErr)
+		}
 		if len(failed) == 0 {
 			break
 		}
@@ -512,6 +594,10 @@ func (r *Router) RunRound() error {
 	}
 	r.mu.Lock()
 	r.stats.Rounds++
+	// Round boundary: the durable state now names a round every shard has
+	// completed, so a successor resuming from it re-ticks at most one round
+	// (idempotently) and never misses one.
+	r.persistLocked()
 	r.mu.Unlock()
 	return nil
 }
@@ -558,6 +644,7 @@ func (r *Router) handleShardFailure(s *shardSlot, parent ...obs.SpanContext) err
 			orphans = append(orphans, id)
 		}
 	}
+	r.persistLocked() // membership change: the slot is out of the ring
 	r.mu.Unlock()
 	sort.Strings(orphans)
 
@@ -601,6 +688,7 @@ func (r *Router) handleShardFailure(s *shardSlot, parent ...obs.SpanContext) err
 					return err
 				}
 			}
+			r.persistLocked() // membership change: respawned addr in the ring
 			r.mu.Unlock()
 			respawned = true
 			span.Event("respawned", newAddr)
@@ -677,9 +765,26 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 	}
 
 	t0 := time.Now()
+	// Persist the migration intent before the drain and mark it drained
+	// after: whichever side of the crash window the router dies on, the
+	// record tells its successor exactly how to finish the move (reconcile
+	// rolls a drained migration forward onto the target, whose shared audit
+	// log and checkpoint are intact).
+	r.mu.Lock()
+	r.migration = &migrationRecord{Tenant: id, From: fromAddr, To: toAddr}
+	r.persistLocked()
+	r.mu.Unlock()
+	clearRecord := func() {
+		r.mu.Lock()
+		r.migration = nil
+		r.persistLocked()
+		r.mu.Unlock()
+	}
 	if fromAddr != "" {
 		ev, err := r.client.Evict(fromAddr, id, true, span.Context())
 		if err != nil {
+			r.noteFenced(err)
+			clearRecord()
 			return 0, fmt.Errorf("rpc: migrate %s: drain: %w", id, err)
 		}
 		if !ev.Missing {
@@ -689,7 +794,25 @@ func (r *Router) Migrate(id, toAddr string) (time.Duration, error) {
 		}
 	}
 	r.mu.Lock()
+	r.migration.Drained = true
+	r.persistLocked()
+	r.mu.Unlock()
+	if r.cfg.Failpoint != nil {
+		// The crash site the failover drill aims at: drained but not yet
+		// restored. A non-nil error emulates SIGKILL — return with no
+		// rollback and the migration record still persisted, exactly the
+		// state a real dead process leaves behind.
+		if err := r.cfg.Failpoint("migrate-after-drain"); err != nil {
+			outcome = "" // the drill kills the process; nothing to count
+			return 0, err
+		}
+	}
+	r.mu.Lock()
 	defer r.mu.Unlock()
+	defer func() {
+		r.migration = nil
+		r.persistLocked()
+	}()
 	if err := r.placeTenant(id, toAddr, span.Context()); err != nil {
 		// Drained but not restored — the tenant is running nowhere. Roll
 		// back onto the source shard (its audit log and checkpoint are
@@ -757,6 +880,7 @@ func (r *Router) Settle() error {
 		r.client.ResetBreaker(addr)
 		resp, err := r.client.Tick(addr, round)
 		if err != nil {
+			r.noteFenced(err)
 			return fmt.Errorf("rpc: settle round %d on %s: %w", round, addr, err)
 		}
 		r.mu.Lock()
@@ -774,6 +898,7 @@ func (r *Router) CheckpointAll() (int, error) {
 	for _, addr := range r.aliveAddrs() {
 		resp, err := r.client.Checkpoint(addr)
 		if err != nil {
+			r.noteFenced(err)
 			return total, err
 		}
 		total += resp.Saved

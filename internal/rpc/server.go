@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +79,17 @@ type ShardServer struct {
 	expiredShed     atomic.Int64
 	expiredExecuted atomic.Int64
 
+	// Epoch fence (DESIGN.md §3k). epoch is the highest Graf-Epoch seen on
+	// any mutating request; it only ever rises, and it rises under s.mu so a
+	// stale-epoch request already queued on the mutex is re-checked against
+	// the new fence before it can execute. fencedRejected counts stale
+	// mutations refused; fencedAccepted is the invariant tripwire — a stale
+	// mutation that executed anyway — and must stay zero (the failover drill
+	// and CI assert it, mirroring expiredExecuted).
+	epoch          atomic.Uint64
+	fencedRejected atomic.Int64
+	fencedAccepted atomic.Int64
+
 	// trc is the control-plane tracer, created at configure time when the
 	// spec enables tracing (atomic: /v1/traces reads it without s.mu).
 	trc atomic.Pointer[obs.Tracer]
@@ -115,15 +128,15 @@ func (s *ShardServer) logf(format string, args ...any) {
 func (s *ShardServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.shielded("health", overload.PriCritical, s.handleHealth))
-	mux.HandleFunc("POST /v1/configure", s.shielded("configure", overload.PriCritical, s.handleConfigure))
-	mux.HandleFunc("POST /v1/admit", s.shielded("admit", overload.PriCritical, s.handleAdmit))
-	mux.HandleFunc("POST /v1/evict", s.shielded("evict", overload.PriCritical, s.handleEvict))
-	mux.HandleFunc("POST /v1/tick", s.shielded("tick", overload.PriHigh, s.handleTick))
+	mux.HandleFunc("POST /v1/configure", s.shielded("configure", overload.PriCritical, s.fenceFast("configure", s.handleConfigure)))
+	mux.HandleFunc("POST /v1/admit", s.shielded("admit", overload.PriCritical, s.fenceFast("admit", s.handleAdmit)))
+	mux.HandleFunc("POST /v1/evict", s.shielded("evict", overload.PriCritical, s.fenceFast("evict", s.handleEvict)))
+	mux.HandleFunc("POST /v1/tick", s.shielded("tick", overload.PriHigh, s.fenceFast("tick", s.handleTick)))
 	mux.HandleFunc("GET /v1/quotas", s.shielded("quotas", overload.PriLow, s.handleQuotas))
 	mux.HandleFunc("GET /v1/tenants", s.shielded("tenants", overload.PriLow, s.handleTenants))
 	mux.HandleFunc("GET /v1/decisions", s.shielded("decisions", overload.PriLow, s.handleDecisions))
 	mux.HandleFunc("GET /v1/traces", s.shielded("traces", overload.PriLow, s.handleTraces))
-	mux.HandleFunc("POST /v1/checkpoint", s.shielded("checkpoint", overload.PriCritical, s.handleCheckpoint))
+	mux.HandleFunc("POST /v1/checkpoint", s.shielded("checkpoint", overload.PriCritical, s.fenceFast("checkpoint", s.handleCheckpoint)))
 	if s.Tel != nil {
 		th := s.Tel.Handler()
 		mux.Handle("GET /metrics", th)
@@ -201,6 +214,124 @@ func (s *ShardServer) guardExpired(r *http.Request, startedAt time.Time) {
 	}
 }
 
+// requestEpoch extracts the router generation's fencing token from the
+// Graf-Epoch header. Absent or malformed means the caller is epoch-unaware
+// (0, false): such requests pass the fence unchecked, preserving the
+// pre-fencing protocol for tests and single-router deployments.
+func requestEpoch(r *http.Request) (uint64, bool) {
+	v := r.Header.Get(epochHeader)
+	if v == "" {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || e == 0 {
+		return 0, false
+	}
+	return e, true
+}
+
+// fenceFast is the pre-lock fast path wrapped around every mutating route: a
+// request already behind the fence is rejected without queueing on s.mu, so
+// a zombie router cannot even add lock contention. Not sufficient alone —
+// the authoritative check is fenceLocked, under the mutex, which closes the
+// race where the fence rises while a stale request sits queued.
+func (s *ShardServer) fenceFast(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if e, ok := requestEpoch(r); ok && e < s.epoch.Load() {
+			s.rejectFenced(w, op, e)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// fenceLocked is the authoritative epoch check; every mutating handler calls
+// it immediately after acquiring s.mu and returns without touching the fleet
+// when it reports false. A higher epoch raises the fence (durably, best
+// effort) in the same critical section the mutation runs in, which is what
+// makes stale-write acceptance structurally impossible: once a new router
+// generation's first mutation commits, every older generation's queued
+// request re-checks against the raised fence before executing.
+func (s *ShardServer) fenceLocked(w http.ResponseWriter, r *http.Request, op string) bool {
+	e, ok := requestEpoch(r)
+	if !ok {
+		return true
+	}
+	if !s.raiseEpochLocked(e) {
+		s.rejectFenced(w, op, e)
+		return false
+	}
+	// Tripwire, mirroring guardExpired: re-derive the verdict at the moment
+	// the mutation begins. With the raise and the mutation in one critical
+	// section this never fires; the failover drill asserts exactly that.
+	if e < s.epoch.Load() {
+		s.fencedAccepted.Add(1)
+	}
+	return true
+}
+
+// raiseEpochLocked raises the fence to e (persisting it when a checkpoint
+// dir exists) and reports whether e is current. Callers must hold s.mu — the
+// fence must not rise concurrently with a mutation that already passed it.
+func (s *ShardServer) raiseEpochLocked(e uint64) bool {
+	cur := s.epoch.Load()
+	if e < cur {
+		return false
+	}
+	if e > cur {
+		s.epoch.Store(e)
+		s.logf("epoch fence raised %d -> %d", cur, e)
+		if s.CkptDir != "" {
+			// Best effort: the file is a shared fleet-wide floor a respawned
+			// shard loads at startup, so even a fresh process rejects a
+			// zombie router's writes. Atomic rename means never torn; a lost
+			// write costs nothing because every live shard still holds the
+			// fence in memory and the new router re-stamps every RPC.
+			_ = os.MkdirAll(s.CkptDir, 0o755)
+			_ = ckpt.WriteFileAtomic(filepath.Join(s.CkptDir, "epoch.fence"),
+				[]byte(strconv.FormatUint(e, 10)), 0o644)
+		}
+	}
+	return true
+}
+
+// loadEpochFence seeds the fence from the shared durable floor, if present.
+func (s *ShardServer) loadEpochFence() {
+	if s.CkptDir == "" {
+		return
+	}
+	b, err := os.ReadFile(filepath.Join(s.CkptDir, "epoch.fence"))
+	if err != nil {
+		return
+	}
+	if e, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); err == nil && e > s.epoch.Load() {
+		s.epoch.Store(e)
+	}
+}
+
+// rejectFenced writes the typed 409 stale-epoch rejection.
+func (s *ShardServer) rejectFenced(w http.ResponseWriter, op string, e uint64) {
+	cur := s.epoch.Load()
+	s.fencedRejected.Add(1)
+	s.countFenced(op)
+	s.logf("%s: fenced stale epoch %d (fence at %d)", op, e, cur)
+	writeJSON(w, http.StatusConflict, errorResponse{
+		Error:  fmt.Sprintf("%s: stale epoch %d, shard fence at %d (router lost leadership)", op, e, cur),
+		Fenced: true,
+		Epoch:  cur,
+	})
+}
+
+// countFenced records one fenced rejection as a metric.
+func (s *ShardServer) countFenced(op string) {
+	if s.Tel == nil {
+		return
+	}
+	s.Tel.Reg.Counter("graf_shard_fenced_total",
+		"Stale-epoch mutations rejected by the shard's fence.",
+		obs.Labels{"op": op}).Inc()
+}
+
 // traceOp continues the caller's trace server-side: it parses the
 // traceparent header and opens a "shard/<op>" child span. Nil (a no-op)
 // when tracing is not configured.
@@ -231,6 +362,7 @@ func (s *ShardServer) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.loadEpochFence()
 	s.started = time.Now()
 	s.ln = ln
 	s.srv = &http.Server{Handler: s.Handler()}
@@ -313,6 +445,9 @@ func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Shed:            gs.TotalShed(),
 		ExpiredShed:     s.expiredShed.Load(),
 		ExpiredExecuted: s.expiredExecuted.Load(),
+		Epoch:           s.epoch.Load(),
+		FencedRejected:  s.fencedRejected.Load(),
+		FencedAccepted:  s.fencedAccepted.Load(),
 	})
 }
 
@@ -325,6 +460,9 @@ func (s *ShardServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
+	if !s.fenceLocked(w, r, "configure") {
+		return
+	}
 	if s.fl != nil && len(s.fl.Tenants()) > 0 {
 		writeErr(w, http.StatusConflict, "shard already holds %d tenants; evict before reconfiguring", len(s.fl.Tenants()))
 		return
@@ -407,6 +545,9 @@ func (s *ShardServer) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
+	if !s.fenceLocked(w, r, "admit") {
+		return
+	}
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
@@ -560,6 +701,9 @@ func (s *ShardServer) handleEvict(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
+	if !s.fenceLocked(w, r, "evict") {
+		return
+	}
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
@@ -605,6 +749,9 @@ func (s *ShardServer) handleTick(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publishHealth()
+	if !s.fenceLocked(w, r, "tick") {
+		return
+	}
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
@@ -703,6 +850,9 @@ func (s *ShardServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	defer s.observeOp("checkpoint", time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.fenceLocked(w, r, "checkpoint") {
+		return
+	}
 	if s.fl == nil {
 		writeErr(w, http.StatusConflict, "shard not configured")
 		return
