@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-router bench-json-obs bench-json-overload obs-demo ci
+.PHONY: all build vet test test-race bench bench-json bench-json-fleetrpc bench-json-router bench-json-obs bench-json-overload bench-json-forecast obs-demo ci
 
 all: build vet test
 
@@ -66,6 +66,16 @@ bench-json-overload:
 	$(GO) test -run '^$$' -bench '^BenchmarkOverload$$' -benchtime 1x . | \
 	  $(GO) run ./cmd/benchjson -o BENCH_overload.json
 	@echo wrote BENCH_overload.json
+
+# Workload-forecasting numbers (DESIGN.md §3l): forecasted-quantile vs
+# reactive provisioning on the diurnal cycle and the Azure trace, as
+# benchjson extra metrics in BENCH_forecast.json. The benchmark fails
+# outright unless forecasting buys strictly fewer SLO-violation seconds than
+# reacting on both workloads.
+bench-json-forecast:
+	$(GO) test -run '^$$' -bench '^BenchmarkForecast$$' -benchtime 1x . | \
+	  $(GO) run ./cmd/benchjson -o BENCH_forecast.json
+	@echo wrote BENCH_forecast.json
 
 # Observability smoke demo: train a quick model, run the controller with the
 # telemetry endpoints up, self-scrape /metrics, then hold the endpoints for

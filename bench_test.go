@@ -369,6 +369,42 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 }
 
+// --- Workload forecasting (proactive provisioning, DESIGN.md §3l) -----------
+
+// BenchmarkForecast reports the forecasted-vs-reactive study as benchjson
+// metrics for BENCH_forecast.json, and fails outright if forecasting does
+// not buy strictly fewer SLO-violation seconds than reacting to the observed
+// rate on BOTH workloads — the diurnal cycle and the Azure trace. That
+// ordering is the subsystem's reason to exist: capacity ordered at the
+// forecast horizon lands before the climb, not after it.
+func BenchmarkForecast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, st := bench.ForecastRun(benchScale())
+		printedMu.Lock()
+		if !printed[res.ID] {
+			printed[res.ID] = true
+			fmt.Println(res.Format())
+		}
+		printedMu.Unlock()
+		if st.DiurnalForecastViolS >= st.DiurnalReactiveViolS {
+			b.Fatalf("diurnal: forecasted violation seconds %.0f not below reactive %.0f",
+				st.DiurnalForecastViolS, st.DiurnalReactiveViolS)
+		}
+		if st.AzureForecastViolS >= st.AzureReactiveViolS {
+			b.Fatalf("azure: forecasted violation seconds %.0f not below reactive %.0f",
+				st.AzureForecastViolS, st.AzureReactiveViolS)
+		}
+		b.ReportMetric(st.DiurnalForecastViolS, "viol-s-forecast-diurnal")
+		b.ReportMetric(st.DiurnalReactiveViolS, "viol-s-reactive-diurnal")
+		b.ReportMetric(st.DiurnalForecastCoreH, "core-h-forecast-diurnal")
+		b.ReportMetric(st.DiurnalReactiveCoreH, "core-h-reactive-diurnal")
+		b.ReportMetric(st.AzureForecastViolS, "viol-s-forecast-azure")
+		b.ReportMetric(st.AzureReactiveViolS, "viol-s-reactive-azure")
+		b.ReportMetric(st.AzureForecastCoreH, "core-h-forecast-azure")
+		b.ReportMetric(st.AzureReactiveCoreH, "core-h-reactive-azure")
+	}
+}
+
 // BenchmarkSLOBurn reports the multi-window burn-rate detection times; the
 // fast window firing before the slow one is the alerting contract.
 func BenchmarkSLOBurn(b *testing.B) {

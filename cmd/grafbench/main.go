@@ -60,6 +60,7 @@ var runners = map[string]func(bench.Scale) bench.Result{
 	"overload":        bench.Overload,
 	"slo-burn":        bench.SLOBurn,
 	"trace-overhead":  bench.TraceOverhead,
+	"forecast":        bench.Forecast,
 }
 
 // order runs cheap observation experiments first and groups the ones that
@@ -73,6 +74,7 @@ var order = []string{
 	"abl-integer", "abl-anomaly", "abl-partition", "scalability",
 	"chaos", "recovery", "drift", "replay", "obs-overhead",
 	"fleet", "fleet-rpc", "router-failover", "overload", "slo-burn", "trace-overhead",
+	"forecast",
 }
 
 func main() {

@@ -46,6 +46,10 @@ type options struct {
 	shardAddr        string
 	maxInflight      int
 	governorBudgetMS float64
+
+	forecast     string
+	horizonTicks int
+	fcQuantile   float64
 }
 
 // validate returns the first contradiction it finds, phrased so the fix is
@@ -58,9 +62,9 @@ func (o options) validate() error {
 		return errors.New("-train and -model are mutually exclusive: train in-process or load a file, not both")
 	}
 	switch o.shape {
-	case "const", "surge", "azure":
+	case "const", "surge", "azure", "diurnal":
 	default:
-		return fmt.Errorf("unknown -shape %q (const | surge | azure)", o.shape)
+		return fmt.Errorf("unknown -shape %q (const | surge | azure | diurnal)", o.shape)
 	}
 	if o.rate <= 0 {
 		return fmt.Errorf("-rate %v must be positive", o.rate)
@@ -121,8 +125,8 @@ func (o options) validate() error {
 		if o.shards > o.fleetN {
 			return fmt.Errorf("-shards %d exceeds the fleet's %d tenants: shards must not be empty", o.shards, o.fleetN)
 		}
-		if o.shape == "azure" {
-			return errors.New("-shape azure is a closed-loop user trace; fleet tenants drive open-loop shapes (const | surge)")
+		if o.shape != "const" && o.shape != "surge" {
+			return fmt.Errorf("-shape %s is a single-tenant shape; fleet tenants drive (const | surge)", o.shape)
 		}
 		for _, c := range []struct {
 			set  bool
@@ -169,6 +173,40 @@ func (o options) validate() error {
 	}
 	if o.governorBudgetMS > 0 && o.shardAddr == "" {
 		return errors.New("-governor-budget-ms runs a shard's adaptive brownout governor; it needs -shard")
+	}
+
+	switch o.forecast {
+	case "", "hw", "ar", "naive":
+	default:
+		return fmt.Errorf("unknown -forecast model %q (hw | ar | naive)", o.forecast)
+	}
+	if o.forecast != "" {
+		// The forecaster rides inside one live single-tenant controller;
+		// offline replay runs no controller at all, and the multi-process
+		// modes build theirs from the router's fleet spec.
+		if o.replay != "" {
+			return errors.New("-replay verifies a recorded log without running a simulation; -forecast configures a live controller")
+		}
+		if o.fleetN > 0 {
+			return errors.New("-forecast runs the single-tenant controller's workload predictor; it is not available with -fleet")
+		}
+		if o.shardAddr != "" {
+			return errors.New("-forecast configures a local run; a -shard process takes its fleet spec from the router")
+		}
+	}
+	if o.horizonTicks < 0 {
+		return fmt.Errorf("-horizon-ticks %d must be non-negative (0 auto-sizes to the startup curve)", o.horizonTicks)
+	}
+	if o.horizonTicks > 0 && o.forecast == "" {
+		return errors.New("-horizon-ticks sizes the forecast horizon; it needs -forecast")
+	}
+	if o.fcQuantile != 0 {
+		if o.forecast == "" {
+			return errors.New("-forecast-quantile risk-adjusts the forecast; it needs -forecast")
+		}
+		if o.fcQuantile <= 0 || o.fcQuantile >= 1 {
+			return fmt.Errorf("-forecast-quantile %v must be in (0,1): it is the probability the planned rate covers the realized one", o.fcQuantile)
+		}
 	}
 
 	if o.replay != "" {

@@ -83,6 +83,21 @@ func TestValidateAcceptsCommonInvocations(t *testing.T) {
 			o.fleetN, o.brownout = 4, "12-24:heuristic,30:warm"
 			return o
 		}(),
+		"forecasted diurnal run": func() options {
+			o := base()
+			o.forecast, o.shape = "hw", "diurnal"
+			return o
+		}(),
+		"forecast with explicit horizon and quantile": func() options {
+			o := base()
+			o.forecast, o.horizonTicks, o.fcQuantile = "ar", 4, 0.9
+			return o
+		}(),
+		"forecast under supervisor": func() options {
+			o := base()
+			o.forecast, o.ckpt, o.audit = "hw", "state", "run.jsonl"
+			return o
+		}(),
 	}
 	for name, o := range cases {
 		if err := o.validate(); err != nil {
@@ -120,7 +135,7 @@ func TestValidateRejectsContradictions(t *testing.T) {
 		{"fleet with replay", func(o *options) { o.fleetN, o.replay = 4, "run.jsonl" }, "pick one"},
 		{"more shards than tenants", func(o *options) { o.fleetN, o.shards = 4, 8 }, "-shards 8 exceeds"},
 		{"shards without fleet", func(o *options) { o.shards = 4 }, "needs -fleet"},
-		{"fleet with azure shape", func(o *options) { o.fleetN, o.shape = 4, "azure" }, "open-loop"},
+		{"fleet with azure shape", func(o *options) { o.fleetN, o.shape = 4, "azure" }, "single-tenant shape"},
 		{"fleet with lifecycle", func(o *options) { o.fleetN, o.lifecycle = 4, true }, "-lifecycle"},
 		{"fleet with audit", func(o *options) { o.fleetN, o.audit = 4, "run.jsonl" }, "-audit"},
 		{"fleet with obs", func(o *options) { o.fleetN, o.obs = 4, "127.0.0.1:0" }, "-obs"},
@@ -139,6 +154,16 @@ func TestValidateRejectsContradictions(t *testing.T) {
 		{"max-inflight without shard", func(o *options) { o.maxInflight = 16 }, "-max-inflight"},
 		{"negative max-inflight", func(o *options) { o.shardAddr, o.maxInflight = "127.0.0.1:0", -1 }, "-max-inflight"},
 		{"governor budget without shard", func(o *options) { o.governorBudgetMS = 500 }, "-governor-budget-ms"},
+		{"unknown forecast model", func(o *options) { o.forecast = "lstm" }, "-forecast model"},
+		{"forecast with replay", func(o *options) { o.forecast, o.replay = "hw", "run.jsonl" }, "-forecast configures a live controller"},
+		{"forecast with fleet", func(o *options) { o.forecast, o.fleetN = "hw", 4 }, "not available with -fleet"},
+		{"forecast on shard", func(o *options) { o.forecast, o.shardAddr = "hw", "127.0.0.1:0" }, "fleet spec from the router"},
+		{"negative horizon", func(o *options) { o.forecast, o.horizonTicks = "hw", -1 }, "-horizon-ticks"},
+		{"horizon without forecast", func(o *options) { o.horizonTicks = 3 }, "needs -forecast"},
+		{"quantile without forecast", func(o *options) { o.fcQuantile = 0.95 }, "needs -forecast"},
+		{"quantile at one", func(o *options) { o.forecast, o.fcQuantile = "hw", 1 }, "(0,1)"},
+		{"quantile above one", func(o *options) { o.forecast, o.fcQuantile = "hw", 1.5 }, "(0,1)"},
+		{"fleet with diurnal shape", func(o *options) { o.fleetN, o.shape = 4, "diurnal" }, "single-tenant shape"},
 	}
 	for _, c := range cases {
 		o := base()

@@ -49,8 +49,14 @@ import (
 
 	"graf"
 	"graf/internal/azure"
+	"graf/internal/forecast"
 	"graf/internal/workload"
 )
+
+// diurnalPeriodS is the -shape diurnal cycle length: compressed enough that
+// a default 600 s run traverses the cycle twice after the forecaster's one
+// warm-up period, long enough that the climb outpaces reactive scaling.
+const diurnalPeriodS = 240.0
 
 func main() {
 	modelPath := flag.String("model", "", "trained model from graftrain (omit with -train)")
@@ -81,6 +87,9 @@ func main() {
 	brownout := flag.String("brownout", "", "with -fleet: scripted brownout schedule FROM[-TO]:STEP[,...] in ticks, e.g. 12-24:heuristic (STEP: full | warm | heuristic | hold)")
 	maxInflight := flag.Int("max-inflight", 0, "with -shard: admission-gate bound on concurrently executing control-plane requests (0 = default)")
 	governorBudgetMS := flag.Float64("governor-budget-ms", 0, "with -shard: defend this per-round wall budget with the adaptive brownout governor (0 = off)")
+	fcModel := flag.String("forecast", "", "scale ahead of the surge: plan quotas on a forecasted workload rate (hw | ar | naive)")
+	horizonTicks := flag.Int("horizon-ticks", 0, "with -forecast: decision intervals to forecast ahead (0 auto-sizes to the startup curve)")
+	fcQuantile := flag.Float64("forecast-quantile", 0, "with -forecast: plan against this quantile of the forecast's residual spread (0 = default 0.95)")
 	flag.Parse()
 
 	opts := options{
@@ -94,6 +103,7 @@ func main() {
 		appName: *appName, auditDir: *auditDir, shardAddr: *shardAddr,
 		sloBudget: *sloBudget, brownout: *brownout,
 		maxInflight: *maxInflight, governorBudgetMS: *governorBudgetMS,
+		forecast: *fcModel, horizonTicks: *horizonTicks, fcQuantile: *fcQuantile,
 	}
 	if err := opts.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "grafd: %v\n", err)
@@ -199,6 +209,33 @@ func main() {
 	}
 
 	slo := time.Duration(*sloMS) * time.Millisecond
+	ccfg := graf.DefaultControllerConfig(slo)
+	if opts.forecast != "" {
+		fc := graf.ForecastConfig{
+			Enabled:      true,
+			Model:        opts.forecast,
+			HorizonTicks: opts.horizonTicks,
+			Quantile:     opts.fcQuantile,
+		}
+		if opts.shape == "diurnal" {
+			// Match the seasonal period to the shape so Holt-Winters learns
+			// the actual cycle rather than an aliased one.
+			fc.PeriodTicks = int(diurnalPeriodS / ccfg.IntervalS)
+		}
+		if fc.HorizonTicks == 0 {
+			// Auto-size to the Figure-1 startup curve: far enough ahead that
+			// a typical pre-warm batch is ready when the forecasted rate
+			// arrives.
+			fc.HorizonTicks = forecast.HorizonForStartup(
+				s.Cluster.Cfg.StartupBaseS, s.Cluster.Cfg.StartupSlopeS, 4, ccfg.IntervalS)
+		}
+		ccfg.Forecast = fc
+		q := fc.Quantile
+		if q == 0 {
+			q = 0.95
+		}
+		fmt.Printf("forecast: model=%s horizon=%d ticks quantile=%.2f\n", fc.Model, fc.HorizonTicks, q)
+	}
 	tune := func(ctl *graf.Controller) {
 		ctl.OnDecision = func(t float64, total float64, sol graf.Solution) {
 			fmt.Printf("[%6.0fs] solve: frontend %.0f rps → total quota %.0f mc (predicted p99 %.0f ms, %d iters)\n",
@@ -206,6 +243,10 @@ func main() {
 		}
 		ctl.OnHealth = func(t float64, from, to graf.HealthState) {
 			fmt.Printf("[%6.0fs] health: %s → %s\n", t, from, to)
+		}
+		ctl.OnPrewarm = func(t float64, n int, leadS, readyS float64) {
+			fmt.Printf("[%6.0fs] pre-warm: +%d instances ordered %.0fs ahead of forecasted demand (batch ready in %.1fs)\n",
+				t, n, leadS, readyS)
 		}
 	}
 	// The model-trust lifecycle watches the predictor's live residuals and
@@ -243,7 +284,7 @@ func main() {
 			}
 		}
 		var err error
-		sup, err = s.StartGRAFSupervised(tr, graf.DefaultControllerConfig(slo), graf.SupervisorOptions{
+		sup, err = s.StartGRAFSupervised(tr, ccfg, graf.SupervisorOptions{
 			Dir:             *ckptDir,
 			CheckpointEvery: time.Duration(*ckptEveryS * float64(time.Second)),
 			Cold:            *cold,
@@ -268,7 +309,7 @@ func main() {
 		}
 	} else {
 		var err error
-		ctl, err = s.StartGRAF(tr, slo)
+		ctl, err = s.StartGRAFWith(tr, ccfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -306,6 +347,11 @@ func main() {
 	case "azure":
 		trace := azure.Generate(azure.DefaultTrace())
 		gen = s.ClosedLoop(workload.TraceUsers(trace, 24))
+	case "diurnal":
+		gen = s.OpenLoop(graf.DiurnalRate(graf.DiurnalConfig{
+			Seed: *seed, Seconds: *durS + 60, PeriodS: diurnalPeriodS,
+			Base: 140, Amp: 100,
+		}))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown shape %q\n", *shape)
 		os.Exit(2)
@@ -356,6 +402,10 @@ run:
 	st := ctl.Stats()
 	fmt.Printf("final: health=%s solves=%d boosts=%d staleHolds=%d breakerTrips=%d fallbackSolves=%d rateLimited=%d transitions=%d\n",
 		ctl.Health(), ctl.Solves(), st.Boosts, st.StaleHolds, st.BreakerTrips, st.FallbackSolves, st.RateLimited, st.Transitions)
+	if fc := ctl.Forecaster(); fc != nil {
+		fmt.Printf("forecast: model=%s forecastSolves=%d prewarms=%d degradedTicks=%d matured=%d mae=%.1f rps healthy=%v\n",
+			fc.ModelName(), st.ForecastSolves, st.Prewarms, st.ForecastDegraded, fc.MaturedN, fc.MAE(), fc.Healthy())
+	}
 	if tel != nil {
 		tel.Flight.Record(graf.AuditRecord{
 			Type: "summary", At: s.Engine.Now(),
@@ -367,6 +417,8 @@ run:
 				"fallback_solves": float64(st.FallbackSolves),
 				"rate_limited":    float64(st.RateLimited),
 				"transitions":     float64(st.Transitions),
+				"forecast_solves": float64(st.ForecastSolves),
+				"prewarms":        float64(st.Prewarms),
 			},
 		})
 		if err := tel.Flight.Flush(); err != nil {

@@ -41,6 +41,7 @@ import (
 	"graf/internal/cluster"
 	"graf/internal/core"
 	"graf/internal/fleet"
+	"graf/internal/forecast"
 	"graf/internal/gnn"
 	"graf/internal/lifecycle"
 	"graf/internal/obs"
@@ -83,6 +84,14 @@ type (
 	Bounds = core.Bounds
 	// Solution is the configuration solver's output (§3.5).
 	Solution = core.Solution
+	// ForecastConfig parameterizes the workload forecasting subsystem
+	// (ControllerConfig.Forecast): model choice, horizon, and the
+	// risk-adjusted quantile the solver plans against.
+	ForecastConfig = forecast.Config
+	// ForecastPredictor is the composed forecaster: a seasonal or
+	// autoregressive model behind Hampel sanitization, residual tracking,
+	// and a blowout detector that degrades the loop back to reactive.
+	ForecastPredictor = forecast.Predictor
 	// HPA is the Kubernetes horizontal-pod-autoscaler baseline.
 	HPA = autoscale.HPA
 	// FIRMLike is the FIRM-style latency-ratio baseline.
@@ -91,6 +100,10 @@ type (
 	OpenLoop = workload.OpenLoop
 	// ClosedLoop is a Locust-like user-thread load generator.
 	ClosedLoop = workload.ClosedLoop
+	// DiurnalConfig parameterizes the seeded diurnal-seasonality workload.
+	DiurnalConfig = workload.DiurnalConfig
+	// SurgeRampConfig parameterizes the seeded single-surge workload.
+	SurgeRampConfig = workload.SurgeRampConfig
 )
 
 // Builtin applications from the paper's evaluation.
@@ -139,6 +152,19 @@ func ConstRate(rps float64) func(float64) float64 { return workload.ConstRate(rp
 // simulated time.
 func StepRate(base, surge float64, at time.Duration) func(float64) float64 {
 	return workload.StepRate(base, surge, at.Seconds())
+}
+
+// DiurnalRate returns an open-loop rate shape following a seeded sinusoidal
+// day/night cycle with persistent noise — the seasonal workload the
+// forecasting subsystem proves itself on. One sample per second.
+func DiurnalRate(cfg DiurnalConfig) func(float64) float64 {
+	return workload.SeriesRate(workload.Diurnal(cfg), 1)
+}
+
+// SurgeRampRate returns DiurnalRate's single-surge sibling: flat baseline,
+// linear climb, hold, descent.
+func SurgeRampRate(cfg SurgeRampConfig) func(float64) float64 {
+	return workload.SeriesRate(workload.SurgeRamp(cfg), 1)
 }
 
 // ConstUsers returns a fixed closed-loop user count.

@@ -706,6 +706,28 @@ func (c *Cluster) Quotas() map[string]float64 {
 	return out
 }
 
+// InstancesFor returns the replica count Eq. 7 realizes for a desired
+// quota — ceil(quota/CPUUnit), floored at the one instance SetQuota always
+// keeps. The forecaster's pre-warm accounting uses it to know how many
+// instances a quota change will order before actually applying it.
+func (c *Cluster) InstancesFor(quota float64) int {
+	n := int(math.Ceil(quota / c.Cfg.CPUUnit))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// StartupSeconds returns the Figure-1 readiness latency of an n-instance
+// batch: the last instance of a batch of n becomes ready StartupBaseS +
+// n·StartupSlopeS seconds after the order.
+func (c *Cluster) StartupSeconds(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return c.Cfg.StartupBaseS + float64(n)*c.Cfg.StartupSlopeS
+}
+
 // ApplyQuotas scales every deployment named in quotas.
 func (c *Cluster) ApplyQuotas(quotas map[string]float64) {
 	// Deterministic order.

@@ -1,6 +1,9 @@
 package core
 
-import "graf/internal/obs"
+import (
+	"graf/internal/forecast"
+	"graf/internal/obs"
+)
 
 // ControllerState is the complete serializable state of a Controller: every
 // field a decision depends on, so that a controller restored from a snapshot
@@ -50,6 +53,15 @@ type ControllerState struct {
 	// decision, but under trace loss the analyzer keeps serving the last
 	// learned profile — state a restore must carry to stay bit-identical.
 	Profiles map[string]map[string]float64
+
+	// Forecast is the workload predictor's complete state (nil when
+	// forecasting is disabled, and absent from pre-forecast snapshots —
+	// gob decodes a missing field to nil, so old snapshots restore with a
+	// cold forecaster rather than failing). It rides inside ControllerState
+	// — not an opaque SnapshotExtra blob — because ApplyAuditTail must
+	// advance it record-by-record through the post-crash decisions, which
+	// only works on the decoded structure.
+	Forecast *forecast.Predictor
 }
 
 // Snapshot captures the controller's current state. It is a pure read: the
@@ -81,6 +93,7 @@ func (c *Controller) Snapshot() ControllerState {
 	if c.Analyzer != nil {
 		s.Profiles = c.Analyzer.SnapshotProfiles()
 	}
+	s.Forecast = c.fc.Clone()
 	return s
 }
 
@@ -113,6 +126,11 @@ func (c *Controller) Restore(s ControllerState) {
 	}
 	if c.Analyzer != nil && s.Profiles != nil {
 		c.Analyzer.RestoreProfiles(s.Profiles)
+	}
+	// A pre-forecast snapshot (nil) keeps the freshly built predictor: a
+	// cold forecaster degrades to reactive until it warms, never worse.
+	if c.fc != nil && s.Forecast != nil {
+		c.fc = s.Forecast.Clone()
 	}
 }
 
@@ -178,11 +196,41 @@ func ApplyAuditTail(st *ControllerState, tail []obs.Record, cfg ControllerConfig
 		default:
 			continue
 		}
+		// The live step feeds the forecaster on every tick that collects a
+		// rate — before the boost/stale/idle/hysteresis exits — so the fold
+		// replays the recorded observed total through the restored predictor
+		// for exactly those decision kinds (brownout-hold returns before
+		// collect and is excluded on both sides). Forecasts are a pure
+		// function of the observation sequence (no clock, no randomness), so
+		// the folded predictor lands bit-identical to the one that died.
+		switch rec.Kind {
+		case "hold", "idle", "hysteresis", "solve", "warm-solve",
+			"fallback", "fallback-model", "brownout-heuristic",
+			"boost", "boost-wait":
+			// Mirrors the live gate: ticks before one full interval carry
+			// divide-by-near-zero rate readings and are not fed to the
+			// predictor.
+			if st.Forecast != nil && rec.At >= cfg.IntervalS {
+				st.Forecast.Observe(rec.Total)
+				if pred := st.Forecast.Predict(); pred.OK && !st.Forecast.Healthy() {
+					st.Stats.ForecastDegraded++
+				}
+			}
+		}
 		switch rec.Kind {
 		case "solve", "warm-solve", "fallback", "fallback-model":
 			st.LastRate = rec.Total
 			st.LastRateAt = rec.At
 			st.LastSLO = cfg.SLO
+			if rec.FcRate > 0 {
+				// The forecast drove this solve: the hysteresis reference the
+				// live path kept is the forecasted rate, not the observed one.
+				st.LastRate = rec.FcRate
+				st.Stats.ForecastSolves++
+			}
+			if rec.Prewarm > 0 {
+				st.Stats.Prewarms++
+			}
 			st.Solves++
 			st.StaleSince = -1
 			st.ModelGen = rec.ModelGen

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"graf/internal/cluster"
+	"graf/internal/forecast"
 	"graf/internal/obs"
 )
 
@@ -123,6 +124,15 @@ type ControllerConfig struct {
 	// lifecycle manager holds the controller in ModelProbation.
 	Envelope Envelope
 
+	// Forecast enables the workload-forecasting subsystem: when
+	// Forecast.Enabled, the controller solves against the risk-adjusted
+	// forecasted rate at Forecast.HorizonTicks intervals ahead instead of
+	// the observed rate, so the Figure-1 instance-startup latency is paid
+	// before the surge lands rather than during it. A mis-forecasting
+	// predictor (residual blowout) degrades the loop back to today's
+	// reactive behavior. The zero value is forecasting off.
+	Forecast forecast.Config
+
 	Solver SolverConfig
 }
 
@@ -168,6 +178,10 @@ type HealthStats struct {
 	EnvelopeClamped int // applied configurations clamped by the probation envelope
 	Boosts          int // reactive boost firings
 	Transitions     int // health-state transitions
+
+	ForecastSolves   int // solves driven by the forecasted rate
+	ForecastDegraded int // ticks the residual blowout held the loop reactive
+	Prewarms         int // decisions that ordered instances ahead of forecasted demand
 }
 
 // ModelTrust is the lifecycle manager's verdict on the model currently
@@ -280,6 +294,17 @@ type Controller struct {
 	brownout int
 	lastRaw  []float64
 
+	// Workload forecaster (nil when Cfg.Forecast.Enabled is false). Its
+	// state advances on every collect-passing tick — whatever path the
+	// decision then takes — so the audit-tail fold can rebuild it exactly
+	// from the recorded observed totals.
+	fc *forecast.Predictor
+
+	// OnPrewarm, if set, observes every decision that ordered instances
+	// ahead of forecasted demand: n instances with leadS seconds of
+	// forecast lead against a readyS-second Figure-1 startup.
+	OnPrewarm func(t float64, n int, leadS, readyS float64)
+
 	// OnDecision, if set, observes every applied configuration.
 	OnDecision func(t float64, totalRate float64, sol Solution)
 
@@ -297,8 +322,16 @@ type Controller struct {
 
 // NewController wires a controller. The bounds come from Algorithm 1.
 func NewController(cl *cluster.Cluster, m LatencyModel, an *Analyzer, b Bounds, cfg ControllerConfig) *Controller {
-	return &Controller{Cluster: cl, Model: m, Analyzer: an, Bounds: b, Cfg: cfg, staleSince: -1}
+	c := &Controller{Cluster: cl, Model: m, Analyzer: an, Bounds: b, Cfg: cfg, staleSince: -1}
+	if cfg.Forecast.Enabled {
+		c.fc = forecast.NewPredictor(cfg.Forecast)
+	}
+	return c
 }
+
+// Forecaster returns the controller's workload predictor, or nil when
+// forecasting is disabled.
+func (c *Controller) Forecaster() *forecast.Predictor { return c.fc }
 
 // Solves returns how many times the solver has run.
 func (c *Controller) Solves() int { return c.solves }
@@ -445,6 +478,71 @@ func (c *Controller) step(rec *obs.Record) {
 		}
 		return
 	}
+	tCollect := c.wallStart()
+	rates := c.Cluster.APIArrivalRates(c.Cfg.RateWindowS)
+	// Sum in sorted key order: map iteration order is randomized, and float
+	// addition is not associative, so an unordered sum can differ by an ULP
+	// between otherwise identical runs — enough to break the flight
+	// recorder's byte-identical same-seed replay contract.
+	apis := make([]string, 0, len(rates))
+	for api := range rates {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
+	total := 0.0
+	for _, api := range apis {
+		total += rates[api]
+	}
+	c.stage("collect", tCollect, map[string]float64{"total_rate": total})
+	if rec != nil {
+		rec.Rates = rates
+		rec.Total = total
+	}
+
+	// Workload forecasting: the predictor consumes every tick's observed
+	// rate — whatever path the decision then takes, including the boost
+	// guardrail below — so its state is a pure function of the recorded
+	// observed totals and the audit-tail fold can walk it to the identical
+	// state after a crash. Feeding through boost ticks matters for the
+	// seasonal model: its period is counted in ticks, and skipping the
+	// overloaded ones would let the seasonal index drift out of phase with
+	// real time exactly when the workload is most dynamic. The forecast
+	// drives the solve only from a fully healthy loop: a tripped breaker, an
+	// untrusted model, a brownout rung, or a residual blowout all degrade
+	// back to the reactive path rather than compound with a forecast.
+	// Observations before one full interval are excluded for the same reason
+	// the stale-rate reference is: a trailing window over near-zero elapsed
+	// time reads wildly inflated, and the Hampel sanitizer's ring is still
+	// empty at that point — one garbage sample would poison the seasonal
+	// bootstrap for a whole period. The fold applies the identical gate on
+	// the recorded timestamps.
+	var fcPred forecast.Prediction
+	fcEff := total
+	fcActive := false
+	if c.fc != nil && c.Cluster.Eng.Now() >= c.Cfg.IntervalS {
+		_, matured := c.fc.Observe(total)
+		fcPred = c.fc.Predict()
+		if c.Obs != nil {
+			for _, m := range matured {
+				c.Obs.Forecast(c.Cluster.Eng.Now(), c.fc.ModelName(), m.Predicted, m.Actual, c.fc.Sigma(), c.fc.Healthy())
+			}
+		}
+		if fcPred.OK && !c.fc.Healthy() {
+			c.stats.ForecastDegraded++
+		}
+		fcActive = fcPred.OK && c.fc.Healthy() && !c.breakerOpen &&
+			c.trust != ModelUntrusted && c.brownout == BrownoutFull &&
+			fcPred.Upper >= c.Cfg.MinTotalRate
+		if fcActive {
+			fcEff = fcPred.Upper
+			if rec != nil {
+				rec.FcRate = fcEff
+				rec.FcPoint = fcPred.Point
+				rec.FcSigma = fcPred.Sigma
+			}
+		}
+	}
+
 	// Reactive guardrail: under a measured SLO violation the arrival rate
 	// under-reports demand (closed-loop throttling), so grow the current
 	// configuration instead of re-solving on a starved signal.
@@ -484,27 +582,6 @@ func (c *Controller) step(rec *obs.Record) {
 			return
 		}
 	}
-	tCollect := c.wallStart()
-	rates := c.Cluster.APIArrivalRates(c.Cfg.RateWindowS)
-	// Sum in sorted key order: map iteration order is randomized, and float
-	// addition is not associative, so an unordered sum can differ by an ULP
-	// between otherwise identical runs — enough to break the flight
-	// recorder's byte-identical same-seed replay contract.
-	apis := make([]string, 0, len(rates))
-	for api := range rates {
-		apis = append(apis, api)
-	}
-	sort.Strings(apis)
-	total := 0.0
-	for _, api := range apis {
-		total += rates[api]
-	}
-	c.stage("collect", tCollect, map[string]float64{"total_rate": total})
-	if rec != nil {
-		rec.Rates = rates
-		rec.Total = total
-	}
-
 	// Stale-telemetry detection: a collapse of the observed rate while the
 	// cluster is demonstrably still serving traffic is a telemetry fault
 	// (black-holed or sampled-down pipeline), not a traffic drop. Hold the
@@ -568,7 +645,10 @@ func (c *Controller) step(rec *obs.Record) {
 		return
 	}
 	if c.lastRate > 0 && c.lastSLO == c.Cfg.SLO {
-		rel := (total - c.lastRate) / c.lastRate
+		// Hysteresis compares the rate the solver would actually see — the
+		// forecasted one when the forecast is driving — so a moving forecast
+		// re-solves even while the observed rate still looks flat.
+		rel := (fcEff - c.lastRate) / c.lastRate
 		if rel < 0 {
 			rel = -rel
 		}
@@ -588,16 +668,30 @@ func (c *Controller) step(rec *obs.Record) {
 			return
 		}
 	}
-	c.lastRate, c.lastRateAt, c.lastSLO = total, now, c.Cfg.SLO
+	c.lastRate, c.lastRateAt, c.lastSLO = fcEff, now, c.Cfg.SLO
+	if fcActive {
+		c.stats.ForecastSolves++
+		// Substitute the forecasted total for the observed one, keeping the
+		// observed per-API mix: each rate scales by fcEff/total so the
+		// analyzer distributes the forecasted demand over the same shape.
+		if total > 0 && fcEff != total {
+			f := fcEff / total
+			scaled := make(map[string]float64, len(rates))
+			for k, v := range rates {
+				scaled[k] = v * f
+			}
+			rates = scaled
+		}
+	}
 
 	// Workload scaling (§3.6): solve inside the trained region, scale the
 	// configuration back proportionally in either direction.
 	scale := 1.0
 	switch {
-	case c.Cfg.TrainedMaxRate > 0 && total > c.Cfg.TrainedMaxRate:
-		scale = total / c.Cfg.TrainedMaxRate
-	case c.Cfg.TrainedMinRate > 0 && total < c.Cfg.TrainedMinRate:
-		scale = total / c.Cfg.TrainedMinRate
+	case c.Cfg.TrainedMaxRate > 0 && fcEff > c.Cfg.TrainedMaxRate:
+		scale = fcEff / c.Cfg.TrainedMaxRate
+	case c.Cfg.TrainedMinRate > 0 && fcEff < c.Cfg.TrainedMinRate:
+		scale = fcEff / c.Cfg.TrainedMinRate
 	}
 	if scale != 1 {
 		scaled := make(map[string]float64, len(rates))
@@ -731,10 +825,46 @@ func (c *Controller) step(rec *obs.Record) {
 		}
 	}
 	quotas, limited := c.limitStep(quotas)
+	// Pre-warm accounting: how many instances this forecast-driven decision
+	// orders beyond what the previously applied quotas realize. Those
+	// instances start their Figure-1 curve now — leadS seconds before the
+	// forecasted demand lands — instead of after the surge is observed.
+	prewarmN, maxBatch := 0, 0
+	if fcActive {
+		prev := c.lastQuotas
+		if prev == nil {
+			prev = c.Cluster.Quotas()
+		}
+		for name, q := range quotas {
+			old, ok := prev[name]
+			if !ok {
+				continue
+			}
+			if d := c.Cluster.InstancesFor(q) - c.Cluster.InstancesFor(old); d > 0 {
+				prewarmN += d
+				if d > maxBatch {
+					maxBatch = d
+				}
+			}
+		}
+	}
 	tActuate := c.wallStart()
 	c.Cluster.ApplyQuotas(quotas)
 	c.stage("actuate", tActuate, nil)
 	c.lastQuotas = quotas
+	if prewarmN > 0 {
+		c.stats.Prewarms++
+		leadS := float64(c.fc.Cfg.HorizonTicks) * c.Cfg.IntervalS
+		readyS := c.Cluster.StartupSeconds(maxBatch)
+		if rec != nil {
+			rec.Prewarm = prewarmN
+			rec.PrewarmLeadS = leadS
+			rec.PrewarmReadyS = readyS
+		}
+		if c.OnPrewarm != nil {
+			c.OnPrewarm(c.Cluster.Eng.Now(), prewarmN, leadS, readyS)
+		}
+	}
 	if rec != nil {
 		rec.Applied = copyQuotas(quotas)
 		rec.Limited = limited

@@ -1,0 +1,298 @@
+package forecast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sinSeries(n int, base, amp float64, period int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base + amp*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	return out
+}
+
+func TestNaiveBaseline(t *testing.T) {
+	var nv Naive
+	if nv.Ready() {
+		t.Fatal("naive ready before any observation")
+	}
+	nv.Observe(10)
+	nv.Observe(20)
+	if !nv.Ready() || nv.Forecast(1) != 20 || nv.Forecast(7) != 20 {
+		t.Fatalf("naive should return the last value at any horizon, got %v/%v", nv.Forecast(1), nv.Forecast(7))
+	}
+}
+
+// Cold start: with less than one seasonal period of history the Holt-Winters
+// model must refuse to forecast, keeping the controller reactive — a partial
+// period extrapolates the current slope into the wrong phase of the cycle.
+func TestHoltWintersColdStart(t *testing.T) {
+	hw := &HoltWinters{PeriodTicks: 24}
+	series := sinSeries(24, 200, 50, 24)
+	for i, v := range series {
+		if hw.Ready() {
+			t.Fatalf("ready after only %d of 24 observations", i)
+		}
+		hw.Observe(v)
+	}
+	if !hw.Ready() {
+		t.Fatal("not ready after a full period")
+	}
+	p := NewPredictor(Config{Enabled: true, Model: "hw", PeriodTicks: 24})
+	for i := 0; i < 23; i++ {
+		p.Observe(200)
+		if pred := p.Predict(); pred.OK {
+			t.Fatalf("predictor OK after %d observations, before one period", i+1)
+		}
+	}
+}
+
+// On a clean seasonal workload the seasonal model must beat the naive
+// last-value baseline at a multi-tick horizon — that gap is the entire point
+// of the subsystem.
+func TestHoltWintersBeatsNaiveOnSeasonal(t *testing.T) {
+	const period, h = 24, 3
+	series := sinSeries(12*period, 200, 80, period)
+	hw := &HoltWinters{PeriodTicks: period}
+	var hwErr, naiveErr float64
+	n := 0
+	for i, v := range series {
+		if hw.Ready() && i+h < len(series) {
+			actual := series[i+h-1+1] // value h ticks after observation i
+			hwErr += math.Abs(hw.Forecast(h) - actual)
+			naiveErr += math.Abs(series[i] - actual)
+			n++
+		}
+		hw.Observe(v)
+	}
+	if n == 0 {
+		t.Fatal("no forecasts evaluated")
+	}
+	if hwErr >= naiveErrFrac(naiveErr, 0.5) {
+		t.Fatalf("Holt-Winters MAE %v not < 0.5× naive MAE %v over %d forecasts", hwErr/float64(n), naiveErr/float64(n), n)
+	}
+}
+
+func naiveErrFrac(total, frac float64) float64 { return total * frac }
+
+// A pure sinusoid satisfies an order-2 linear recurrence exactly, so an
+// AR(2) OLS fit must track it almost perfectly.
+func TestARExactOnSinusoid(t *testing.T) {
+	const period = 24
+	series := sinSeries(120, 200, 50, period)
+	ar := &AR{P: 2}
+	for _, v := range series[:96] {
+		ar.Observe(v)
+	}
+	for h := 1; h <= 4; h++ {
+		want := 200 + 50*math.Sin(2*math.Pi*float64(95+h)/float64(period))
+		if got := ar.Forecast(h); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("AR(2) forecast h=%d: got %v, want %v", h, got, want)
+		}
+	}
+}
+
+// A constant series makes the AR lag columns collinear with the intercept:
+// the normal equations are singular and the model must fall back to the last
+// value — which for a constant series is also the correct forecast.
+func TestARConstantSingularFallback(t *testing.T) {
+	ar := &AR{}
+	for i := 0; i < 80; i++ {
+		ar.Observe(42)
+	}
+	if got := ar.Forecast(5); got != 42 {
+		t.Fatalf("constant-series AR forecast = %v, want 42", got)
+	}
+}
+
+// Constant input end to end: residuals are exactly zero, σ is zero, and the
+// risk-adjusted upper band collapses onto the point forecast.
+func TestPredictorConstantRateSigmaZero(t *testing.T) {
+	p := NewPredictor(Config{Enabled: true, Model: "naive", HorizonTicks: 2, MinResiduals: 3})
+	var last Prediction
+	for i := 0; i < 40; i++ {
+		p.Observe(120)
+		last = p.Predict()
+	}
+	if !last.OK {
+		t.Fatal("prediction not OK on constant input")
+	}
+	if last.Sigma != 0 || last.Point != 120 || last.Upper != 120 {
+		t.Fatalf("constant input: point %v σ %v upper %v, want 120/0/120", last.Point, last.Sigma, last.Upper)
+	}
+	if !p.Healthy() {
+		t.Fatal("blowout tripped on constant input")
+	}
+	if p.MAE() != 0 {
+		t.Fatalf("MAE %v on constant input, want 0", p.MAE())
+	}
+}
+
+// Maturation bookkeeping: a forecast made after observation t targets
+// observation t+h, and its residual is actual − predicted.
+func TestPredictorMaturation(t *testing.T) {
+	p := NewPredictor(Config{Enabled: true, Model: "naive", HorizonTicks: 1, MinResiduals: 2})
+	p.Observe(10)
+	p.Predict() // predicts 10 for the next observation
+	_, matured := p.Observe(25)
+	if len(matured) != 1 || matured[0].Predicted != 10 || matured[0].Actual != 25 {
+		t.Fatalf("matured = %+v, want one {10 25}", matured)
+	}
+	if p.MaturedN != 1 || p.AbsErr != 15 {
+		t.Fatalf("MaturedN %d AbsErr %v, want 1/15", p.MaturedN, p.AbsErr)
+	}
+}
+
+// Telemetry blackhole: a zero reading in an otherwise steady stream must be
+// replaced by the Hampel window median, not learned as a demand collapse.
+func TestPredictorHampelAbsorbsBlackhole(t *testing.T) {
+	p := NewPredictor(Config{Enabled: true, Model: "naive", HorizonTicks: 1})
+	for i := 0; i < 12; i++ {
+		p.Observe(100)
+	}
+	sanitized, _ := p.Observe(0) // blackholed tick reads zero
+	if sanitized != 100 {
+		t.Fatalf("sanitized blackhole reading = %v, want the window median 100", sanitized)
+	}
+	pred := p.Predict()
+	if pred.Point != 100 {
+		t.Fatalf("forecast after blackhole = %v, want 100 (model must not see the zero)", pred.Point)
+	}
+}
+
+// Residual blowout: when forecasts stop matching reality the predictor
+// reports unhealthy (degrading the controller to reactive), and re-arms with
+// hysteresis once residuals settle.
+func TestPredictorBlowoutAndRecovery(t *testing.T) {
+	p := NewPredictor(Config{
+		Enabled: true, Model: "naive", HorizonTicks: 1,
+		MinResiduals: 4, ResidWindow: 8, BlowoutRatio: 0.35,
+		// The alternating series below is exactly what Hampel would damp;
+		// widen the gate so the raw values reach the model and the residuals.
+		Hampel: Hampel{K: 100},
+	})
+	// Naive forecasting of a hard alternation is maximally wrong: residual
+	// magnitude ≈ the swing, σ ≈ swing, EWMA ≈ the midpoint.
+	for i := 0; i < 20; i++ {
+		v := 40.0
+		if i%2 == 0 {
+			v = 220
+		}
+		p.Observe(v)
+		p.Predict()
+	}
+	if p.Healthy() {
+		t.Fatalf("blowout not tripped: σ=%v EW=%v", p.Sigma(), p.EW)
+	}
+	// Settle: constant input refills the residual ring with zeros.
+	healthyAt := -1
+	for i := 0; i < 30; i++ {
+		p.Observe(130)
+		p.Predict()
+		if p.Healthy() {
+			healthyAt = i
+			break
+		}
+	}
+	if healthyAt < 0 {
+		t.Fatalf("blowout never re-armed after settling: σ=%v EW=%v", p.Sigma(), p.EW)
+	}
+}
+
+// Checkpoint fidelity: a predictor gob-encoded mid-surge and decoded into a
+// fresh process must emit bit-identical forecasts for the rest of the
+// series, and Clone must isolate the copy from the original.
+func TestPredictorGobRoundTripByteIdentical(t *testing.T) {
+	for _, model := range []string{"hw", "ar", "naive"} {
+		series := sinSeries(200, 180, 70, 24)
+		live := NewPredictor(Config{Enabled: true, Model: model, PeriodTicks: 24, HorizonTicks: 3})
+		for _, v := range series[:120] {
+			live.Observe(v)
+			live.Predict()
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(live); err != nil {
+			t.Fatalf("%s: encode: %v", model, err)
+		}
+		restored := new(Predictor)
+		if err := gob.NewDecoder(&buf).Decode(restored); err != nil {
+			t.Fatalf("%s: decode: %v", model, err)
+		}
+		if !reflect.DeepEqual(live, restored) {
+			t.Fatalf("%s: restored state differs from live", model)
+		}
+		for i, v := range series[120:] {
+			sa, ma := live.Observe(v)
+			sb, mb := restored.Observe(v)
+			if sa != sb || !reflect.DeepEqual(ma, mb) {
+				t.Fatalf("%s: observation %d diverged after restore", model, i)
+			}
+			pa, pb := live.Predict(), restored.Predict()
+			if pa != pb {
+				t.Fatalf("%s: prediction %d diverged after restore: %+v vs %+v", model, i, pa, pb)
+			}
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := NewPredictor(Config{Enabled: true, Model: "hw", PeriodTicks: 8, HorizonTicks: 2})
+	for i := 0; i < 30; i++ {
+		p.Observe(100 + float64(i%8)*10)
+		p.Predict()
+	}
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Observe(500)
+	c.Predict()
+	if reflect.DeepEqual(p, c) {
+		t.Fatal("mutating the clone mutated the original")
+	}
+	if (*Predictor)(nil).Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	if z := zScore(0.5); math.Abs(z) > 1e-12 {
+		t.Fatalf("z(0.5) = %v, want 0", z)
+	}
+	if z := zScore(0.95); math.Abs(z-1.6448536269514722) > 1e-9 {
+		t.Fatalf("z(0.95) = %v, want 1.6449", z)
+	}
+	if z := zScore(0.9999); zScore(1.5) != z {
+		t.Fatalf("q >= 1 should clamp to 0.9999: %v vs %v", zScore(1.5), z)
+	}
+}
+
+// HorizonForStartup must cover the Figure-1 batch readiness: the last
+// instance of a batch of n is ready base + n·slope seconds after the order
+// (matching the cluster's j = 1..k indexing; n=1 reproduces the paper's
+// 5.5 s single-instance figure).
+func TestHorizonForStartup(t *testing.T) {
+	const base, slope = 2.8, 2.67
+	cases := []struct {
+		n, interval int
+		want        int
+	}{
+		{1, 5, 2},   // 5.47 s / 5 s → 2 ticks
+		{4, 5, 3},   // 13.48 s → 3
+		{16, 5, 10}, // 45.52 s → 10 (paper: 45.6 s for 16)
+		{0, 5, 2},   // clamps to one instance
+	}
+	for _, c := range cases {
+		if got := HorizonForStartup(base, slope, c.n, float64(c.interval)); got != c.want {
+			t.Errorf("HorizonForStartup(n=%d, interval=%d) = %d, want %d", c.n, c.interval, got, c.want)
+		}
+	}
+	if got := HorizonForStartup(base, slope, 1, 0); got != 1 {
+		t.Errorf("zero interval should clamp to 1 tick, got %d", got)
+	}
+}

@@ -8,75 +8,20 @@
 // itself on live traffic.
 package lifecycle
 
-import "sort"
+import (
+	"sort"
 
-// Hampel is a rolling-median/MAD outlier filter applied to each telemetry
+	"graf/internal/forecast"
+)
+
+// Hampel is the rolling-median/MAD outlier filter applied to each telemetry
 // stream (per-API observed rates, measured p99) before it reaches the
-// residual monitor or the retraining sample window. A single corrupted
-// spike — a chaos TelemetryCorrupt event, a scrape glitch — is replaced by
-// the window median instead of tripping the drift wire or poisoning the
-// candidate's training data. A genuine level shift passes through after
-// roughly half a window, which is exactly the persistence test that
-// separates drift from noise.
-type Hampel struct {
-	// K is the MAD multiplier: values farther than K scaled-MADs from the
-	// window median are rejected. 0 picks the default 4.
-	K float64
-
-	// Floor is the relative deviation floor as a fraction of the median: a
-	// nearly-constant stream has MAD ≈ 0 and would otherwise reject every
-	// benign fluctuation. 0 picks the default 0.05.
-	Floor float64
-
-	// N is the rolling window length. 0 picks the default 9.
-	N int
-
-	// Ring is the trailing raw values (exported for checkpointing).
-	Ring []float64
-}
-
-func (h *Hampel) defaults() (k, floor float64, n int) {
-	k, floor, n = h.K, h.Floor, h.N
-	if k <= 0 {
-		k = 4
-	}
-	if floor <= 0 {
-		floor = 0.05
-	}
-	if n <= 0 {
-		n = 9
-	}
-	return
-}
-
-// Push appends one raw observation and returns the sanitized value: the raw
-// value if it is consistent with the window, the window median if it is an
-// outlier.
-func (h *Hampel) Push(v float64) float64 {
-	k, floor, n := h.defaults()
-	if len(h.Ring) >= n {
-		copy(h.Ring, h.Ring[1:])
-		h.Ring = h.Ring[:len(h.Ring)-1]
-	}
-	h.Ring = append(h.Ring, v)
-	if len(h.Ring) < 3 {
-		return v
-	}
-	med := median(h.Ring)
-	devs := make([]float64, len(h.Ring))
-	for i, x := range h.Ring {
-		devs[i] = abs(x - med)
-	}
-	// 1.4826 rescales MAD to the standard deviation of a normal stream.
-	mad := 1.4826 * median(devs)
-	if f := floor * abs(med); mad < f {
-		mad = f
-	}
-	if abs(v-med) > k*mad {
-		return med
-	}
-	return v
-}
+// residual monitor or the retraining sample window. The implementation
+// lives in internal/forecast — the import-graph leaf — so the controller's
+// forecaster can sanitize its rate feed with the same filter without an
+// import cycle; the alias keeps this package's API (and the gob wire shape
+// of checkpointed lifecycle state) unchanged.
+type Hampel = forecast.Hampel
 
 // median returns the middle order statistic without mutating its argument.
 func median(xs []float64) float64 {

@@ -37,6 +37,11 @@ import (
 //     says which model generation produced the solve, so a replay of a run
 //     that swapped models mid-flight can pick the right archived model per
 //     decision and stay bit-identical.
+//   - "forecast": one matured workload forecast paired with what the rate
+//     actually did (Kind carries the model name, Summary the predicted/
+//     actual/σ values) — the forecast-vs-actual audit trail. Replay ignores
+//     these: forecast-driven decisions already carry their effective solver
+//     inputs in Load/Raw, so the byte-identity contract is unchanged.
 //   - "summary": final counters, written at graceful shutdown.
 //
 // Float64 values round-trip bit-identically through encoding/json (shortest
@@ -72,6 +77,15 @@ type Record struct {
 	ModelGen  int                `json:"model_gen,omitempty"` // model generation that produced the solve
 	Enveloped bool               `json:"enveloped,omitempty"` // probation envelope clamped the applied quotas
 	Warm      bool               `json:"warm,omitempty"`      // brownout warm rung: short solve from the previous Raw
+
+	// Forecast fields (decision records when the forecaster drove the solve,
+	// plus the dedicated "forecast" maturation records).
+	FcRate        float64 `json:"fc_rate,omitempty"`         // risk-adjusted forecast rate fed to the solver
+	FcPoint       float64 `json:"fc_point,omitempty"`        // point forecast at the horizon
+	FcSigma       float64 `json:"fc_sigma,omitempty"`        // residual σ behind the risk band
+	Prewarm       int     `json:"prewarm,omitempty"`         // instances ordered ahead of forecasted demand
+	PrewarmLeadS  float64 `json:"prewarm_lead_s,omitempty"`  // forecast lead the order was placed with
+	PrewarmReadyS float64 `json:"prewarm_ready_s,omitempty"` // Figure-1 readiness of the largest batch
 
 	// Health-transition fields.
 	From string `json:"from,omitempty"`

@@ -81,7 +81,44 @@ func (o *ControllerObs) Decision(rec Record) {
 			"GNN end-to-end latency prediction for the applied allocation.",
 			nil).Set(rec.Predicted)
 	}
+	if rec.FcRate > 0 {
+		o.t.Reg.Gauge("graf_forecast_rate",
+			"Risk-adjusted forecast rate most recently fed to the solver.",
+			nil).Set(rec.FcRate)
+		o.t.Reg.Counter("graf_forecast_driven_total",
+			"Controller decisions solved against the forecasted rate.",
+			nil).Inc()
+	}
+	if rec.Prewarm > 0 {
+		o.t.Reg.Counter("graf_forecast_prewarm_instances_total",
+			"Instances ordered ahead of forecasted demand.",
+			nil).Add(float64(rec.Prewarm))
+	}
 	o.t.Flight.Record(rec)
+}
+
+// Forecast records one matured workload forecast against the rate that
+// actually arrived, plus the forecaster's health, as metrics and a
+// flight-recorder audit record.
+func (o *ControllerObs) Forecast(at float64, model string, predicted, actual, sigma float64, healthy bool) {
+	if o == nil {
+		return
+	}
+	o.t.Reg.Counter("graf_forecast_matured_total",
+		"Forecasts whose target tick arrived, by model.",
+		Labels{"model": model}).Inc()
+	o.t.Reg.Histogram("graf_forecast_abs_error",
+		"Absolute error of matured forecasts (req/s).",
+		ExpBuckets(1, 2, 12), Labels{"model": model}).Observe(fabsf(actual - predicted))
+	o.t.Reg.Gauge("graf_forecast_sigma",
+		"Standard deviation of recent forecast residuals (req/s).",
+		nil).Set(sigma)
+	o.t.Reg.Gauge("graf_forecast_healthy",
+		"1 while forecasts may drive the solver, 0 while the residual blowout detector has degraded the loop to reactive.",
+		nil).Set(b2f(healthy))
+	o.t.Flight.Record(Record{Type: "forecast", At: at, Kind: model,
+		Summary: map[string]float64{
+			"predicted": predicted, "actual": actual, "sigma": sigma, "healthy": b2f(healthy)}})
 }
 
 // Health records a degraded-mode state transition. code is the numeric value
@@ -308,4 +345,11 @@ func b2f(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+func fabsf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
